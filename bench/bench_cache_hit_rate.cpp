@@ -1,0 +1,84 @@
+// §V-C "Effectiveness of caching": hit rates of the cluster-granularity
+// cache on a 32k-token NarrativeQA-like sample for R in {0, 1, 2} and the
+// resulting decode-throughput improvement over direct CPU-memory loading.
+// The paper measures 63% (R=1) and 74% (R=2) hit rates and 2.3x / 3x
+// throughput improvements.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "model/decode_engine.hpp"
+#include "sim/latency_model.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace ckv;
+using namespace ckv::bench;
+
+struct CacheRun {
+  double hit_rate = 0.0;
+  double miss_rate = 1.0;
+};
+
+CacheRun run_with_depth(Index depth) {
+  SimShape shape = recall_shape();
+  ProceduralContextModel model(shape, sim_params(), derive_seed(31, "cache"), 32768);
+  auto config = paper_clusterkv();
+  config.cache_depth = depth;
+  DecodeEngineConfig engine_config;
+  engine_config.budget = 1024;
+  engine_config.full_attention_layers = 0;
+  DecodeEngine engine(model, make_clusterkv_factory(config, 31), engine_config);
+  engine.run_prefill();
+  for (Index s = 0; s < 64; ++s) {
+    engine.decode_step(s);
+  }
+  CacheRun out;
+  const double total =
+      static_cast<double>(engine.total_cache_hits() + engine.total_fetched());
+  out.hit_rate = total == 0.0 ? 0.0
+                              : static_cast<double>(engine.total_cache_hits()) / total;
+  out.miss_rate = 1.0 - out.hit_rate;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  print_header("§V-C — cluster-granularity cache effectiveness",
+               "ClusterKV §V-C (32k sample, budget 1024, R in {1, 2})");
+  std::cout << std::unitbuf;  // progress lines appear as they happen
+  Stopwatch watch;
+
+  const LatencyModel latency(HardwareModel::ada6000(), ModelConfig::llama31_8b());
+  const auto no_cache = run_with_depth(0);
+
+  // Decode-throughput improvement attributed to caching: the KV-fetch path
+  // (PCIe transfer + per-step indexing/sync overhead) shrinks with the hit
+  // rate; compute time is unchanged. The fixed indexing share makes the
+  // improvement saturate, as the paper's 2.3x/3x pair implies.
+  const auto fetch_path_ms = [&latency](double miss_rate) {
+    const auto step = latency.clusterkv_step(32768, 1024, miss_rate, 400);
+    const double fixed = 0.11 * latency.clusterkv_step(32768, 1024, 1.0, 400).transfer_ms;
+    return fixed + step.transfer_ms;
+  };
+  const double no_cache_path = fetch_path_ms(1.0);
+
+  TextTable table({"R", "hit rate", "throughput gain vs no cache"});
+  table.add_row({"0 (no cache)", format_double(100.0 * no_cache.hit_rate, 1) + "%",
+                 "1.00x"});
+  for (const Index depth : {1, 2}) {
+    const auto run = run_with_depth(depth);
+    const double gain = no_cache_path / fetch_path_ms(run.miss_rate);
+    table.add_row({std::to_string(depth),
+                   format_double(100.0 * run.hit_rate, 1) + "%",
+                   format_double(gain, 2) + "x"});
+  }
+  std::cout << table.to_string() << "\n";
+  std::cout << "paper: 63% (R=1) and 74% (R=2) hit rates; 2.3x and 3x decode "
+               "throughput vs direct CPU loads.\n"
+               "R=1 is the default: retaining one step of selected KV already "
+               "captures most reuse (§IV-D).\n";
+  std::cout << "\n[cache bench done in " << format_double(watch.seconds(), 1) << "s]\n";
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Shared configuration for the paper-reproduction benches: the scaled
+// simulation slice (DESIGN.md §2 scale note), the paper's method settings,
+// and the factory list every figure iterates over.
+#pragma once
+
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "baselines/full_kv.hpp"
+#include "baselines/infinigen.hpp"
+#include "baselines/quest.hpp"
+#include "core/clusterkv_engine.hpp"
+#include "model/model_config.hpp"
+#include "model/procedural.hpp"
+
+namespace ckv::bench {
+
+/// Simulation slice for accuracy experiments: a representative subset of
+/// layers/heads at the paper's context lengths (documented substitution).
+inline SimShape accuracy_shape() {
+  SimShape s;
+  s.num_layers = 2;
+  s.num_heads = 2;
+  s.head_dim = 64;
+  return s;
+}
+
+/// Single-layer multi-head slice for recall measurements (Fig. 11 reports
+/// recall averaged over heads; no full-attention layer is involved).
+inline SimShape recall_shape() {
+  SimShape s;
+  s.num_layers = 1;
+  s.num_heads = 4;
+  s.head_dim = 64;
+  return s;
+}
+
+inline ProceduralParams sim_params() {
+  ProceduralParams p;
+  p.head_dim = 64;
+  p.num_topics = 64;
+  return p;
+}
+
+/// ClusterKV with the paper's defaults (§III-B, §IV-D).
+inline ClusterKVConfig paper_clusterkv() {
+  ClusterKVConfig c;
+  c.sink_tokens = 16;
+  c.tokens_per_cluster = 80;  // C0 = L/80
+  c.decode_interval = 320;    // m
+  c.decode_clusters = 4;      // C+
+  c.cache_depth = 1;          // R
+  c.kmeans_max_iterations = 12;  // quality saturates; keeps bench runtimes sane
+  return c;
+}
+
+inline QuestConfig paper_quest() {
+  QuestConfig q;
+  q.page_size = 16;
+  return q;
+}
+
+inline InfiniGenConfig paper_infinigen() {
+  InfiniGenConfig i;
+  i.partial_dim = 16;  // d/4 partial weights
+  i.calibration_tokens = 512;
+  return i;
+}
+
+struct NamedFactory {
+  std::string name;
+  SelectorFactory factory;
+};
+
+/// The method set of Fig. 9 / Fig. 10 / Table I, in the paper's order.
+inline std::vector<NamedFactory> accuracy_methods(std::uint64_t seed) {
+  return {
+      {"Quest", make_quest_factory(paper_quest())},
+      {"InfiniGen", make_infinigen_factory(paper_infinigen())},
+      {"ClusterKV", make_clusterkv_factory(paper_clusterkv(), seed)},
+      {"Full KV", make_full_kv_factory()},
+  };
+}
+
+/// Wall-clock helper so bench logs show their own cost.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+inline void print_header(const std::string& title, const std::string& paper_ref) {
+  std::cout << "=== " << title << " ===\n";
+  std::cout << "reproduces: " << paper_ref << "\n\n";
+}
+
+}  // namespace ckv::bench

@@ -1,0 +1,84 @@
+// Fig. 13: latency against the SoTA recallable-compression systems.
+// (a) ClusterKV vs InfiniGen on OPT-6.7B (FlexGen-style substrate, budget
+//     256, P = 2k, D in {128, 256}): the paper measures a 2.3x average
+//     speedup, with InfiniGen roughly at full-KV latency.
+// (b) ClusterKV vs Quest on Llama-3.1-8B (budget 1k, P in {8k,16k,32k},
+//     D in {256, 512}): latencies within ~5%.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "sim/latency_model.hpp"
+#include "tensor/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+using namespace ckv;
+using namespace ckv::bench;
+}  // namespace
+
+int main() {
+  print_header("Fig. 13 — latency vs SoTA recallable compression",
+               "ClusterKV Fig. 13a (OPT-6.7B vs InfiniGen) and Fig. 13b "
+               "(Llama-3.1-8B vs Quest)");
+  Stopwatch watch;
+
+  // ---- (a) vs InfiniGen on OPT-6.7B ----
+  std::cout << "(a) vs InfiniGen, OPT-6.7B, P=2k, budget 256\n";
+  const LatencyModel opt(HardwareModel::ada6000(), ModelConfig::opt_6_7b());
+  TextTable a({"D", "InfiniGen (Full) (s)", "InfiniGen (s)", "ClusterKV (s)",
+               "speedup vs InfiniGen"});
+  RunningStat speedups;
+  for (const Index d : {128, 256}) {
+    LatencyModel::RunParams base;
+    base.prompt_len = 2048;
+    base.decode_len = d;
+    base.budget = 256;
+
+    auto full = base;
+    full.method = LatencyModel::Method::kFullKVOffload;
+    auto infinigen = base;
+    infinigen.method = LatencyModel::Method::kInfiniGen;
+    auto ckv = base;
+    ckv.method = LatencyModel::Method::kClusterKV;
+
+    const double tf = opt.run_latency(full).total_ms();
+    const double ti = opt.run_latency(infinigen).total_ms();
+    const double tc = opt.run_latency(ckv).total_ms();
+    speedups.add(ti / tc);
+    a.add_row({std::to_string(d), format_double(tf / 1000.0, 1),
+               format_double(ti / 1000.0, 1), format_double(tc / 1000.0, 1),
+               format_double(ti / tc, 2) + "x"});
+  }
+  std::cout << a.to_string();
+  std::cout << "average speedup vs InfiniGen: " << format_double(speedups.mean(), 2)
+            << "x (paper: 2.3x); InfiniGen tracks its full-KV baseline\n\n";
+
+  // ---- (b) vs Quest on Llama-3.1-8B ----
+  std::cout << "(b) vs Quest, Llama-3.1-8B, budget 1k\n";
+  const LatencyModel llama(HardwareModel::ada6000(), ModelConfig::llama31_8b());
+  TextTable b({"P", "D", "Quest (s)", "ClusterKV (s)", "deviation"});
+  RunningStat deviations;
+  for (const Index p : {8192, 16384, 32768}) {
+    for (const Index d : {256, 512}) {
+      LatencyModel::RunParams quest;
+      quest.method = LatencyModel::Method::kQuest;
+      quest.prompt_len = p;
+      quest.decode_len = d;
+      quest.budget = 1024;
+      auto ckv = quest;
+      ckv.method = LatencyModel::Method::kClusterKV;
+
+      const double tq = llama.run_latency(quest).total_ms();
+      const double tc = llama.run_latency(ckv).total_ms();
+      deviations.add(std::abs(tc - tq) / tq);
+      b.add_row({std::to_string(p), std::to_string(d), format_double(tq / 1000.0, 1),
+                 format_double(tc / 1000.0, 1),
+                 format_double(100.0 * (tc - tq) / tq, 1) + "%"});
+    }
+  }
+  std::cout << b.to_string();
+  std::cout << "max |deviation| vs Quest: " << format_double(100.0 * deviations.max(), 1)
+            << "% (paper: up to 5%), with significantly higher accuracy (Fig. 9)\n";
+  std::cout << "\n[fig13 done in " << format_double(watch.seconds(), 1) << "s]\n";
+  return 0;
+}

@@ -1,0 +1,157 @@
+// Kernel-level microbenchmarks (google-benchmark) for the operations the
+// paper optimizes in §IV-B/§IV-C: k-means assignment and centroid update
+// (including the channel-partition trade-off P of Fig. 7), cluster
+// selection + indexing, Quest page-metadata scoring, and the KV gather.
+#include <benchmark/benchmark.h>
+
+#include "baselines/quest.hpp"
+#include "core/centroid_store.hpp"
+#include "core/kernels.hpp"
+#include "core/kmeans.hpp"
+#include "core/selector_index.hpp"
+#include "kvcache/kv_store.hpp"
+#include "model/procedural.hpp"
+#include "tensor/rng.hpp"
+
+namespace {
+
+using namespace ckv;
+
+Matrix random_keys(Index n, Index dim, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(n, dim);
+  rng.fill_normal(m.flat(), 0.0, 1.0);
+  return m;
+}
+
+void BM_KMeansAssignment(benchmark::State& state) {
+  const Index n = state.range(0);
+  const Index clusters = n / 80;
+  const auto keys = random_keys(n, 64, 1);
+  const auto centroids = random_keys(clusters, 64, 2);
+  for (auto _ : state) {
+    auto labels = assign_labels(keys, centroids, DistanceMetric::kCosine);
+    benchmark::DoNotOptimize(labels);
+  }
+  state.SetItemsProcessed(state.iterations() * n * clusters);
+}
+BENCHMARK(BM_KMeansAssignment)->Arg(4096)->Arg(8192)->Arg(16384);
+
+void BM_CentroidUpdatePartitions(benchmark::State& state) {
+  // The Fig. 7 trade-off: channel partitions P at BlockSize-equivalent
+  // granularity. Means are identical for every P; throughput differs.
+  const Index partitions = state.range(0);
+  const Index n = 16384;
+  const auto keys = random_keys(n, 128, 3);
+  Rng rng(4);
+  std::vector<Index> labels(static_cast<std::size_t>(n));
+  for (auto& l : labels) {
+    l = rng.uniform_int(0, 199);
+  }
+  const Matrix previous(200, 128);
+  Matrix out;
+  std::vector<Index> counts;
+  for (auto _ : state) {
+    centroid_update(keys, labels, previous, partitions, out, counts);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_CentroidUpdatePartitions)->Arg(1)->Arg(4)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_FullKMeans(benchmark::State& state) {
+  const Index n = state.range(0);
+  const auto keys = random_keys(n, 64, 5);
+  KMeansConfig config;
+  config.num_clusters = default_cluster_count(n);
+  config.max_iterations = 10;
+  for (auto _ : state) {
+    Rng rng(6);
+    auto result = kmeans_cluster(keys, config, rng);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_FullKMeans)->Arg(2048)->Arg(8192)->Unit(benchmark::kMillisecond);
+
+void BM_ClusterSelectionIndexing(benchmark::State& state) {
+  // §IV-C: scoring C centroids, sorting, prefix sums and emitting I_T.
+  const Index clusters = state.range(0);
+  CentroidStore store(64);
+  Rng rng(7);
+  const Index tokens_per = 80;
+  Matrix centroids(clusters, 64);
+  rng.fill_normal(centroids.flat(), 0.0, 1.0);
+  std::vector<Index> labels(static_cast<std::size_t>(clusters * tokens_per));
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    labels[i] = static_cast<Index>(i) % clusters;
+  }
+  store.add_clusters(centroids, labels, 0);
+  const auto query = rng.unit_vector(64);
+
+  for (auto _ : state) {
+    const auto scores = store.scores(query);
+    const auto selection = select_clusters(scores, store.cluster_sizes(), 1024);
+    auto indexed = gather_selected_tokens(store, selection, 1024);
+    benchmark::DoNotOptimize(indexed);
+  }
+  state.SetItemsProcessed(state.iterations() * clusters);
+}
+BENCHMARK(BM_ClusterSelectionIndexing)->Arg(100)->Arg(400)->Arg(800);
+
+void BM_QuestPageScoring(benchmark::State& state) {
+  // §III-D Concern 1 baseline: page-representation scoring is O(L/16).
+  const Index n = state.range(0);
+  ProceduralParams params;
+  params.head_dim = 64;
+  HeadStream stream(params, Rng(8), n);
+  QuestSelector quest(64, QuestConfig{});
+  quest.observe_prefill(stream.keys(), stream.values());
+  const auto q = stream.query(0);
+  for (auto _ : state) {
+    auto sel = quest.select(q, 1024);
+    benchmark::DoNotOptimize(sel);
+  }
+  state.SetItemsProcessed(state.iterations() * n / 16);
+}
+BENCHMARK(BM_QuestPageScoring)->Arg(4096)->Arg(16384);
+
+void BM_KVGather(benchmark::State& state) {
+  // The CPU->GPU gather of selected KV (simulated as a contiguous copy).
+  const Index n = 32768;
+  const Index budget = state.range(0);
+  KVStore store(64);
+  const auto keys = random_keys(n, 64, 9);
+  const auto values = random_keys(n, 64, 10);
+  store.append_block(keys, values);
+  Rng rng(11);
+  const auto pick = rng.sample_without_replacement(n, budget);
+  for (auto _ : state) {
+    auto gathered = store.gather(pick);
+    benchmark::DoNotOptimize(gathered);
+  }
+  state.SetBytesProcessed(state.iterations() * budget * 64 * 2 *
+                          static_cast<std::int64_t>(sizeof(float)));
+}
+BENCHMARK(BM_KVGather)->Arg(512)->Arg(1024)->Arg(2048);
+
+void BM_AttentionScores(benchmark::State& state) {
+  // The per-step exact attention-weight pass a recallable method avoids
+  // (O(L d), §II-C).
+  const Index n = state.range(0);
+  KVStore store(64);
+  const auto keys = random_keys(n, 64, 12);
+  store.append_block(keys, keys);
+  Rng rng(13);
+  const auto q = rng.unit_vector(64);
+  for (auto _ : state) {
+    auto scores = store.attention_scores(q);
+    benchmark::DoNotOptimize(scores);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_AttentionScores)->Arg(8192)->Arg(32768);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,105 @@
+#include "baselines/quest.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/topk.hpp"
+
+namespace ckv {
+
+QuestSelector::QuestSelector(Index head_dim, const QuestConfig& config)
+    : config_(config), store_(head_dim) {
+  expects(config.page_size > 0, "QuestSelector: page_size must be positive");
+}
+
+void QuestSelector::finalize_full_pages() {
+  const Index dim = store_.head_dim();
+  while ((page_max_.rows() + 1) * config_.page_size <= store_.size()) {
+    const Index begin = page_max_.rows() * config_.page_size;
+    std::vector<float> max_row(static_cast<std::size_t>(dim),
+                               -std::numeric_limits<float>::infinity());
+    std::vector<float> min_row(static_cast<std::size_t>(dim),
+                               std::numeric_limits<float>::infinity());
+    for (Index t = begin; t < begin + config_.page_size; ++t) {
+      const auto key = store_.key(t);
+      for (Index c = 0; c < dim; ++c) {
+        max_row[static_cast<std::size_t>(c)] =
+            std::max(max_row[static_cast<std::size_t>(c)], key[static_cast<std::size_t>(c)]);
+        min_row[static_cast<std::size_t>(c)] =
+            std::min(min_row[static_cast<std::size_t>(c)], key[static_cast<std::size_t>(c)]);
+      }
+    }
+    page_max_.append_row(max_row);
+    page_min_.append_row(min_row);
+  }
+}
+
+void QuestSelector::observe_prefill(const Matrix& keys, const Matrix& values) {
+  store_.append_block(keys, values);
+  finalize_full_pages();
+}
+
+void QuestSelector::observe_decode(std::span<const float> key,
+                                   std::span<const float> value) {
+  store_.append(key, value);
+  finalize_full_pages();
+}
+
+double QuestSelector::page_score(std::span<const float> query, Index page) const {
+  expects(page >= 0 && page < page_max_.rows(), "QuestSelector: page out of range");
+  const auto max_row = page_max_.row(page);
+  const auto min_row = page_min_.row(page);
+  double acc = 0.0;
+  for (std::size_t c = 0; c < query.size(); ++c) {
+    const double q = static_cast<double>(query[c]);
+    acc += std::max(q * static_cast<double>(max_row[c]),
+                    q * static_cast<double>(min_row[c]));
+  }
+  return acc / std::sqrt(static_cast<double>(store_.head_dim()));
+}
+
+SelectionResult QuestSelector::select(std::span<const float> query, Index budget) {
+  expects(budget >= 0, "QuestSelector::select: budget must be non-negative");
+  SelectionResult result;
+
+  // Tokens past the last finalized page (the in-progress page) are always
+  // attended — they are the local context Quest never drops.
+  std::vector<Index> indices;
+  const Index paged_tokens = page_max_.rows() * config_.page_size;
+  for (Index t = paged_tokens; t < store_.size(); ++t) {
+    indices.push_back(t);
+  }
+
+  const Index page_budget =
+      std::max<Index>(0, budget - static_cast<Index>(indices.size()));
+  const Index pages_wanted = page_budget / config_.page_size;
+
+  if (pages_wanted > 0 && page_max_.rows() > 0) {
+    std::vector<float> scores(static_cast<std::size_t>(page_max_.rows()));
+    for (Index p = 0; p < page_max_.rows(); ++p) {
+      scores[static_cast<std::size_t>(p)] = static_cast<float>(page_score(query, p));
+    }
+    const auto chosen = top_k_indices(scores, pages_wanted);
+    for (const Index page : chosen) {
+      const Index begin = page * config_.page_size;
+      for (Index t = begin; t < begin + config_.page_size; ++t) {
+        indices.push_back(t);
+      }
+    }
+    result.representations_scored = page_max_.rows();
+  }
+
+  std::sort(indices.begin(), indices.end());
+  result.indices = std::move(indices);
+  // A page score reads the max and min vectors: 2d channels per page.
+  result.scoring_dim = 2 * store_.head_dim();
+  return result;
+}
+
+SelectorFactory make_quest_factory(const QuestConfig& config) {
+  return [config](Index /*layer*/, Index /*head*/, Index head_dim) {
+    return std::make_unique<QuestSelector>(head_dim, config);
+  };
+}
+
+}  // namespace ckv

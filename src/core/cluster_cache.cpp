@@ -1,0 +1,71 @@
+#include "core/cluster_cache.hpp"
+
+#include <algorithm>
+
+namespace ckv {
+
+ClusterCache::ClusterCache(Index depth) : depth_(depth) {
+  expects(depth >= 0, "ClusterCache: depth must be non-negative");
+}
+
+std::unordered_set<Index> ClusterCache::resident_tokens() const {
+  std::unordered_set<Index> resident;
+  for (const auto& step_entry : window_) {
+    for (const auto& [cluster, tokens] : step_entry) {
+      resident.insert(tokens.begin(), tokens.end());
+    }
+  }
+  return resident;
+}
+
+ClusterCache::StepResult ClusterCache::step(
+    const std::vector<std::pair<Index, std::vector<Index>>>& selected) {
+  StepResult result;
+  const auto resident_before = resident_tokens();
+
+  for (const auto& [cluster, tokens] : selected) {
+    for (const Index token : tokens) {
+      if (resident_before.contains(token)) {
+        ++result.hits;
+      } else {
+        ++result.misses;
+        result.missing_tokens.push_back(token);
+      }
+    }
+  }
+
+  window_.push_front(selected);
+  while (static_cast<Index>(window_.size()) > std::max<Index>(depth_, 0)) {
+    window_.pop_back();
+  }
+
+  const auto resident_after = resident_tokens();
+  for (const Index token : resident_before) {
+    if (!resident_after.contains(token)) {
+      result.evicted_tokens.push_back(token);
+    }
+  }
+  std::sort(result.evicted_tokens.begin(), result.evicted_tokens.end());
+  std::sort(result.missing_tokens.begin(), result.missing_tokens.end());
+  result.missing_tokens.erase(
+      std::unique(result.missing_tokens.begin(), result.missing_tokens.end()),
+      result.missing_tokens.end());
+
+  total_hits_ += result.hits;
+  total_misses_ += result.misses;
+  ++steps_;
+  return result;
+}
+
+double ClusterCache::hit_rate() const noexcept {
+  const std::int64_t total = total_hits_ + total_misses_;
+  return total == 0 ? 0.0 : static_cast<double>(total_hits_) / static_cast<double>(total);
+}
+
+void ClusterCache::reset_counters() noexcept {
+  total_hits_ = 0;
+  total_misses_ = 0;
+  steps_ = 0;
+}
+
+}  // namespace ckv

@@ -1,0 +1,57 @@
+// Cluster-granularity cache of selected KV (§IV-D). The fast tier retains
+// the tokens selected during the last R decoding steps, keyed by cluster
+// label; at each step, only tokens of clusters absent from the window are
+// fetched from the slow tier.
+#pragma once
+
+#include <deque>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace ckv {
+
+class ClusterCache {
+ public:
+  /// depth = R (0 disables caching: every selected token misses).
+  explicit ClusterCache(Index depth);
+
+  struct StepResult {
+    std::vector<Index> missing_tokens;  ///< must be fetched from the slow tier
+    std::vector<Index> evicted_tokens;  ///< left the R-step window; drop from fast
+    Index hits = 0;                     ///< tokens served from cache
+    Index misses = 0;                   ///< tokens fetched
+  };
+
+  /// Processes one decoding step's selection: `selected` lists each chosen
+  /// cluster with the token positions taken from it (trimmed last cluster
+  /// included as its partial list). Returns hit/miss breakdown and updates
+  /// the window.
+  StepResult step(const std::vector<std::pair<Index, std::vector<Index>>>& selected);
+
+  [[nodiscard]] Index depth() const noexcept { return depth_; }
+
+  /// Lifetime token-level hit rate: hits / (hits + misses); 0 before any
+  /// lookup.
+  [[nodiscard]] double hit_rate() const noexcept;
+
+  [[nodiscard]] std::int64_t total_hits() const noexcept { return total_hits_; }
+  [[nodiscard]] std::int64_t total_misses() const noexcept { return total_misses_; }
+  [[nodiscard]] Index steps() const noexcept { return steps_; }
+
+  /// Tokens currently resident by virtue of the window (testing hook).
+  [[nodiscard]] std::unordered_set<Index> resident_tokens() const;
+
+  void reset_counters() noexcept;
+
+ private:
+  Index depth_;
+  std::deque<std::vector<std::pair<Index, std::vector<Index>>>> window_;
+  std::int64_t total_hits_ = 0;
+  std::int64_t total_misses_ = 0;
+  Index steps_ = 0;
+};
+
+}  // namespace ckv

@@ -1,0 +1,129 @@
+#include "core/clusterkv_engine.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "core/kernels.hpp"
+#include "core/kmeans.hpp"
+#include "core/selector_index.hpp"
+
+namespace ckv {
+
+ClusterKVEngine::ClusterKVEngine(Index head_dim, const ClusterKVConfig& config,
+                                 Rng rng)
+    : config_(config),
+      rng_(std::move(rng)),
+      tiered_(head_dim, config.element_bytes),
+      centroids_(head_dim),
+      cache_(config.cache_depth) {
+  expects(config.sink_tokens >= 0, "ClusterKVEngine: sink_tokens must be >= 0");
+  expects(config.decode_interval > 0, "ClusterKVEngine: decode_interval must be > 0");
+  expects(config.decode_clusters > 0, "ClusterKVEngine: decode_clusters must be > 0");
+}
+
+void ClusterKVEngine::cluster_range(Index begin, Index end, Index cluster_count) {
+  if (begin >= end) {
+    return;
+  }
+  const Matrix block_keys = tiered_.store().keys().row_slice(begin, end);
+  KMeansConfig kconfig;
+  kconfig.num_clusters = std::max<Index>(1, std::min<Index>(cluster_count, end - begin));
+  kconfig.metric = config_.cluster_metric;
+  kconfig.max_iterations = config_.kmeans_max_iterations;
+  kconfig.channel_partitions = config_.channel_partitions;
+  kconfig.init = config_.kmeans_init;
+  const auto result = kmeans_cluster(block_keys, kconfig, rng_);
+  clustering_flops_ += result.iterations *
+                       assignment_flops(end - begin, kconfig.num_clusters,
+                                        tiered_.store().head_dim());
+  centroids_.add_clusters(result.centroids, result.labels, begin);
+  // Clustered tokens move to the slow tier (Fig. 5: offload K & V); they
+  // come back through the cluster cache on demand.
+  tiered_.offload_to_slow(begin, end);
+}
+
+void ClusterKVEngine::observe_prefill(const Matrix& keys, const Matrix& values) {
+  expects(tiered_.size() == 0, "ClusterKVEngine: observe_prefill must come first");
+  tiered_.append_block(keys, values);
+  const Index n = tiered_.size();
+  sink_count_ = std::min<Index>(config_.sink_tokens, n);
+  const Index clustered = n - sink_count_;
+  if (clustered > 0) {
+    const Index c0 = config_.fixed_cluster_count > 0
+                         ? config_.fixed_cluster_count
+                         : default_cluster_count(clustered, config_.tokens_per_cluster);
+    cluster_range(sink_count_, n, c0);
+  }
+}
+
+void ClusterKVEngine::observe_decode(std::span<const float> key,
+                                     std::span<const float> value) {
+  tiered_.append(key, value);
+  pending_positions_.push_back(tiered_.size() - 1);
+  if (static_cast<Index>(pending_positions_.size()) >= config_.decode_interval) {
+    flush_pending();
+  }
+}
+
+void ClusterKVEngine::flush_pending() {
+  if (pending_positions_.empty()) {
+    return;
+  }
+  const Index begin = pending_positions_.front();
+  const Index end = pending_positions_.back() + 1;
+  cluster_range(begin, end, config_.decode_clusters);
+  pending_positions_.clear();
+}
+
+SelectionResult ClusterKVEngine::select(std::span<const float> query, Index budget) {
+  expects(budget >= 0, "ClusterKVEngine::select: budget must be non-negative");
+  SelectionResult result;
+
+  // Sinks and not-yet-clustered decode tokens are always attended: they are
+  // fast-tier resident by construction (§III-B retains the first 16 tokens;
+  // pending tokens have not been offloaded yet).
+  std::vector<Index> indices;
+  for (Index s = 0; s < sink_count_; ++s) {
+    indices.push_back(s);
+  }
+  indices.insert(indices.end(), pending_positions_.begin(), pending_positions_.end());
+
+  const Index always_on = static_cast<Index>(indices.size());
+  const Index cluster_budget = std::max<Index>(0, budget - always_on);
+
+  if (centroids_.cluster_count() > 0 && cluster_budget > 0) {
+    const auto scores = centroids_.scores(query, config_.selection_metric);
+    const auto selection =
+        select_clusters(scores, centroids_.cluster_sizes(), cluster_budget);
+    const auto indexed = gather_selected_tokens(centroids_, selection, cluster_budget);
+
+    const auto cache_step = cache_.step(indexed.per_cluster);
+    tiered_.ensure_resident(cache_step.missing_tokens);
+    tiered_.drop_from_fast(cache_step.evicted_tokens);
+
+    indices.insert(indices.end(), indexed.token_positions.begin(),
+                   indexed.token_positions.end());
+    result.representations_scored = centroids_.cluster_count();
+    result.tokens_fetched = cache_step.misses;
+    result.tokens_cache_hit = cache_step.hits;
+  }
+
+  std::sort(indices.begin(), indices.end());
+  indices.erase(std::unique(indices.begin(), indices.end()), indices.end());
+  result.indices = std::move(indices);
+  result.scoring_dim = tiered_.store().head_dim();
+  return result;
+}
+
+Index ClusterKVEngine::context_size() const { return tiered_.size(); }
+
+SelectorFactory make_clusterkv_factory(const ClusterKVConfig& config,
+                                       std::uint64_t seed) {
+  return [config, seed](Index layer, Index head, Index head_dim) {
+    const auto tag = "clusterkv/l" + std::to_string(layer) + "/h" + std::to_string(head);
+    return std::make_unique<ClusterKVEngine>(head_dim, config,
+                                             Rng(derive_seed(seed, tag)));
+  };
+}
+
+}  // namespace ckv

@@ -1,0 +1,89 @@
+// The ClusterKV method end to end for one attention head (Fig. 5):
+// semantic clustering after prefill, incremental clustering of generated
+// tokens every m steps, cluster-granularity selection + indexing per
+// decode step, and the R-step cluster cache over a tiered KV store.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/cluster_cache.hpp"
+#include "core/centroid_store.hpp"
+#include "core/distance.hpp"
+#include "core/kmeans.hpp"
+#include "core/kv_selector.hpp"
+#include "kvcache/tiered_store.hpp"
+#include "tensor/rng.hpp"
+#include "util/common.hpp"
+
+namespace ckv {
+
+/// All ClusterKV knobs with the paper's defaults.
+struct ClusterKVConfig {
+  Index sink_tokens = 16;          ///< always-retained initial tokens (§III-B)
+  Index tokens_per_cluster = 80;   ///< C0 = L / 80
+  Index decode_interval = 320;     ///< m: cluster every m generated tokens
+  Index decode_clusters = 4;       ///< C+: clusters per decode batch
+  Index cache_depth = 1;           ///< R of the cluster cache (§IV-D)
+  DistanceMetric cluster_metric = DistanceMetric::kCosine;       ///< §III-B
+  DistanceMetric selection_metric = DistanceMetric::kInnerProduct;  ///< §III-C
+  Index kmeans_max_iterations = 20;
+  KMeansInit kmeans_init = KMeansInit::kRandomSample;  ///< §III-B default
+  Index channel_partitions = 16;   ///< P of the update kernel (§IV-B)
+  Index element_bytes = 2;         ///< fp16-equivalent byte accounting
+  /// Overrides C0 when positive (Fig. 11b ablation); 0 uses L / 80.
+  Index fixed_cluster_count = 0;
+};
+
+class ClusterKVEngine : public KVSelector {
+ public:
+  ClusterKVEngine(Index head_dim, const ClusterKVConfig& config, Rng rng);
+
+  [[nodiscard]] std::string name() const override { return "ClusterKV"; }
+
+  void observe_prefill(const Matrix& keys, const Matrix& values) override;
+  void observe_decode(std::span<const float> key,
+                      std::span<const float> value) override;
+  SelectionResult select(std::span<const float> query, Index budget) override;
+  [[nodiscard]] Index context_size() const override;
+
+  /// Forces clustering of any pending decode tokens (end-of-generation
+  /// flush; also lets tests exercise partial batches).
+  void flush_pending();
+
+  [[nodiscard]] const CentroidStore& centroid_store() const noexcept {
+    return centroids_;
+  }
+  [[nodiscard]] const ClusterCache& cache() const noexcept { return cache_; }
+  [[nodiscard]] ClusterCache& cache() noexcept { return cache_; }
+  [[nodiscard]] const TieredKVStore& tiered_store() const noexcept { return tiered_; }
+  [[nodiscard]] const ClusterKVConfig& config() const noexcept { return config_; }
+  [[nodiscard]] Index sink_count() const noexcept { return sink_count_; }
+  [[nodiscard]] Index pending_count() const noexcept {
+    return static_cast<Index>(pending_positions_.size());
+  }
+
+  /// Total k-means assignment work performed so far, in multiply-accumulate
+  /// ops (for §III-D Concern 1 accounting in the latency model).
+  [[nodiscard]] std::int64_t clustering_flops() const noexcept {
+    return clustering_flops_;
+  }
+
+ private:
+  void cluster_range(Index begin, Index end, Index cluster_count);
+
+  ClusterKVConfig config_;
+  Rng rng_;
+  TieredKVStore tiered_;
+  CentroidStore centroids_;
+  ClusterCache cache_;
+  Index sink_count_ = 0;
+  std::vector<Index> pending_positions_;  ///< generated, not yet clustered
+  std::int64_t clustering_flops_ = 0;
+};
+
+/// Factory adapter for the decode engine.
+SelectorFactory make_clusterkv_factory(const ClusterKVConfig& config,
+                                       std::uint64_t seed);
+
+}  // namespace ckv

@@ -1,0 +1,46 @@
+#include "core/distance.hpp"
+
+#include "tensor/vec_ops.hpp"
+
+namespace ckv {
+
+double similarity(DistanceMetric metric, std::span<const float> a,
+                  std::span<const float> b) {
+  switch (metric) {
+    case DistanceMetric::kCosine:
+      return cosine_similarity(a, b);
+    case DistanceMetric::kL2:
+      return -squared_l2_distance(a, b);
+    case DistanceMetric::kInnerProduct:
+      return dot(a, b);
+  }
+  throw std::logic_error("similarity: unknown metric");
+}
+
+DistanceMetric parse_distance_metric(std::string_view name) {
+  if (name == "cosine") {
+    return DistanceMetric::kCosine;
+  }
+  if (name == "l2" || name == "L2") {
+    return DistanceMetric::kL2;
+  }
+  if (name == "ip" || name == "inner-product") {
+    return DistanceMetric::kInnerProduct;
+  }
+  throw std::invalid_argument("parse_distance_metric: unknown metric name: " +
+                              std::string(name));
+}
+
+std::string to_string(DistanceMetric metric) {
+  switch (metric) {
+    case DistanceMetric::kCosine:
+      return "cosine";
+    case DistanceMetric::kL2:
+      return "L2";
+    case DistanceMetric::kInnerProduct:
+      return "inner-product";
+  }
+  return "unknown";
+}
+
+}  // namespace ckv

@@ -1,0 +1,31 @@
+// Distance metrics for clustering in the semantic space. The paper (§III-B)
+// argues for cosine distance because key vectors contain outlier channels
+// with large magnitudes; L2 and inner product are kept for the Fig. 11b
+// ablation.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "util/common.hpp"
+
+namespace ckv {
+
+enum class DistanceMetric {
+  kCosine,        ///< D = 1 - cos(a, b): the ClusterKV default
+  kL2,            ///< Euclidean distance
+  kInnerProduct,  ///< -<a, b> treated as distance (larger dot = closer)
+};
+
+/// Similarity (negated distance): larger means closer, so argmax-based
+/// assignment code is metric-agnostic.
+double similarity(DistanceMetric metric, std::span<const float> a,
+                  std::span<const float> b);
+
+/// Parses "cosine" / "l2" / "ip"; throws on unknown names.
+DistanceMetric parse_distance_metric(std::string_view name);
+
+/// Display name for tables ("cosine", "L2", "inner-product").
+std::string to_string(DistanceMetric metric);
+
+}  // namespace ckv

@@ -1,0 +1,119 @@
+#include "core/kernels.hpp"
+
+#include <limits>
+
+#include "tensor/vec_ops.hpp"
+
+namespace ckv {
+
+std::vector<Index> assign_labels(const Matrix& keys, const Matrix& centroids,
+                                 DistanceMetric metric) {
+  expects(keys.cols() == centroids.cols(), "assign_labels: dim mismatch");
+  expects(centroids.rows() > 0, "assign_labels: need at least one centroid");
+  const Index n = keys.rows();
+  const Index c_count = centroids.rows();
+  const Index dim = keys.cols();
+
+  // All three metrics reduce to an argmax over (dot + per-centroid
+  // adjustment) for a fixed key, so the inner loop is a pure dot product:
+  //   cosine: argmax dot / |c|            (the key norm drops out)
+  //   L2:     argmin |k-c|^2 = argmax (dot - |c|^2 / 2)
+  //   IP:     argmax dot
+  std::vector<double> inv_norm(static_cast<std::size_t>(c_count), 1.0);
+  std::vector<double> half_norm_sq(static_cast<std::size_t>(c_count), 0.0);
+  for (Index c = 0; c < c_count; ++c) {
+    const double norm = norm2(centroids.row(c));
+    inv_norm[static_cast<std::size_t>(c)] = norm > 0.0 ? 1.0 / norm : 0.0;
+    half_norm_sq[static_cast<std::size_t>(c)] = 0.5 * norm * norm;
+  }
+
+  std::vector<Index> labels(static_cast<std::size_t>(n), 0);
+  for (Index i = 0; i < n; ++i) {
+    const float* key = keys.row(i).data();
+    double best = -std::numeric_limits<double>::infinity();
+    Index best_c = 0;
+    for (Index c = 0; c < c_count; ++c) {
+      const float* cen = centroids.row(c).data();
+      double acc = 0.0;
+      for (Index k = 0; k < dim; ++k) {
+        acc += static_cast<double>(key[k]) * static_cast<double>(cen[k]);
+      }
+      double score = acc;
+      if (metric == DistanceMetric::kCosine) {
+        score = acc * inv_norm[static_cast<std::size_t>(c)];
+      } else if (metric == DistanceMetric::kL2) {
+        score = acc - half_norm_sq[static_cast<std::size_t>(c)];
+      }
+      if (score > best) {
+        best = score;
+        best_c = c;
+      }
+    }
+    labels[static_cast<std::size_t>(i)] = best_c;
+  }
+  return labels;
+}
+
+void centroid_update(const Matrix& keys, std::span<const Index> labels,
+                     const Matrix& previous, Index channel_partitions,
+                     Matrix& centroids_out, std::vector<Index>& counts_out) {
+  expects(static_cast<Index>(labels.size()) == keys.rows(),
+          "centroid_update: labels size must match key rows");
+  expects(channel_partitions > 0, "centroid_update: partitions must be positive");
+  expects(previous.cols() == keys.cols(), "centroid_update: dim mismatch");
+  const Index num_clusters = previous.rows();
+  const Index dim = keys.cols();
+
+  centroids_out = Matrix(num_clusters, dim);
+  counts_out.assign(static_cast<std::size_t>(num_clusters), 0);
+
+  // Mirrors the CUDA kernel's shape: the channel dimension is split into
+  // `channel_partitions` chunks; within a chunk, tokens are visited with a
+  // stride equal to the number of concurrent "lanes" so that adjacent
+  // lanes touch distant (likely differently-labeled) tokens. On a CPU the
+  // lanes are sequential, but the traversal order and partitioning are the
+  // same so the kernel microbenchmarks expose the same P trade-off.
+  const Index chunk = (dim + channel_partitions - 1) / channel_partitions;
+  const Index lanes = channel_partitions;  // one lane per channel chunk
+  for (Index part = 0; part < channel_partitions; ++part) {
+    const Index c_begin = part * chunk;
+    const Index c_end = std::min(dim, c_begin + chunk);
+    if (c_begin >= c_end) {
+      continue;
+    }
+    for (Index start = 0; start < lanes; ++start) {
+      for (Index t = start; t < keys.rows(); t += lanes) {
+        const Index label = labels[static_cast<std::size_t>(t)];
+        expects(label >= 0 && label < num_clusters,
+                "centroid_update: label out of range");
+        const auto key = keys.row(t);
+        auto acc = centroids_out.row(label);
+        for (Index c = c_begin; c < c_end; ++c) {
+          acc[static_cast<std::size_t>(c)] += key[static_cast<std::size_t>(c)];
+        }
+        if (part == 0 && c_begin == 0) {
+          ++counts_out[static_cast<std::size_t>(label)];
+        }
+      }
+    }
+  }
+
+  for (Index k = 0; k < num_clusters; ++k) {
+    const Index n = counts_out[static_cast<std::size_t>(k)];
+    auto row = centroids_out.row(k);
+    if (n == 0) {
+      copy_to(previous.row(k), row);
+      continue;
+    }
+    const float inv = 1.0f / static_cast<float>(n);
+    for (float& v : row) {
+      v *= inv;
+    }
+  }
+}
+
+Index assignment_flops(Index num_keys, Index num_clusters, Index head_dim) noexcept {
+  return num_keys * num_clusters * head_dim;
+}
+
+}  // namespace ckv

@@ -1,0 +1,36 @@
+// CPU re-implementations of the paper's CUDA kernels (§IV-B, Fig. 7),
+// preserving their structure so the kernel-level design points remain
+// benchmarkable: per-head parallel blocks, strided traversal of the token
+// sequence (distant tokens land in different clusters, reducing conflicts
+// on the accumulation slots), and channel-dimension partitioning P.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/distance.hpp"
+#include "tensor/matrix.hpp"
+#include "util/common.hpp"
+
+namespace ckv {
+
+/// Assignment step: label[i] = argmax_c similarity(metric, keys[i],
+/// centroids[c]). For the cosine metric, pass pre-normalized centroids and
+/// set keys_normalized when keys are unit length to use the fast dot path.
+std::vector<Index> assign_labels(const Matrix& keys, const Matrix& centroids,
+                                 DistanceMetric metric);
+
+/// Centroid update step mirroring Fig. 7: accumulates keys per cluster
+/// into (centroids_out, counts_out) walking the sequence with the given
+/// stride pattern and splitting channels into `channel_partitions` chunks.
+/// centroids_out rows are the *means* of assigned keys on return; clusters
+/// with no members keep their previous row (copied from `previous`).
+void centroid_update(const Matrix& keys, std::span<const Index> labels,
+                     const Matrix& previous, Index channel_partitions,
+                     Matrix& centroids_out, std::vector<Index>& counts_out);
+
+/// Work estimate of one assignment step in multiply-accumulate operations
+/// (the O(n_i * C * L * d) of §III-D Concern 1, per iteration).
+Index assignment_flops(Index num_keys, Index num_clusters, Index head_dim) noexcept;
+
+}  // namespace ckv

@@ -1,0 +1,145 @@
+#include "core/kmeans.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/kernels.hpp"
+#include "tensor/vec_ops.hpp"
+
+namespace ckv {
+
+namespace {
+
+/// Re-seeds empty clusters with the keys that are worst-served by their
+/// current assignment (deterministic: lowest similarity first).
+void reseed_empty_clusters(const Matrix& keys, const KMeansConfig& config,
+                           std::vector<Index>& labels, Matrix& centroids,
+                           const std::vector<Index>& counts) {
+  std::vector<Index> empty;
+  for (Index c = 0; c < centroids.rows(); ++c) {
+    if (counts[static_cast<std::size_t>(c)] == 0) {
+      empty.push_back(c);
+    }
+  }
+  if (empty.empty()) {
+    return;
+  }
+  // Rank keys by how poorly they match their assigned centroid.
+  std::vector<float> fit(static_cast<std::size_t>(keys.rows()));
+  for (Index i = 0; i < keys.rows(); ++i) {
+    fit[static_cast<std::size_t>(i)] = static_cast<float>(similarity(
+        config.metric, keys.row(i), centroids.row(labels[static_cast<std::size_t>(i)])));
+  }
+  std::vector<Index> order(static_cast<std::size_t>(keys.rows()));
+  for (Index i = 0; i < keys.rows(); ++i) {
+    order[static_cast<std::size_t>(i)] = i;
+  }
+  std::sort(order.begin(), order.end(), [&fit](Index a, Index b) {
+    const float fa = fit[static_cast<std::size_t>(a)];
+    const float fb = fit[static_cast<std::size_t>(b)];
+    if (fa != fb) {
+      return fa < fb;
+    }
+    return a < b;
+  });
+  std::size_t next = 0;
+  for (const Index c : empty) {
+    if (next >= order.size()) {
+      break;
+    }
+    const Index key_row = order[next++];
+    copy_to(keys.row(key_row), centroids.row(c));
+    labels[static_cast<std::size_t>(key_row)] = c;
+  }
+}
+
+}  // namespace
+
+namespace {
+
+/// k-means++ seeding: each next centroid is a key sampled with probability
+/// proportional to its distance from the nearest centroid chosen so far.
+Matrix plus_plus_seeds(const Matrix& keys, Index c, DistanceMetric metric, Rng& rng) {
+  Matrix centroids(c, keys.cols());
+  const Index first = rng.uniform_int(0, keys.rows() - 1);
+  copy_to(keys.row(first), centroids.row(0));
+
+  // nearest[i] = similarity of key i to its closest chosen centroid.
+  std::vector<double> nearest(static_cast<std::size_t>(keys.rows()),
+                              -std::numeric_limits<double>::infinity());
+  for (Index chosen = 1; chosen < c; ++chosen) {
+    std::vector<double> weights(static_cast<std::size_t>(keys.rows()));
+    double total = 0.0;
+    for (Index i = 0; i < keys.rows(); ++i) {
+      nearest[static_cast<std::size_t>(i)] =
+          std::max(nearest[static_cast<std::size_t>(i)],
+                   similarity(metric, keys.row(i), centroids.row(chosen - 1)));
+      // Convert similarity to a non-negative "distance" weight. For cosine
+      // this is the paper's D = 1 - cos; for L2 the squared distance; for
+      // inner product a shifted gap to the best match.
+      const double w = metric == DistanceMetric::kL2
+                           ? -nearest[static_cast<std::size_t>(i)]
+                           : 1.0 - nearest[static_cast<std::size_t>(i)];
+      weights[static_cast<std::size_t>(i)] = std::max(w, 0.0);
+      total += weights[static_cast<std::size_t>(i)];
+    }
+    Index pick;
+    if (total <= 0.0) {
+      pick = rng.uniform_int(0, keys.rows() - 1);  // degenerate: all identical
+    } else {
+      pick = rng.weighted_choice(weights);
+    }
+    copy_to(keys.row(pick), centroids.row(chosen));
+  }
+  return centroids;
+}
+
+}  // namespace
+
+KMeansResult kmeans_cluster(const Matrix& keys, const KMeansConfig& config, Rng& rng) {
+  expects(keys.rows() > 0, "kmeans_cluster: need at least one key");
+  expects(config.num_clusters >= 1, "kmeans_cluster: num_clusters must be >= 1");
+  const Index c = std::min<Index>(config.num_clusters, keys.rows());
+
+  KMeansResult result;
+  if (config.init == KMeansInit::kPlusPlus) {
+    result.centroids = plus_plus_seeds(keys, c, config.metric, rng);
+  } else {
+    // Initial centroids: randomly sampled key vectors (paper §III-B).
+    result.centroids = Matrix(c, keys.cols());
+    const auto seeds = rng.sample_without_replacement(keys.rows(), c);
+    for (Index i = 0; i < c; ++i) {
+      copy_to(keys.row(seeds[static_cast<std::size_t>(i)]), result.centroids.row(i));
+    }
+  }
+
+  result.labels.assign(static_cast<std::size_t>(keys.rows()), -1);
+  std::vector<Index> counts;
+  for (Index iter = 0; iter < config.max_iterations; ++iter) {
+    auto labels = assign_labels(keys, result.centroids, config.metric);
+    result.iterations = iter + 1;
+    if (labels == result.labels) {
+      result.converged = true;
+      break;
+    }
+    result.labels = std::move(labels);
+    Matrix updated;
+    centroid_update(keys, result.labels, result.centroids, config.channel_partitions,
+                    updated, counts);
+    result.centroids = std::move(updated);
+    reseed_empty_clusters(keys, config, result.labels, result.centroids, counts);
+  }
+  return result;
+}
+
+Index default_cluster_count(Index length, Index tokens_per_cluster) noexcept {
+  if (length <= 0) {
+    return 0;
+  }
+  if (tokens_per_cluster <= 0) {
+    return 1;
+  }
+  return std::max<Index>(1, length / tokens_per_cluster);
+}
+
+}  // namespace ckv

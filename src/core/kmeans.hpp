@@ -1,0 +1,48 @@
+// K-means clustering over key vectors in the semantic space (§III-B).
+// Default distance is cosine; initial centroids are randomly sampled keys;
+// assignment/update alternate until labels stop changing.
+#pragma once
+
+#include <vector>
+
+#include "core/distance.hpp"
+#include "tensor/matrix.hpp"
+#include "tensor/rng.hpp"
+#include "util/common.hpp"
+
+namespace ckv {
+
+/// Centroid initialization strategy. The paper samples random keys
+/// (§III-B); k-means++ is provided as an extension and ablated in
+/// bench_ablations (better seeding, higher seeding cost O(C L d)).
+enum class KMeansInit {
+  kRandomSample,  ///< paper default: uniformly sampled key vectors
+  kPlusPlus,      ///< D^2-weighted seeding (k-means++)
+};
+
+struct KMeansConfig {
+  Index num_clusters = 0;                            ///< C; must be >= 1
+  DistanceMetric metric = DistanceMetric::kCosine;   ///< paper default
+  Index max_iterations = 20;                         ///< safety cap
+  Index channel_partitions = 16;                     ///< P of the update kernel
+  KMeansInit init = KMeansInit::kRandomSample;
+};
+
+struct KMeansResult {
+  Matrix centroids;           ///< C x d cluster representations
+  std::vector<Index> labels;  ///< per-key cluster label in [0, C)
+  Index iterations = 0;       ///< iterations until convergence (or cap)
+  bool converged = false;     ///< labels stopped changing before the cap
+};
+
+/// Clusters the rows of `keys`. num_clusters is clamped to the number of
+/// keys. Empty clusters are re-seeded with the worst-assigned key so every
+/// returned cluster is non-empty whenever keys.rows() >= num_clusters.
+KMeansResult kmeans_cluster(const Matrix& keys, const KMeansConfig& config, Rng& rng);
+
+/// The paper's cluster-count rule C0 = L / tokens_per_cluster (default 80),
+/// with a floor of 1. `length` counts the keys actually clustered (prompt
+/// minus attention sinks).
+Index default_cluster_count(Index length, Index tokens_per_cluster = 80) noexcept;
+
+}  // namespace ckv

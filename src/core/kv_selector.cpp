@@ -1,0 +1,10 @@
+#include "core/kv_selector.hpp"
+
+namespace ckv {
+
+void KVSelector::observe_attention(std::span<const Index> /*indices*/,
+                                   std::span<const float> /*probabilities*/) {
+  // Most methods ignore attention feedback; H2O overrides this.
+}
+
+}  // namespace ckv

@@ -1,0 +1,83 @@
+// The method-agnostic selection interface. Every KV compression method —
+// ClusterKV, Quest, InfiniGen, H2O, StreamingLLM, Full KV — implements
+// KVSelector for a single attention head; the decode engine, metrics and
+// benches only speak this interface.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+#include "util/common.hpp"
+
+namespace ckv {
+
+/// Outcome of one selection call plus the work/traffic accounting the
+/// latency model consumes.
+struct SelectionResult {
+  /// Token positions to attend, ascending, deduplicated.
+  std::vector<Index> indices;
+
+  /// Representation-scoring work: number of (representation . q) products
+  /// performed (centroids for ClusterKV, pages for Quest, tokens for
+  /// InfiniGen, 0 for Full KV / static policies).
+  Index representations_scored = 0;
+
+  /// Reduced dimension of the scoring products (head_dim by default;
+  /// InfiniGen scores in its partial dimension).
+  Index scoring_dim = 0;
+
+  /// Tokens whose KV had to be fetched from the slow tier this step.
+  Index tokens_fetched = 0;
+
+  /// Tokens served from the fast-tier cache this step.
+  Index tokens_cache_hit = 0;
+};
+
+/// Per-head selection policy. Lifecycle: one observe_prefill, then an
+/// alternation of select / observe_decode as tokens are generated.
+class KVSelector {
+ public:
+  virtual ~KVSelector() = default;
+
+  KVSelector() = default;
+  KVSelector(const KVSelector&) = delete;
+  KVSelector& operator=(const KVSelector&) = delete;
+
+  /// Human-readable method name ("ClusterKV", "Quest", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Consumes the prompt's keys/values after prefill (N x d each).
+  virtual void observe_prefill(const Matrix& keys, const Matrix& values) = 0;
+
+  /// Consumes one generated token's key/value during decoding.
+  virtual void observe_decode(std::span<const float> key,
+                              std::span<const float> value) = 0;
+
+  /// Chooses at most `budget` token positions for the given query.
+  /// Must be callable repeatedly with different queries/budgets without
+  /// mutating logical state (caching layers may update internal stats).
+  virtual SelectionResult select(std::span<const float> query, Index budget) = 0;
+
+  /// Attention probabilities feedback for methods that need it (H2O's
+  /// cumulative attention scores). indices/probabilities are parallel.
+  virtual void observe_attention(std::span<const Index> indices,
+                                 std::span<const float> probabilities);
+
+  /// False for methods that permanently evict (H2O, StreamingLLM): evicted
+  /// tokens can never reappear in select() results (Fig. 1b family).
+  [[nodiscard]] virtual bool is_recallable() const { return true; }
+
+  /// Number of tokens this selector currently knows about.
+  [[nodiscard]] virtual Index context_size() const = 0;
+};
+
+/// Creates one selector instance for a given (layer, head); head_dim is
+/// the per-head channel count.
+using SelectorFactory =
+    std::function<std::unique_ptr<KVSelector>(Index layer, Index head, Index head_dim)>;
+
+}  // namespace ckv

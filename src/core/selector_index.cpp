@@ -1,0 +1,45 @@
+#include "core/selector_index.hpp"
+
+#include "tensor/topk.hpp"
+
+namespace ckv {
+
+ClusterSelection select_clusters(std::span<const float> scores,
+                                 std::span<const Index> sizes, Index budget) {
+  expects(scores.size() == sizes.size(), "select_clusters: scores/sizes mismatch");
+  ClusterSelection out;
+  if (budget <= 0 || scores.empty()) {
+    return out;
+  }
+  const auto order = argsort_descending(scores);
+  for (const Index cluster : order) {
+    out.clusters.push_back(cluster);
+    out.total_tokens += sizes[static_cast<std::size_t>(cluster)];
+    if (out.total_tokens >= budget) {
+      out.trimmed = out.total_tokens > budget;
+      break;
+    }
+  }
+  return out;
+}
+
+IndexedSelection gather_selected_tokens(const CentroidStore& store,
+                                        const ClusterSelection& selection,
+                                        Index budget) {
+  IndexedSelection out;
+  Index remaining = budget;
+  for (const Index cluster : selection.clusters) {
+    if (remaining <= 0) {
+      break;
+    }
+    const auto tokens = store.tokens_of(cluster);
+    const Index take = std::min<Index>(remaining, static_cast<Index>(tokens.size()));
+    std::vector<Index> taken(tokens.begin(), tokens.begin() + take);
+    out.token_positions.insert(out.token_positions.end(), taken.begin(), taken.end());
+    out.per_cluster.emplace_back(cluster, std::move(taken));
+    remaining -= take;
+  }
+  return out;
+}
+
+}  // namespace ckv

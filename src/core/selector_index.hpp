@@ -1,0 +1,45 @@
+// Selection and indexing (§III-C, §IV-C / Fig. 8): sort clusters by their
+// centroid attention weights, take clusters until the token budget is
+// filled, trim the last cluster to the budget, and emit the flat list of
+// selected token positions I_T.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/centroid_store.hpp"
+#include "util/common.hpp"
+
+namespace ckv {
+
+/// Result of the cluster-level phase of selection.
+struct ClusterSelection {
+  /// Selected clusters, descending by score.
+  std::vector<Index> clusters;
+  /// Total size of the selected clusters before trimming.
+  Index total_tokens = 0;
+  /// True when total_tokens exceeded the budget and the last cluster must
+  /// be cut (§IV-C: "trims tokens from the last selected cluster").
+  bool trimmed = false;
+};
+
+/// Picks clusters in descending score order until their cumulative size
+/// reaches `budget`. scores and sizes are parallel arrays over clusters.
+ClusterSelection select_clusters(std::span<const float> scores,
+                                 std::span<const Index> sizes, Index budget);
+
+/// Expands a ClusterSelection into token positions, trimming the last
+/// cluster so at most `budget` tokens are returned. Within each cluster,
+/// tokens come in ascending position order; output preserves cluster
+/// order (the caller sorts if it needs ascending positions). Also returns
+/// the per-cluster (cluster, tokens) breakdown for the cluster cache.
+struct IndexedSelection {
+  std::vector<Index> token_positions;
+  /// Per selected cluster: its id and the (possibly trimmed) tokens taken.
+  std::vector<std::pair<Index, std::vector<Index>>> per_cluster;
+};
+IndexedSelection gather_selected_tokens(const CentroidStore& store,
+                                        const ClusterSelection& selection,
+                                        Index budget);
+
+}  // namespace ckv

@@ -1,0 +1,74 @@
+#include "kvcache/kv_store.hpp"
+
+#include <cmath>
+
+#include "tensor/vec_ops.hpp"
+
+namespace ckv {
+
+KVStore::KVStore(Index head_dim) : head_dim_(head_dim) {
+  expects(head_dim > 0, "KVStore: head_dim must be positive");
+}
+
+void KVStore::append(std::span<const float> key, std::span<const float> value) {
+  expects(static_cast<Index>(key.size()) == head_dim_, "KVStore::append: key width");
+  expects(static_cast<Index>(value.size()) == head_dim_, "KVStore::append: value width");
+  keys_.append_row(key);
+  values_.append_row(value);
+}
+
+void KVStore::append_block(const Matrix& keys, const Matrix& values) {
+  expects(keys.rows() == values.rows(), "KVStore::append_block: row mismatch");
+  expects(keys.cols() == head_dim_ && values.cols() == head_dim_,
+          "KVStore::append_block: width mismatch");
+  for (Index r = 0; r < keys.rows(); ++r) {
+    keys_.append_row(keys.row(r));
+    values_.append_row(values.row(r));
+  }
+}
+
+std::span<const float> KVStore::key(Index position) const { return keys_.row(position); }
+
+std::span<const float> KVStore::value(Index position) const {
+  return values_.row(position);
+}
+
+std::pair<Matrix, Matrix> KVStore::gather(std::span<const Index> positions) const {
+  Matrix k(static_cast<Index>(positions.size()), head_dim_);
+  Matrix v(static_cast<Index>(positions.size()), head_dim_);
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    const Index p = positions[i];
+    expects(p >= 0 && p < size(), "KVStore::gather: position out of range");
+    copy_to(keys_.row(p), k.row(static_cast<Index>(i)));
+    copy_to(values_.row(p), v.row(static_cast<Index>(i)));
+  }
+  return {std::move(k), std::move(v)};
+}
+
+std::vector<float> KVStore::attention_scores(std::span<const float> query) const {
+  expects(static_cast<Index>(query.size()) == head_dim_,
+          "KVStore::attention_scores: query width");
+  const float inv_sqrt_d = static_cast<float>(1.0 / std::sqrt(static_cast<double>(head_dim_)));
+  std::vector<float> scores(static_cast<std::size_t>(size()));
+  for (Index i = 0; i < size(); ++i) {
+    scores[static_cast<std::size_t>(i)] =
+        static_cast<float>(dot(query, keys_.row(i))) * inv_sqrt_d;
+  }
+  return scores;
+}
+
+std::vector<float> KVStore::attention_scores_at(
+    std::span<const float> query, std::span<const Index> positions) const {
+  expects(static_cast<Index>(query.size()) == head_dim_,
+          "KVStore::attention_scores_at: query width");
+  const float inv_sqrt_d = static_cast<float>(1.0 / std::sqrt(static_cast<double>(head_dim_)));
+  std::vector<float> scores(positions.size());
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    const Index p = positions[i];
+    expects(p >= 0 && p < size(), "KVStore::attention_scores_at: position out of range");
+    scores[i] = static_cast<float>(dot(query, keys_.row(p))) * inv_sqrt_d;
+  }
+  return scores;
+}
+
+}  // namespace ckv

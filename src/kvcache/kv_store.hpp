@@ -1,0 +1,52 @@
+// Append-only key/value history of one attention head. This is the object
+// every compression method reads from; the ground truth "full KV cache".
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+#include "util/common.hpp"
+
+namespace ckv {
+
+/// One head's KV cache: two growable N x d matrices, append-only, indexed
+/// by absolute token position.
+class KVStore {
+ public:
+  explicit KVStore(Index head_dim);
+
+  /// Appends one token's key and value (both must have head_dim elements).
+  void append(std::span<const float> key, std::span<const float> value);
+
+  /// Appends a block of tokens (rows of keys/values).
+  void append_block(const Matrix& keys, const Matrix& values);
+
+  [[nodiscard]] Index size() const noexcept { return keys_.rows(); }
+  [[nodiscard]] Index head_dim() const noexcept { return head_dim_; }
+
+  [[nodiscard]] std::span<const float> key(Index position) const;
+  [[nodiscard]] std::span<const float> value(Index position) const;
+
+  [[nodiscard]] const Matrix& keys() const noexcept { return keys_; }
+  [[nodiscard]] const Matrix& values() const noexcept { return values_; }
+
+  /// Copies the rows at `positions` into contiguous (K, V) matrices — the
+  /// simulated gather of selected KV for approximate attention.
+  [[nodiscard]] std::pair<Matrix, Matrix> gather(std::span<const Index> positions) const;
+
+  /// Raw attention scores q . k_i / sqrt(d) for every stored token.
+  [[nodiscard]] std::vector<float> attention_scores(std::span<const float> query) const;
+
+  /// Raw attention scores only at the given positions (same scale).
+  [[nodiscard]] std::vector<float> attention_scores_at(
+      std::span<const float> query, std::span<const Index> positions) const;
+
+ private:
+  Index head_dim_;
+  Matrix keys_;
+  Matrix values_;
+};
+
+}  // namespace ckv

@@ -1,0 +1,63 @@
+#include "kvcache/quantization.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ckv {
+
+QuantizedBlock quantize_per_channel(const Matrix& block) {
+  QuantizedBlock out;
+  out.rows = block.rows();
+  out.cols = block.cols();
+  out.data.resize(static_cast<std::size_t>(block.size()));
+  out.channel_scale.assign(static_cast<std::size_t>(block.cols()), 0.0f);
+
+  for (Index c = 0; c < block.cols(); ++c) {
+    float max_abs = 0.0f;
+    for (Index r = 0; r < block.rows(); ++r) {
+      max_abs = std::max(max_abs, std::abs(block.at(r, c)));
+    }
+    const float scale = max_abs / 127.0f;
+    out.channel_scale[static_cast<std::size_t>(c)] = scale;
+    const float inv = scale > 0.0f ? 1.0f / scale : 0.0f;
+    for (Index r = 0; r < block.rows(); ++r) {
+      const float q = std::round(block.at(r, c) * inv);
+      out.data[static_cast<std::size_t>(r * block.cols() + c)] =
+          static_cast<std::int8_t>(std::clamp(q, -127.0f, 127.0f));
+    }
+  }
+  return out;
+}
+
+Matrix dequantize(const QuantizedBlock& block) {
+  Matrix out(block.rows, block.cols);
+  for (Index r = 0; r < block.rows; ++r) {
+    for (Index c = 0; c < block.cols; ++c) {
+      out.at(r, c) =
+          static_cast<float>(block.data[static_cast<std::size_t>(r * block.cols + c)]) *
+          block.channel_scale[static_cast<std::size_t>(c)];
+    }
+  }
+  return out;
+}
+
+double quantization_error(const Matrix& original, const QuantizedBlock& quantized) {
+  expects(original.rows() == quantized.rows && original.cols() == quantized.cols,
+          "quantization_error: shape mismatch");
+  const Matrix back = dequantize(quantized);
+  double worst = 0.0;
+  for (Index r = 0; r < original.rows(); ++r) {
+    for (Index c = 0; c < original.cols(); ++c) {
+      worst = std::max(worst, std::abs(static_cast<double>(original.at(r, c)) -
+                                       static_cast<double>(back.at(r, c))));
+    }
+  }
+  return worst;
+}
+
+double compression_ratio_vs_fp16(const QuantizedBlock& block) {
+  const double fp16_bytes = 2.0 * static_cast<double>(block.rows * block.cols);
+  return fp16_bytes / static_cast<double>(block.byte_size());
+}
+
+}  // namespace ckv

@@ -1,0 +1,79 @@
+#include "kvcache/tiered_store.hpp"
+
+#include "tensor/matrix.hpp"
+
+namespace ckv {
+
+void TransferStats::merge(const TransferStats& other) noexcept {
+  bytes_to_fast += other.bytes_to_fast;
+  bytes_to_slow += other.bytes_to_slow;
+  fetch_events += other.fetch_events;
+  tokens_fetched += other.tokens_fetched;
+  tokens_offloaded += other.tokens_offloaded;
+}
+
+TieredKVStore::TieredKVStore(Index head_dim, Index element_bytes)
+    : store_(head_dim), element_bytes_(element_bytes) {
+  expects(element_bytes > 0, "TieredKVStore: element_bytes must be positive");
+}
+
+void TieredKVStore::append(std::span<const float> key, std::span<const float> value) {
+  store_.append(key, value);
+  fast_resident_.insert(store_.size() - 1);
+}
+
+void TieredKVStore::append_block(const Matrix& keys, const Matrix& values) {
+  const Index begin = store_.size();
+  store_.append_block(keys, values);
+  for (Index p = begin; p < store_.size(); ++p) {
+    fast_resident_.insert(p);
+  }
+}
+
+void TieredKVStore::offload_to_slow(Index begin, Index end) {
+  expects(begin >= 0 && begin <= end && end <= store_.size(),
+          "TieredKVStore::offload_to_slow: bad range");
+  for (Index p = begin; p < end; ++p) {
+    if (fast_resident_.erase(p) > 0) {
+      stats_.bytes_to_slow += token_bytes();
+      ++stats_.tokens_offloaded;
+    }
+  }
+}
+
+Index TieredKVStore::ensure_resident(std::span<const Index> positions) {
+  Index moved = 0;
+  for (const Index p : positions) {
+    expects(p >= 0 && p < store_.size(),
+            "TieredKVStore::ensure_resident: position out of range");
+    if (fast_resident_.insert(p).second) {
+      stats_.bytes_to_fast += token_bytes();
+      ++stats_.tokens_fetched;
+      ++moved;
+    }
+  }
+  if (moved > 0) {
+    ++stats_.fetch_events;
+  }
+  return moved;
+}
+
+void TieredKVStore::drop_from_fast(std::span<const Index> positions) {
+  for (const Index p : positions) {
+    fast_resident_.erase(p);
+  }
+}
+
+bool TieredKVStore::is_fast_resident(Index position) const {
+  return fast_resident_.contains(position);
+}
+
+Index TieredKVStore::fast_resident_count() const noexcept {
+  return static_cast<Index>(fast_resident_.size());
+}
+
+Index TieredKVStore::token_bytes() const noexcept {
+  return 2 * store_.head_dim() * element_bytes_;
+}
+
+}  // namespace ckv

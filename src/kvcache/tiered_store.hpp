@@ -1,0 +1,75 @@
+// Two-tier placement model over a KVStore: a bounded fast tier (GPU HBM in
+// the paper) backed by an unbounded slow tier (CPU memory over PCIe). The
+// simulation keeps all data in RAM; this class tracks *placement* and
+// accounts the bytes that would cross the interconnect (Fig. 5 offload /
+// fetch arrows), which feeds the latency model.
+#pragma once
+
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+#include "kvcache/kv_store.hpp"
+#include "util/common.hpp"
+
+namespace ckv {
+
+/// Byte-accurate transfer counters for one head's traffic.
+struct TransferStats {
+  std::int64_t bytes_to_fast = 0;    ///< slow -> fast (PCIe H2D in the paper)
+  std::int64_t bytes_to_slow = 0;    ///< fast -> slow (offload after prefill/decode)
+  std::int64_t fetch_events = 0;     ///< number of ensure_resident calls that moved data
+  std::int64_t tokens_fetched = 0;   ///< tokens moved slow -> fast
+  std::int64_t tokens_offloaded = 0; ///< tokens moved fast -> slow
+
+  void merge(const TransferStats& other) noexcept;
+};
+
+/// Placement tracker. Token KV entries live on the slow tier by default;
+/// `ensure_resident` pulls missing ones into the fast tier (evicting by
+/// explicit calls only — eviction policy belongs to the caller, e.g. the
+/// cluster-granularity cache of §IV-D).
+class TieredKVStore {
+ public:
+  /// element_bytes = 2 models fp16 storage as in the paper.
+  TieredKVStore(Index head_dim, Index element_bytes = 2);
+
+  /// Appends a token on the fast tier (where it is produced) without
+  /// counting transfer bytes; call offload_to_slow to move it out.
+  void append(std::span<const float> key, std::span<const float> value);
+
+  /// Appends a block of tokens on the fast tier (prefill output).
+  void append_block(const Matrix& keys, const Matrix& values);
+
+  /// Marks tokens [begin, end) as slow-tier resident, accounting offload
+  /// traffic for those currently fast-resident.
+  void offload_to_slow(Index begin, Index end);
+
+  /// Ensures the given tokens are fast-resident; counts transfer bytes for
+  /// the ones that were not. Returns the number of tokens actually moved.
+  Index ensure_resident(std::span<const Index> positions);
+
+  /// Drops the given tokens from the fast tier (no byte traffic: the slow
+  /// tier always holds the authoritative copy in this model).
+  void drop_from_fast(std::span<const Index> positions);
+
+  [[nodiscard]] bool is_fast_resident(Index position) const;
+  [[nodiscard]] Index fast_resident_count() const noexcept;
+  [[nodiscard]] Index size() const noexcept { return store_.size(); }
+
+  /// Bytes of one token's KV entry (key + value) at the configured width.
+  [[nodiscard]] Index token_bytes() const noexcept;
+
+  [[nodiscard]] const KVStore& store() const noexcept { return store_; }
+  [[nodiscard]] KVStore& store() noexcept { return store_; }
+  [[nodiscard]] const TransferStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = TransferStats{}; }
+
+ private:
+  KVStore store_;
+  Index element_bytes_;
+  std::unordered_set<Index> fast_resident_;
+  TransferStats stats_;
+};
+
+}  // namespace ckv

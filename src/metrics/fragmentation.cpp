@@ -1,0 +1,39 @@
+#include "metrics/fragmentation.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "tensor/topk.hpp"
+
+namespace ckv {
+
+PageFragmentationReport analyze_page_fragmentation(std::span<const float> scores,
+                                                   Index top_k, Index page_size) {
+  expects(page_size > 0, "analyze_page_fragmentation: page_size must be positive");
+  expects(top_k > 0, "analyze_page_fragmentation: top_k must be positive");
+
+  PageFragmentationReport report;
+  report.page_size = page_size;
+  const auto important = top_k_indices(scores, top_k);
+  report.important_tokens = static_cast<Index>(important.size());
+
+  std::map<Index, Index> per_page;
+  for (const Index token : important) {
+    ++per_page[token / page_size];
+  }
+  report.pages_touched = static_cast<Index>(per_page.size());
+  report.histogram.assign(static_cast<std::size_t>(page_size), 0);
+  for (const auto& [page, count] : per_page) {
+    ++report.histogram[static_cast<std::size_t>(std::min<Index>(count, page_size) - 1)];
+  }
+  report.tokens_loaded = report.pages_touched * page_size;
+  report.tokens_wasted = report.tokens_loaded - report.important_tokens;
+  report.mean_per_page =
+      report.pages_touched == 0
+          ? 0.0
+          : static_cast<double>(report.important_tokens) /
+                static_cast<double>(report.pages_touched);
+  return report;
+}
+
+}  // namespace ckv

@@ -1,0 +1,34 @@
+// Page-fragmentation analysis behind Fig. 3b: when important tokens are
+// grouped into fixed-size pages by position, how many important tokens
+// does each touched page actually contain, and how much budget do the
+// unimportant co-residents waste?
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace ckv {
+
+struct PageFragmentationReport {
+  Index page_size = 0;
+  Index important_tokens = 0;  ///< |top-k| analyzed
+  Index pages_touched = 0;     ///< distinct pages containing any important token
+  /// histogram[i] = number of touched pages containing exactly (i+1)
+  /// important tokens.
+  std::vector<Index> histogram;
+  /// Tokens a page-granularity recall would load to cover all important
+  /// tokens (pages_touched * page_size).
+  Index tokens_loaded = 0;
+  /// tokens_loaded - important_tokens: budget wasted on fragmentation.
+  Index tokens_wasted = 0;
+  /// Mean important tokens per touched page.
+  double mean_per_page = 0.0;
+};
+
+/// Analyzes the page placement of the top-k scoring tokens.
+PageFragmentationReport analyze_page_fragmentation(std::span<const float> scores,
+                                                   Index top_k, Index page_size);
+
+}  // namespace ckv

@@ -1,0 +1,19 @@
+#include "metrics/perplexity.hpp"
+
+#include <cmath>
+
+namespace ckv {
+
+void PerplexityMeter::add_nll(double nll) {
+  expects(std::isfinite(nll), "PerplexityMeter::add_nll: NLL must be finite");
+  total_nll_ += nll;
+  ++count_;
+}
+
+double PerplexityMeter::mean_nll() const noexcept {
+  return count_ == 0 ? 0.0 : total_nll_ / static_cast<double>(count_);
+}
+
+double PerplexityMeter::perplexity() const noexcept { return std::exp(mean_nll()); }
+
+}  // namespace ckv

@@ -1,0 +1,25 @@
+// Streaming perplexity accumulator for the language-modelling experiment
+// (Fig. 10): ppl = exp(mean teacher-forced NLL).
+#pragma once
+
+#include "util/common.hpp"
+
+namespace ckv {
+
+class PerplexityMeter {
+ public:
+  /// Adds one token's negative log-likelihood (nats).
+  void add_nll(double nll);
+
+  [[nodiscard]] Index count() const noexcept { return count_; }
+  [[nodiscard]] double mean_nll() const noexcept;
+
+  /// exp(mean NLL); 1.0 before any observation.
+  [[nodiscard]] double perplexity() const noexcept;
+
+ private:
+  double total_nll_ = 0.0;
+  Index count_ = 0;
+};
+
+}  // namespace ckv

@@ -1,0 +1,167 @@
+#include "model/decode_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+
+#include "tensor/softmax.hpp"
+#include "tensor/topk.hpp"
+#include "tensor/vec_ops.hpp"
+
+namespace ckv {
+
+DecodeEngine::DecodeEngine(ProceduralContextModel& model,
+                           const SelectorFactory& factory,
+                           const DecodeEngineConfig& config)
+    : model_(model),
+      config_(config),
+      bank_(model.shape().num_layers, model.shape().num_heads, model.shape().head_dim,
+            factory) {
+  expects(config.budget > 0, "DecodeEngine: budget must be positive");
+  expects(config.full_attention_layers >= 0 &&
+              config.full_attention_layers <= model.shape().num_layers,
+          "DecodeEngine: full_attention_layers out of range");
+}
+
+void DecodeEngine::run_prefill() {
+  expects(!prefilled_, "DecodeEngine::run_prefill: already prefilled");
+  for (Index l = 0; l < model_.shape().num_layers; ++l) {
+    for (Index h = 0; h < model_.shape().num_heads; ++h) {
+      const auto& stream = model_.head(l, h);
+      bank_.at(l, h).observe_prefill(stream.keys(), stream.values());
+    }
+  }
+  prefilled_ = true;
+}
+
+StepResult DecodeEngine::decode_step(Index step) {
+  expects(prefilled_, "DecodeEngine::decode_step: run_prefill first");
+  expects(step == next_step_, "DecodeEngine::decode_step: steps must be sequential");
+  ++next_step_;
+
+  // The generated token joins the context before selection: its KV is on
+  // the fast tier (ClusterKV's pending buffer / Quest's partial page).
+  model_.append_generated();
+  for (Index l = 0; l < model_.shape().num_layers; ++l) {
+    for (Index h = 0; h < model_.shape().num_heads; ++h) {
+      const auto& stream = model_.head(l, h);
+      const Index last = stream.size() - 1;
+      bank_.at(l, h).observe_decode(stream.keys().row(last), stream.values().row(last));
+    }
+  }
+
+  StepResult result;
+  RunningStat step_recall;
+  RunningStat step_coverage;
+  RunningStat step_error;
+
+  const Index layers = model_.shape().num_layers;
+  const Index heads = model_.shape().num_heads;
+  const Index group = model_.shape().queries_per_kv;
+  for (Index l = 0; l < layers; ++l) {
+    const bool selection_active = l >= config_.full_attention_layers;
+    for (Index h = 0; h < heads; ++h) {
+      auto& stream = model_.head(l, h);
+
+      // GQA: the query-head group shares one selection per KV head. The
+      // selection query is the group sum — centroid/page scores are linear
+      // in q, so this equals summing the group's scores.
+      std::vector<std::vector<float>> group_queries;
+      group_queries.reserve(static_cast<std::size_t>(group));
+      for (Index sub = 0; sub < group; ++sub) {
+        group_queries.push_back(stream.query(step, sub));
+      }
+      std::vector<float> selection_query = group_queries.front();
+      for (Index sub = 1; sub < group; ++sub) {
+        add_in_place(selection_query, group_queries[static_cast<std::size_t>(sub)]);
+      }
+
+      const Index n = stream.size();
+      std::vector<Index> selected;
+      SelectionResult sel;
+      if (selection_active) {
+        sel = bank_.at(l, h).select(selection_query, config_.budget);
+        selected = sel.indices;
+        result.tokens_selected += static_cast<Index>(selected.size());
+        result.tokens_fetched += sel.tokens_fetched;
+        result.tokens_cache_hit += sel.tokens_cache_hit;
+      } else {
+        selected.resize(static_cast<std::size_t>(n));
+        std::iota(selected.begin(), selected.end(), Index{0});
+      }
+
+      for (Index sub = 0; sub < group; ++sub) {
+        const auto& query = group_queries[static_cast<std::size_t>(sub)];
+        const auto full_scores = stream.attention_scores(query);
+
+        // Exact attention output.
+        std::vector<float> full_out(static_cast<std::size_t>(model_.shape().head_dim));
+        attention_output_full(full_scores, stream.values(), full_out);
+
+        // Approximate attention output over the shared selected subset.
+        std::vector<float> sel_scores(selected.size());
+        for (std::size_t i = 0; i < selected.size(); ++i) {
+          sel_scores[i] = full_scores[static_cast<std::size_t>(selected[i])];
+        }
+        std::vector<float> approx_out(
+            static_cast<std::size_t>(model_.shape().head_dim));
+        attention_output(sel_scores, selected, stream.values(), approx_out);
+
+        if (config_.attention_feedback && sub == 0) {
+          std::vector<float> probs = sel_scores;
+          softmax_in_place(probs);
+          bank_.at(l, h).observe_attention(selected, probs);
+        }
+
+        if (selection_active) {
+          // Recall of important tokens (Fig. 11): both sets sized by budget.
+          const Index b = std::min<Index>(config_.budget, n);
+          const auto truth = top_k_indices(full_scores, b);
+          std::unordered_set<Index> selected_set(selected.begin(), selected.end());
+          Index overlap = 0;
+          for (const Index t : truth) {
+            if (selected_set.contains(t)) {
+              ++overlap;
+            }
+          }
+          step_recall.add(static_cast<double>(overlap) / static_cast<double>(b));
+
+          // Attention-mass coverage of the selected set.
+          std::vector<float> full_probs = full_scores;
+          softmax_in_place(full_probs);
+          double mass = 0.0;
+          for (const Index t : selected) {
+            mass += static_cast<double>(full_probs[static_cast<std::size_t>(t)]);
+          }
+          step_coverage.add(mass);
+
+          // Relative output error.
+          std::vector<float> diff(full_out.size());
+          for (std::size_t i = 0; i < diff.size(); ++i) {
+            diff[i] = approx_out[i] - full_out[i];
+          }
+          const double denom = norm2(full_out);
+          step_error.add(denom > 0.0 ? norm2(diff) / denom : 0.0);
+        }
+
+        if (l == layers - 1) {
+          result.features.insert(result.features.end(), approx_out.begin(),
+                                 approx_out.end());
+        }
+      }
+    }
+  }
+
+  result.mean_recall = step_recall.mean();
+  result.mean_coverage = step_coverage.mean();
+  result.mean_output_error = step_error.mean();
+  recall_.add(result.mean_recall);
+  coverage_.add(result.mean_coverage);
+  output_error_.add(result.mean_output_error);
+  total_fetched_ += result.tokens_fetched;
+  total_cache_hits_ += result.tokens_cache_hit;
+  return result;
+}
+
+}  // namespace ckv

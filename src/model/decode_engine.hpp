@@ -1,0 +1,78 @@
+// Runs one compression method over a procedural context: prefill feeds all
+// per-head selectors, then each decode step selects tokens per head,
+// computes approximate attention, and scores it against exact attention.
+// This is the measurement harness behind Fig. 9/10/11 and §V-C.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "model/procedural.hpp"
+#include "model/selector_bank.hpp"
+#include "tensor/stats.hpp"
+#include "util/common.hpp"
+
+namespace ckv {
+
+struct DecodeEngineConfig {
+  Index budget = 1024;
+  /// Leading layers that always use the full KV cache — the paper disables
+  /// selection on the first two layers for every method (§V-A); scaled
+  /// simulation slices scale this down proportionally.
+  Index full_attention_layers = 1;
+  /// Feeds attention probabilities back to selectors (H2O needs it).
+  bool attention_feedback = false;
+};
+
+/// Aggregated measurements of one decode step across selection-active
+/// layers/heads.
+struct StepResult {
+  double mean_recall = 0.0;        ///< |I_T ∩ I_true| / B, Fig. 11 metric
+  double mean_coverage = 0.0;      ///< attention mass captured by I_T
+  double mean_output_error = 0.0;  ///< relative L2 error of attention output
+  Index tokens_selected = 0;
+  Index tokens_fetched = 0;        ///< slow-tier fetches (cache misses)
+  Index tokens_cache_hit = 0;
+  std::vector<float> features;     ///< last-layer concat of attention outputs
+};
+
+class DecodeEngine {
+ public:
+  DecodeEngine(ProceduralContextModel& model, const SelectorFactory& factory,
+               const DecodeEngineConfig& config);
+
+  /// Feeds the prompt KV to every selector. Must be called exactly once,
+  /// before the first decode_step.
+  void run_prefill();
+
+  /// Executes decode step `step` (0-based, strictly increasing): appends
+  /// one generated token, selects, computes approximate + exact attention,
+  /// and returns the step's measurements.
+  StepResult decode_step(Index step);
+
+  [[nodiscard]] const RunningStat& recall_stat() const noexcept { return recall_; }
+  [[nodiscard]] const RunningStat& coverage_stat() const noexcept { return coverage_; }
+  [[nodiscard]] const RunningStat& output_error_stat() const noexcept {
+    return output_error_;
+  }
+  [[nodiscard]] std::int64_t total_fetched() const noexcept { return total_fetched_; }
+  [[nodiscard]] std::int64_t total_cache_hits() const noexcept {
+    return total_cache_hits_;
+  }
+  [[nodiscard]] SelectorBank& selectors() noexcept { return bank_; }
+  [[nodiscard]] const DecodeEngineConfig& config() const noexcept { return config_; }
+
+ private:
+  ProceduralContextModel& model_;
+  DecodeEngineConfig config_;
+  SelectorBank bank_;
+  bool prefilled_ = false;
+  Index next_step_ = 0;
+  RunningStat recall_;
+  RunningStat coverage_;
+  RunningStat output_error_;
+  std::int64_t total_fetched_ = 0;
+  std::int64_t total_cache_hits_ = 0;
+};
+
+}  // namespace ckv

@@ -1,0 +1,54 @@
+#include "model/lm_head.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/softmax.hpp"
+#include "tensor/vec_ops.hpp"
+
+namespace ckv {
+
+LMHead::LMHead(Index vocab_size, Index feature_dim, Rng rng) {
+  expects(vocab_size > 0 && feature_dim > 0, "LMHead: dims must be positive");
+  weights_ = Matrix(vocab_size, feature_dim);
+  // Unit rows keep logit scale independent of the feature dimension.
+  for (Index v = 0; v < vocab_size; ++v) {
+    copy_to(rng.unit_vector(feature_dim), weights_.row(v));
+  }
+}
+
+std::vector<float> LMHead::logits(std::span<const float> features) const {
+  return matvec(weights_, features);
+}
+
+double nll_of(std::span<const float> logits, Index target, double temperature) {
+  expects(target >= 0 && target < static_cast<Index>(logits.size()),
+          "nll_of: target out of range");
+  expects(temperature > 0.0, "nll_of: temperature must be positive");
+  std::vector<float> scaled(logits.size());
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    scaled[i] = static_cast<float>(static_cast<double>(logits[i]) / temperature);
+  }
+  const auto log_probs = log_softmax(scaled);
+  return -static_cast<double>(log_probs[static_cast<std::size_t>(target)]);
+}
+
+Index sample_token(std::span<const float> logits, double temperature, Rng& rng) {
+  expects(!logits.empty(), "sample_token: logits must not be empty");
+  expects(temperature > 0.0, "sample_token: temperature must be positive");
+  std::vector<float> probs(logits.size());
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    probs[i] = static_cast<float>(static_cast<double>(logits[i]) / temperature);
+  }
+  softmax_in_place(probs);
+  std::vector<double> weights(probs.begin(), probs.end());
+  return rng.weighted_choice(weights);
+}
+
+Index argmax_token(std::span<const float> logits) {
+  expects(!logits.empty(), "argmax_token: logits must not be empty");
+  return static_cast<Index>(
+      std::max_element(logits.begin(), logits.end()) - logits.begin());
+}
+
+}  // namespace ckv

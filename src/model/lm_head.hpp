@@ -1,0 +1,39 @@
+// Language-model head over attention features: projects concatenated
+// per-head attention outputs to vocabulary logits. Used by the perplexity
+// experiments (Fig. 10): the deviation of a compression method's features
+// from the full-attention features shows up directly as extra NLL.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+#include "tensor/rng.hpp"
+#include "util/common.hpp"
+
+namespace ckv {
+
+class LMHead {
+ public:
+  LMHead(Index vocab_size, Index feature_dim, Rng rng);
+
+  [[nodiscard]] Index vocab_size() const noexcept { return weights_.rows(); }
+  [[nodiscard]] Index feature_dim() const noexcept { return weights_.cols(); }
+
+  /// logits = W . features.
+  [[nodiscard]] std::vector<float> logits(std::span<const float> features) const;
+
+ private:
+  Matrix weights_;
+};
+
+/// Negative log-likelihood of `target` under softmax(logits / temperature).
+double nll_of(std::span<const float> logits, Index target, double temperature = 1.0);
+
+/// Samples a token from softmax(logits / temperature).
+Index sample_token(std::span<const float> logits, double temperature, Rng& rng);
+
+/// Argmax token (greedy decoding).
+Index argmax_token(std::span<const float> logits);
+
+}  // namespace ckv

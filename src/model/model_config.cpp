@@ -1,0 +1,59 @@
+#include "model/model_config.hpp"
+
+namespace ckv {
+
+ModelConfig ModelConfig::llama31_8b() {
+  ModelConfig c;
+  c.name = "Llama-3.1-8B";
+  c.num_layers = 32;
+  c.num_heads = 32;
+  c.num_kv_heads = 8;
+  c.head_dim = 128;
+  c.hidden_dim = 4096;
+  c.ffn_dim = 14336;
+  c.vocab_size = 128256;
+  c.param_count = 8030000000LL;
+  return c;
+}
+
+ModelConfig ModelConfig::glm4_9b() {
+  ModelConfig c;
+  c.name = "GLM4-9B-Chat";
+  c.num_layers = 40;
+  c.num_heads = 32;
+  c.num_kv_heads = 2;
+  c.head_dim = 128;
+  c.hidden_dim = 4096;
+  c.ffn_dim = 13696;
+  c.vocab_size = 151552;
+  c.param_count = 9400000000LL;
+  return c;
+}
+
+ModelConfig ModelConfig::opt_6_7b() {
+  ModelConfig c;
+  c.name = "OPT-6.7B";
+  c.num_layers = 32;
+  c.num_heads = 32;
+  c.num_kv_heads = 32;
+  c.head_dim = 128;
+  c.hidden_dim = 4096;
+  c.ffn_dim = 16384;
+  c.vocab_size = 50272;
+  c.param_count = 6700000000LL;
+  return c;
+}
+
+std::int64_t ModelConfig::weight_bytes(Index element_bytes) const noexcept {
+  return param_count * element_bytes;
+}
+
+std::int64_t ModelConfig::kv_bytes_per_token_layer(Index element_bytes) const noexcept {
+  return 2 * num_kv_heads * head_dim * element_bytes;
+}
+
+std::int64_t ModelConfig::kv_bytes_per_token(Index element_bytes) const noexcept {
+  return kv_bytes_per_token_layer(element_bytes) * num_layers;
+}
+
+}  // namespace ckv

@@ -1,0 +1,53 @@
+// Architecture shapes of the models the paper evaluates. Accuracy
+// experiments run a scaled simulation slice; these full-size shapes feed
+// the analytic latency model (Fig. 12 / Fig. 13).
+#pragma once
+
+#include <string>
+
+#include "util/common.hpp"
+
+namespace ckv {
+
+struct ModelConfig {
+  std::string name;
+  Index num_layers = 0;
+  Index num_heads = 0;     ///< query heads
+  Index num_kv_heads = 0;  ///< KV heads (GQA groups; == num_heads for MHA)
+  Index head_dim = 0;
+  Index hidden_dim = 0;
+  Index ffn_dim = 0;
+  Index vocab_size = 0;
+  std::int64_t param_count = 0;  ///< published totals; drives weight bytes
+
+  /// Llama-3.1-8B: GQA with 8 KV heads (paper's performance model).
+  static ModelConfig llama31_8b();
+  /// GLM4-9B-Chat: the paper's accuracy model (128k context window).
+  static ModelConfig glm4_9b();
+  /// OPT-6.7B: MHA; the InfiniGen/FlexGen comparison model (Fig. 13a).
+  static ModelConfig opt_6_7b();
+
+  /// Bytes of all weights at the given element width.
+  [[nodiscard]] std::int64_t weight_bytes(Index element_bytes = 2) const noexcept;
+
+  /// KV-cache bytes one token adds in one layer (K and V, all KV heads).
+  [[nodiscard]] std::int64_t kv_bytes_per_token_layer(
+      Index element_bytes = 2) const noexcept;
+
+  /// KV-cache bytes one token adds across all layers.
+  [[nodiscard]] std::int64_t kv_bytes_per_token(Index element_bytes = 2) const noexcept;
+};
+
+/// Shape of the scaled simulation slice used by accuracy experiments.
+/// num_heads counts KV heads; queries_per_kv > 1 enables GQA (each KV
+/// head serves a group of query heads that share one selection).
+struct SimShape {
+  Index num_layers = 2;
+  Index num_heads = 4;
+  Index head_dim = 64;
+  Index queries_per_kv = 1;
+
+  [[nodiscard]] Index total_heads() const noexcept { return num_layers * num_heads; }
+};
+
+}  // namespace ckv

@@ -1,0 +1,34 @@
+#include "model/selector_bank.hpp"
+
+namespace ckv {
+
+SelectorBank::SelectorBank(Index num_layers, Index num_heads, Index head_dim,
+                           const SelectorFactory& factory)
+    : num_layers_(num_layers), num_heads_(num_heads) {
+  expects(num_layers > 0 && num_heads > 0 && head_dim > 0,
+          "SelectorBank: dimensions must be positive");
+  expects(static_cast<bool>(factory), "SelectorBank: factory must be callable");
+  selectors_.reserve(static_cast<std::size_t>(num_layers * num_heads));
+  for (Index l = 0; l < num_layers; ++l) {
+    for (Index h = 0; h < num_heads; ++h) {
+      selectors_.push_back(factory(l, h, head_dim));
+      ensures(selectors_.back() != nullptr, "SelectorBank: factory returned null");
+    }
+  }
+}
+
+KVSelector& SelectorBank::at(Index layer, Index head) {
+  expects(layer >= 0 && layer < num_layers_, "SelectorBank::at: bad layer");
+  expects(head >= 0 && head < num_heads_, "SelectorBank::at: bad head");
+  return *selectors_[static_cast<std::size_t>(layer * num_heads_ + head)];
+}
+
+const KVSelector& SelectorBank::at(Index layer, Index head) const {
+  expects(layer >= 0 && layer < num_layers_, "SelectorBank::at: bad layer");
+  expects(head >= 0 && head < num_heads_, "SelectorBank::at: bad head");
+  return *selectors_[static_cast<std::size_t>(layer * num_heads_ + head)];
+}
+
+std::string SelectorBank::method_name() const { return selectors_.front()->name(); }
+
+}  // namespace ckv

@@ -1,0 +1,188 @@
+#include "model/tiny_transformer.hpp"
+
+#include <cmath>
+
+#include "tensor/rmsnorm.hpp"
+#include "tensor/softmax.hpp"
+#include "tensor/vec_ops.hpp"
+
+namespace ckv {
+
+namespace {
+
+Matrix random_weight(Index rows, Index cols, double scale, Rng& rng) {
+  Matrix w(rows, cols);
+  rng.fill_normal(w.flat(), 0.0, scale);
+  return w;
+}
+
+float silu(float x) noexcept {
+  return static_cast<float>(static_cast<double>(x) /
+                            (1.0 + std::exp(-static_cast<double>(x))));
+}
+
+}  // namespace
+
+TinyTransformer::TinyTransformer(const TinyTransformerConfig& config, Rng rng)
+    : config_(config) {
+  expects(config.vocab_size > 0 && config.num_layers > 0 && config.num_heads > 0 &&
+              config.head_dim > 0 && config.ffn_dim > 0,
+          "TinyTransformer: all dimensions must be positive");
+  const Index hidden = config.hidden_dim();
+  embedding_ = random_weight(config.vocab_size, hidden, config.init_scale, rng);
+  for (Index l = 0; l < config.num_layers; ++l) {
+    LayerWeights w;
+    w.wq = random_weight(hidden, hidden, config.init_scale, rng);
+    w.wk = random_weight(hidden, hidden, config.init_scale, rng);
+    w.wv = random_weight(hidden, hidden, config.init_scale, rng);
+    w.wo = random_weight(hidden, hidden, config.init_scale, rng);
+    w.w_up = random_weight(hidden, config.ffn_dim, config.init_scale, rng);
+    w.w_gate = random_weight(hidden, config.ffn_dim, config.init_scale, rng);
+    w.w_down = random_weight(config.ffn_dim, hidden, config.init_scale, rng);
+    w.attn_norm.assign(static_cast<std::size_t>(hidden), 1.0f);
+    w.ffn_norm.assign(static_cast<std::size_t>(hidden), 1.0f);
+    layers_.push_back(std::move(w));
+    for (Index h = 0; h < config.num_heads; ++h) {
+      keys_.emplace_back();
+      values_.emplace_back();
+    }
+  }
+  final_norm_.assign(static_cast<std::size_t>(hidden), 1.0f);
+}
+
+std::vector<float> TinyTransformer::embed(Index token) const {
+  expects(token >= 0 && token < config_.vocab_size, "TinyTransformer: bad token id");
+  const auto row = embedding_.row(token);
+  return std::vector<float>(row.begin(), row.end());
+}
+
+std::vector<float> TinyTransformer::lm_logits(std::span<const float> hidden) const {
+  std::vector<float> normed(hidden.size());
+  rms_norm(hidden, final_norm_, normed);
+  return matvec(embedding_, normed);  // tied embedding as LM head
+}
+
+void TinyTransformer::layer_forward(Index layer, std::vector<float>& hidden, Index pos,
+                                    SelectorBank* bank, Index budget) {
+  const Index heads = config_.num_heads;
+  const Index hd = config_.head_dim;
+  auto& w = layers_[static_cast<std::size_t>(layer)];
+
+  std::vector<float> normed(hidden.size());
+  rms_norm(hidden, w.attn_norm, normed);
+
+  auto q = vecmat(normed, w.wq);
+  auto k = vecmat(normed, w.wk);
+  auto v = vecmat(normed, w.wv);
+
+  std::vector<float> attn_concat(hidden.size(), 0.0f);
+  for (Index h = 0; h < heads; ++h) {
+    auto q_head = std::span<float>(q).subspan(static_cast<std::size_t>(h * hd),
+                                              static_cast<std::size_t>(hd));
+    auto k_head = std::span<float>(k).subspan(static_cast<std::size_t>(h * hd),
+                                              static_cast<std::size_t>(hd));
+    auto v_head = std::span<const float>(v).subspan(static_cast<std::size_t>(h * hd),
+                                                    static_cast<std::size_t>(hd));
+    apply_rope(q_head, pos, config_.rope);
+    apply_rope(k_head, pos, config_.rope);
+
+    auto& key_hist = keys_[static_cast<std::size_t>(layer * heads + h)];
+    auto& val_hist = values_[static_cast<std::size_t>(layer * heads + h)];
+    key_hist.append_row(k_head);
+    val_hist.append_row(v_head);
+
+    std::vector<Index> attend;
+    if (bank != nullptr) {
+      bank->at(layer, h).observe_decode(k_head, v_head);
+      attend = bank->at(layer, h).select(q_head, budget).indices;
+    } else {
+      attend.resize(static_cast<std::size_t>(key_hist.rows()));
+      for (Index t = 0; t < key_hist.rows(); ++t) {
+        attend[static_cast<std::size_t>(t)] = t;
+      }
+    }
+
+    const float inv_sqrt_d = static_cast<float>(1.0 / std::sqrt(static_cast<double>(hd)));
+    std::vector<float> scores(attend.size());
+    for (std::size_t i = 0; i < attend.size(); ++i) {
+      scores[i] =
+          static_cast<float>(dot(q_head, key_hist.row(attend[i]))) * inv_sqrt_d;
+    }
+    auto out_head = std::span<float>(attn_concat)
+                        .subspan(static_cast<std::size_t>(h * hd),
+                                 static_cast<std::size_t>(hd));
+    attention_output(scores, attend, val_hist, out_head);
+  }
+
+  const auto projected = vecmat(attn_concat, w.wo);
+  add_in_place(hidden, projected);
+
+  rms_norm(hidden, w.ffn_norm, normed);
+  auto up = vecmat(normed, w.w_up);
+  const auto gate = vecmat(normed, w.w_gate);
+  for (std::size_t i = 0; i < up.size(); ++i) {
+    up[i] *= silu(gate[i]);
+  }
+  const auto down = vecmat(up, w.w_down);
+  add_in_place(hidden, down);
+}
+
+std::vector<float> TinyTransformer::prefill(std::span<const Index> tokens,
+                                            SelectorBank& bank) {
+  expects(!tokens.empty(), "TinyTransformer::prefill: prompt must not be empty");
+  expects(position_ == 0, "TinyTransformer::prefill: model already has context");
+
+  std::vector<float> hidden;
+  for (const Index token : tokens) {
+    hidden = embed(token);
+    for (Index l = 0; l < config_.num_layers; ++l) {
+      // Exact attention during prefill: bank == nullptr attends everything.
+      layer_forward(l, hidden, position_, nullptr, 0);
+    }
+    ++position_;
+  }
+
+  // Hand each head's post-RoPE prompt KV to the selectors.
+  for (Index l = 0; l < config_.num_layers; ++l) {
+    for (Index h = 0; h < config_.num_heads; ++h) {
+      const auto& key_hist = keys_[static_cast<std::size_t>(l * config_.num_heads + h)];
+      const auto& val_hist =
+          values_[static_cast<std::size_t>(l * config_.num_heads + h)];
+      bank.at(l, h).observe_prefill(key_hist, val_hist);
+    }
+  }
+  return lm_logits(hidden);
+}
+
+std::vector<float> TinyTransformer::decode_step(Index token, SelectorBank& bank,
+                                                Index budget) {
+  expects(position_ > 0, "TinyTransformer::decode_step: prefill first");
+  auto hidden = embed(token);
+  for (Index l = 0; l < config_.num_layers; ++l) {
+    layer_forward(l, hidden, position_, &bank, budget);
+  }
+  ++position_;
+  return lm_logits(hidden);
+}
+
+std::vector<Index> TinyTransformer::generate_greedy(std::span<const Index> prompt,
+                                                    SelectorBank& bank, Index budget,
+                                                    Index steps) {
+  auto logits = prefill(prompt, bank);
+  std::vector<Index> out;
+  for (Index s = 0; s < steps; ++s) {
+    Index best = 0;
+    float best_v = logits[0];
+    for (std::size_t i = 1; i < logits.size(); ++i) {
+      if (logits[i] > best_v) {
+        best_v = logits[i];
+        best = static_cast<Index>(i);
+      }
+    }
+    out.push_back(best);
+    logits = decode_step(best, bank, budget);
+  }
+  return out;
+}
+
+}  // namespace ckv

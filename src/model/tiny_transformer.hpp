@@ -1,0 +1,81 @@
+// A real (tiny) causal decoder-only transformer with randomly initialized
+// weights: RMSNorm -> MHA (RoPE) -> FFN (SiLU) blocks and a tied LM head.
+// It exists to validate the selector machinery end to end on an actual
+// transformer forward pass: with budget >= context, every method must
+// reproduce exact attention bit-for-bit; with smaller budgets the output
+// drift must be bounded and ordered (ClusterKV < Quest, etc.).
+#pragma once
+
+#include <vector>
+
+#include "model/selector_bank.hpp"
+#include "tensor/matrix.hpp"
+#include "tensor/rng.hpp"
+#include "tensor/rope.hpp"
+#include "util/common.hpp"
+
+namespace ckv {
+
+struct TinyTransformerConfig {
+  Index vocab_size = 101;
+  Index num_layers = 2;
+  Index num_heads = 4;
+  Index head_dim = 16;
+  Index ffn_dim = 256;
+  double init_scale = 0.12;
+  RopeConfig rope;
+
+  [[nodiscard]] Index hidden_dim() const noexcept { return num_heads * head_dim; }
+};
+
+class TinyTransformer {
+ public:
+  TinyTransformer(const TinyTransformerConfig& config, Rng rng);
+
+  [[nodiscard]] const TinyTransformerConfig& config() const noexcept { return config_; }
+
+  /// Processes the prompt with exact attention, feeds post-RoPE K/V to the
+  /// selectors (Fig. 6: clustering consumes keys after RoPE), and returns
+  /// the logits at the last prompt position.
+  std::vector<float> prefill(std::span<const Index> tokens, SelectorBank& bank);
+
+  /// One decode step: the new token attends to at most `budget` selected
+  /// positions per head. Returns next-token logits.
+  std::vector<float> decode_step(Index token, SelectorBank& bank, Index budget);
+
+  /// Convenience: greedy generation; returns the generated token ids.
+  std::vector<Index> generate_greedy(std::span<const Index> prompt,
+                                     SelectorBank& bank, Index budget, Index steps);
+
+  [[nodiscard]] Index position() const noexcept { return position_; }
+
+ private:
+  struct LayerWeights {
+    Matrix wq, wk, wv, wo;  ///< hidden x hidden projections
+    Matrix w_up, w_gate;    ///< hidden x ffn
+    Matrix w_down;          ///< ffn x hidden
+    std::vector<float> attn_norm, ffn_norm;
+  };
+
+  /// Forward of one token's hidden state through one layer, attending over
+  /// `attend` positions of this layer's per-head KV (selectors already
+  /// updated). Mutates hidden in place.
+  void layer_forward(Index layer, std::vector<float>& hidden, Index pos,
+                     SelectorBank* bank, Index budget);
+
+  [[nodiscard]] std::vector<float> embed(Index token) const;
+  [[nodiscard]] std::vector<float> lm_logits(std::span<const float> hidden) const;
+
+  TinyTransformerConfig config_;
+  Matrix embedding_;  ///< vocab x hidden (tied with the LM head)
+  std::vector<LayerWeights> layers_;
+  std::vector<float> final_norm_;
+
+  /// Per (layer, head) KV history (post-RoPE keys), owned by the model so
+  /// exact attention is always available.
+  std::vector<Matrix> keys_;    ///< layer*heads entries, rows = tokens
+  std::vector<Matrix> values_;
+  Index position_ = 0;
+};
+
+}  // namespace ckv

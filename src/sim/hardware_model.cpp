@@ -1,0 +1,7 @@
+#include "sim/hardware_model.hpp"
+
+namespace ckv {
+
+HardwareModel HardwareModel::ada6000() { return HardwareModel{}; }
+
+}  // namespace ckv

@@ -1,0 +1,120 @@
+// Latency model: per-step cost breakdowns for every method plus prefill,
+// composed into the end-to-end latencies of Fig. 12 and Fig. 13 and the
+// decode-throughput numbers of §V-C. All byte counts come from the model
+// shape; dynamic quantities (cache miss rate) come from measurements of
+// the actual pipeline simulation.
+#pragma once
+
+#include <string>
+
+#include "model/model_config.hpp"
+#include "sim/hardware_model.hpp"
+#include "util/common.hpp"
+
+namespace ckv {
+
+/// One decode step's cost components (milliseconds).
+struct StepBreakdown {
+  double weights_ms = 0.0;    ///< streaming model weights from HBM
+  double kv_read_ms = 0.0;    ///< reading attended KV (HBM)
+  double metadata_ms = 0.0;   ///< reading selection metadata (pages/centroids)
+  double selection_ms = 0.0;  ///< scoring + indexing compute
+  double sync_ms = 0.0;       ///< host synchronization (per-token selection)
+  double transfer_ms = 0.0;   ///< PCIe fetches after overlap
+  double overhead_ms = 0.0;   ///< launches + framework per-step overhead
+
+  [[nodiscard]] double total_ms() const noexcept {
+    return weights_ms + kv_read_ms + metadata_ms + selection_ms + sync_ms +
+           transfer_ms + overhead_ms;
+  }
+};
+
+/// End-to-end latency of a (prompt, decode) run.
+struct RunLatency {
+  double prefill_ms = 0.0;
+  double decode_ms = 0.0;
+
+  [[nodiscard]] double total_ms() const noexcept { return prefill_ms + decode_ms; }
+  [[nodiscard]] double decode_throughput_tps(Index decode_len) const noexcept {
+    return decode_ms <= 0.0 ? 0.0
+                            : static_cast<double>(decode_len) / (decode_ms / 1000.0);
+  }
+};
+
+class LatencyModel {
+ public:
+  LatencyModel(const HardwareModel& hw, const ModelConfig& model,
+               Index element_bytes = 2);
+
+  [[nodiscard]] const ModelConfig& model() const noexcept { return model_; }
+
+  // ---- prefill ----
+
+  /// Prefill compute time (GEMMs + quadratic attention).
+  [[nodiscard]] double prefill_ms(Index prompt_len) const;
+
+  /// Clustering cost during prefill before overlap (§IV-B): n_i k-means
+  /// iterations over C0 = L/80 centroids for every KV head.
+  [[nodiscard]] double clustering_cost_ms(Index prompt_len, Index iterations = 10,
+                                          Index tokens_per_cluster = 80) const;
+
+  /// Visible clustering overhead after overlapping with attention/FFN of
+  /// the same and next layer (Fig. 6); the paper measures 6-8% of prefill.
+  [[nodiscard]] double clustering_visible_overhead_ms(Index prompt_len) const;
+
+  // ---- per-step decode costs ----
+
+  [[nodiscard]] StepBreakdown full_kv_step(Index context_len) const;
+
+  /// budget = attended tokens; miss_rate = measured cluster-cache miss
+  /// rate; clusters = live centroid count (C0 + decode additions);
+  /// transfer_element_bytes lets cache-miss fetches cross PCIe quantized
+  /// (1 = int8 per-channel, see kvcache/quantization; 0 = storage width).
+  [[nodiscard]] StepBreakdown clusterkv_step(Index context_len, Index budget,
+                                             double miss_rate, Index clusters,
+                                             Index transfer_element_bytes = 0) const;
+
+  [[nodiscard]] StepBreakdown quest_step(Index context_len, Index budget,
+                                         Index page_size = 16) const;
+
+  /// InfiniGen on its FlexGen-style substrate: KV lives in host memory,
+  /// per-token partial scoring on the host path with per-layer sync.
+  [[nodiscard]] StepBreakdown infinigen_step(Index context_len, Index budget,
+                                             Index partial_dim = 32) const;
+
+  /// Full KV on the FlexGen-style substrate (Fig. 13a "InfiniGen (Full)"):
+  /// every step streams the whole KV cache over PCIe.
+  [[nodiscard]] StepBreakdown full_kv_offload_step(Index context_len) const;
+
+  // ---- end-to-end composition ----
+
+  enum class Method { kFullKV, kClusterKV, kQuest, kInfiniGen, kFullKVOffload };
+
+  struct RunParams {
+    Method method = Method::kFullKV;
+    Index prompt_len = 8192;
+    Index decode_len = 256;
+    Index budget = 1024;
+    double clusterkv_miss_rate = 0.37;  ///< measured default (R = 1)
+    Index tokens_per_cluster = 80;
+    Index decode_interval = 320;  ///< m (decode-side clustering cadence)
+    Index decode_clusters = 4;    ///< C+
+  };
+
+  /// Sums per-step costs over the decode phase (context grows each step)
+  /// plus prefill (and clustering overhead for ClusterKV).
+  [[nodiscard]] RunLatency run_latency(const RunParams& params) const;
+
+ private:
+  [[nodiscard]] double hbm_ms(double bytes, double efficiency) const noexcept;
+  [[nodiscard]] double common_overhead_ms() const noexcept;
+
+  HardwareModel hw_;
+  ModelConfig model_;
+  Index element_bytes_;
+};
+
+/// Display name for tables.
+std::string to_string(LatencyModel::Method method);
+
+}  // namespace ckv

@@ -1,0 +1,24 @@
+#include "tensor/rmsnorm.hpp"
+
+#include <cmath>
+
+namespace ckv {
+
+void rms_norm(std::span<const float> x, std::span<const float> weight,
+              std::span<float> out, double epsilon) {
+  expects(x.size() == out.size(), "rms_norm: size mismatch");
+  expects(weight.empty() || weight.size() == x.size(),
+          "rms_norm: weight size must match input");
+  double mean_sq = 0.0;
+  for (const float v : x) {
+    mean_sq += static_cast<double>(v) * static_cast<double>(v);
+  }
+  mean_sq /= static_cast<double>(x.empty() ? 1 : x.size());
+  const double inv_rms = 1.0 / std::sqrt(mean_sq + epsilon);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double w = weight.empty() ? 1.0 : static_cast<double>(weight[i]);
+    out[i] = static_cast<float>(static_cast<double>(x[i]) * inv_rms * w);
+  }
+}
+
+}  // namespace ckv

@@ -1,0 +1,16 @@
+// RMS normalization as used by Llama-family transformers; part of the
+// TinyTransformer validation substrate.
+#pragma once
+
+#include <span>
+
+#include "util/common.hpp"
+
+namespace ckv {
+
+/// out[i] = x[i] / rms(x) * weight[i], rms(x) = sqrt(mean(x^2) + epsilon).
+/// x and out may alias; weight may be empty (treated as all-ones).
+void rms_norm(std::span<const float> x, std::span<const float> weight,
+              std::span<float> out, double epsilon = 1e-5);
+
+}  // namespace ckv

@@ -1,0 +1,24 @@
+#include "tensor/rope.hpp"
+
+#include <cmath>
+
+namespace ckv {
+
+void apply_rope(std::span<float> x, Index position, const RopeConfig& config) {
+  expects(x.size() % 2 == 0, "apply_rope: dimension must be even");
+  expects(position >= 0, "apply_rope: position must be non-negative");
+  const double dim = static_cast<double>(x.size());
+  for (std::size_t pair = 0; pair * 2 < x.size(); ++pair) {
+    const double exponent = -2.0 * static_cast<double>(pair) / dim;
+    const double theta =
+        static_cast<double>(position) * std::pow(config.theta_base, exponent);
+    const double cos_t = std::cos(theta);
+    const double sin_t = std::sin(theta);
+    const double a = static_cast<double>(x[2 * pair]);
+    const double b = static_cast<double>(x[2 * pair + 1]);
+    x[2 * pair] = static_cast<float>(a * cos_t - b * sin_t);
+    x[2 * pair + 1] = static_cast<float>(a * sin_t + b * cos_t);
+  }
+}
+
+}  // namespace ckv

@@ -1,0 +1,22 @@
+// Rotary position embedding (RoPE). The paper clusters keys *after* RoPE
+// (Fig. 6: clustering launches right after QKV projection + RoPE), so the
+// substrate applies RoPE to keys/queries before they reach any selector.
+#pragma once
+
+#include <span>
+
+#include "util/common.hpp"
+
+namespace ckv {
+
+/// RoPE configuration; theta_base = 10000 matches Llama-family models.
+struct RopeConfig {
+  double theta_base = 10000.0;
+};
+
+/// Applies rotary embedding in place to a head vector x (even dimension)
+/// for the token at the given absolute position. Channel pairs (2i, 2i+1)
+/// are rotated by pos * theta_base^(-2i/d).
+void apply_rope(std::span<float> x, Index position, const RopeConfig& config = {});
+
+}  // namespace ckv

@@ -1,0 +1,80 @@
+#include "tensor/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ckv {
+
+void RunningStat::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::mean() const noexcept { return count_ == 0 ? 0.0 : mean_; }
+
+double RunningStat::variance() const noexcept {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStat::min() const noexcept { return count_ == 0 ? 0.0 : min_; }
+
+double RunningStat::max() const noexcept { return count_ == 0 ? 0.0 : max_; }
+
+void RunningStat::merge(const RunningStat& other) noexcept {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const double total = static_cast<double>(count_ + other.count_);
+  m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                         static_cast<double>(other.count_) / total;
+  mean_ += delta * static_cast<double>(other.count_) / total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  sum_ += other.sum_;
+  count_ += other.count_;
+}
+
+double percentile(std::span<const double> values, double p) {
+  expects(!values.empty(), "percentile: sample must not be empty");
+  expects(p >= 0.0 && p <= 100.0, "percentile: p must be in [0, 100]");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) {
+    return sorted.front();
+  }
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double mean_of(std::span<const double> values) noexcept {
+  if (values.empty()) {
+    return 0.0;
+  }
+  double acc = 0.0;
+  for (const double v : values) {
+    acc += v;
+  }
+  return acc / static_cast<double>(values.size());
+}
+
+}  // namespace ckv

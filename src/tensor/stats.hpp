@@ -1,0 +1,42 @@
+// Streaming and batch statistics used by metrics and benches.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace ckv {
+
+/// Welford running mean/variance with min/max tracking.
+class RunningStat {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] Index count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept;
+  [[nodiscard]] double max() const noexcept;
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+  /// Merges another accumulator into this one.
+  void merge(const RunningStat& other) noexcept;
+
+ private:
+  Index count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Exact percentile (linear interpolation) of a sample; p in [0, 100].
+double percentile(std::span<const double> values, double p);
+
+/// Arithmetic mean of a sample (0 for empty input).
+double mean_of(std::span<const double> values) noexcept;
+
+}  // namespace ckv

@@ -1,0 +1,123 @@
+#include "tensor/svd.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/topk.hpp"
+#include "tensor/vec_ops.hpp"
+
+namespace ckv {
+
+SvdResult jacobi_svd(const Matrix& a, double tolerance, int max_sweeps) {
+  expects(!a.empty(), "jacobi_svd: matrix must not be empty");
+  // One-sided Jacobi works on columns of a working copy w (m x n),
+  // orthogonalizing column pairs; V accumulates the rotations.
+  const Index m = a.rows();
+  const Index n = a.cols();
+  Matrix w = a;
+  Matrix v(n, n);
+  for (Index i = 0; i < n; ++i) {
+    v.at(i, i) = 1.0f;
+  }
+
+  const auto column_dot = [&w, m](Index ci, Index cj) {
+    double acc = 0.0;
+    for (Index r = 0; r < m; ++r) {
+      acc += static_cast<double>(w.at(r, ci)) * static_cast<double>(w.at(r, cj));
+    }
+    return acc;
+  };
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off_diagonal = 0.0;
+    for (Index p = 0; p < n - 1; ++p) {
+      for (Index q = p + 1; q < n; ++q) {
+        const double alpha = column_dot(p, p);
+        const double beta = column_dot(q, q);
+        const double gamma = column_dot(p, q);
+        if (alpha * beta == 0.0) {
+          continue;
+        }
+        off_diagonal = std::max(off_diagonal,
+                                std::abs(gamma) / std::sqrt(alpha * beta));
+        if (std::abs(gamma) <= tolerance * std::sqrt(alpha * beta)) {
+          continue;
+        }
+        const double zeta = (beta - alpha) / (2.0 * gamma);
+        const double t = (zeta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(zeta) + std::sqrt(1.0 + zeta * zeta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        for (Index r = 0; r < m; ++r) {
+          const double wp = static_cast<double>(w.at(r, p));
+          const double wq = static_cast<double>(w.at(r, q));
+          w.at(r, p) = static_cast<float>(c * wp - s * wq);
+          w.at(r, q) = static_cast<float>(s * wp + c * wq);
+        }
+        for (Index r = 0; r < n; ++r) {
+          const double vp = static_cast<double>(v.at(r, p));
+          const double vq = static_cast<double>(v.at(r, q));
+          v.at(r, p) = static_cast<float>(c * vp - s * vq);
+          v.at(r, q) = static_cast<float>(s * vp + c * vq);
+        }
+      }
+    }
+    if (off_diagonal <= tolerance) {
+      break;
+    }
+  }
+
+  // Singular values are the column norms of w; U columns are normalized w.
+  const Index rank = std::min(m, n);
+  std::vector<float> sigma_all(static_cast<std::size_t>(n));
+  for (Index c = 0; c < n; ++c) {
+    double norm_sq = 0.0;
+    for (Index r = 0; r < m; ++r) {
+      norm_sq += static_cast<double>(w.at(r, c)) * static_cast<double>(w.at(r, c));
+    }
+    sigma_all[static_cast<std::size_t>(c)] = static_cast<float>(std::sqrt(norm_sq));
+  }
+
+  const auto order = top_k_indices(sigma_all, rank);
+  SvdResult out;
+  out.u = Matrix(m, rank);
+  out.v = Matrix(n, rank);
+  out.singular_values.resize(static_cast<std::size_t>(rank));
+  for (Index k = 0; k < rank; ++k) {
+    const Index c = order[static_cast<std::size_t>(k)];
+    const double sigma = static_cast<double>(sigma_all[static_cast<std::size_t>(c)]);
+    out.singular_values[static_cast<std::size_t>(k)] = static_cast<float>(sigma);
+    const double inv = sigma > 0.0 ? 1.0 / sigma : 0.0;
+    for (Index r = 0; r < m; ++r) {
+      out.u.at(r, k) = static_cast<float>(static_cast<double>(w.at(r, c)) * inv);
+    }
+    for (Index r = 0; r < n; ++r) {
+      out.v.at(r, k) = v.at(r, c);
+    }
+  }
+  return out;
+}
+
+Matrix svd_reconstruct(const SvdResult& svd, Index rank) {
+  const Index full_rank = static_cast<Index>(svd.singular_values.size());
+  if (rank < 0) {
+    rank = full_rank;
+  }
+  expects(rank <= full_rank, "svd_reconstruct: rank exceeds decomposition rank");
+  Matrix out(svd.u.rows(), svd.v.rows());
+  for (Index k = 0; k < rank; ++k) {
+    const float sigma = svd.singular_values[static_cast<std::size_t>(k)];
+    for (Index r = 0; r < out.rows(); ++r) {
+      const float us = svd.u.at(r, k) * sigma;
+      if (us == 0.0f) {
+        continue;
+      }
+      for (Index c = 0; c < out.cols(); ++c) {
+        out.at(r, c) += us * svd.v.at(c, k);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ckv

@@ -1,0 +1,31 @@
+// One-sided Jacobi singular value decomposition. InfiniGen's offline phase
+// (Lee et al., OSDI'24) SVDs the query/key projection weights to build
+// "partial weights" that approximate attention scores in a reduced
+// dimension; this is the substrate for that baseline.
+#pragma once
+
+#include <vector>
+
+#include "tensor/matrix.hpp"
+#include "util/common.hpp"
+
+namespace ckv {
+
+/// Thin SVD result: a == u * diag(singular_values) * v^T, with
+/// u: m x r, v: n x r, r = min(m, n). Singular values are descending.
+struct SvdResult {
+  Matrix u;
+  std::vector<float> singular_values;
+  Matrix v;
+};
+
+/// Computes the thin SVD of a via one-sided Jacobi rotations. Intended for
+/// the head-dimension matrices of this project (<= a few hundred columns).
+SvdResult jacobi_svd(const Matrix& a, double tolerance = 1e-10,
+                     int max_sweeps = 60);
+
+/// Reconstructs u * diag(s) * v^T, optionally keeping only the leading
+/// `rank` singular directions (rank <= s.size(); rank < 0 keeps all).
+Matrix svd_reconstruct(const SvdResult& svd, Index rank = -1);
+
+}  // namespace ckv

@@ -1,0 +1,95 @@
+#include "tensor/vec_ops.hpp"
+
+#include <cmath>
+
+namespace ckv {
+
+double dot(std::span<const float> a, std::span<const float> b) {
+  expects(a.size() == b.size(), "dot: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  }
+  return acc;
+}
+
+double norm2(std::span<const float> a) {
+  double acc = 0.0;
+  for (const float x : a) {
+    acc += static_cast<double>(x) * static_cast<double>(x);
+  }
+  return std::sqrt(acc);
+}
+
+double squared_l2_distance(std::span<const float> a, std::span<const float> b) {
+  expects(a.size() == b.size(), "squared_l2_distance: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    acc += d * d;
+  }
+  return acc;
+}
+
+double cosine_similarity(std::span<const float> a, std::span<const float> b) {
+  const double na = norm2(a);
+  const double nb = norm2(b);
+  if (na == 0.0 || nb == 0.0) {
+    return 0.0;
+  }
+  return dot(a, b) / (na * nb);
+}
+
+double semantic_distance(std::span<const float> a, std::span<const float> b) {
+  return 1.0 - cosine_similarity(a, b);
+}
+
+void axpy(float alpha, std::span<const float> x, std::span<float> y) {
+  expects(x.size() == y.size(), "axpy: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    y[i] += alpha * x[i];
+  }
+}
+
+void scale_in_place(std::span<float> x, float alpha) noexcept {
+  for (float& v : x) {
+    v *= alpha;
+  }
+}
+
+void normalize_in_place(std::span<float> x) noexcept {
+  const double n = norm2(x);
+  if (n == 0.0) {
+    return;
+  }
+  const float inv = static_cast<float>(1.0 / n);
+  scale_in_place(x, inv);
+}
+
+void copy_to(std::span<const float> src, std::span<float> dst) {
+  expects(src.size() == dst.size(), "copy_to: size mismatch");
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    dst[i] = src[i];
+  }
+}
+
+void add_in_place(std::span<float> dst, std::span<const float> src) {
+  expects(src.size() == dst.size(), "add_in_place: size mismatch");
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    dst[i] += src[i];
+  }
+}
+
+void fill(std::span<float> x, float value) noexcept {
+  for (float& v : x) {
+    v = value;
+  }
+}
+
+std::vector<float> normalized_copy(std::span<const float> v) {
+  std::vector<float> out(v.begin(), v.end());
+  normalize_in_place(out);
+  return out;
+}
+
+}  // namespace ckv

@@ -1,0 +1,50 @@
+// Span-based vector primitives. These are the inner loops of clustering,
+// selection and attention; they take spans (I.13: don't pass arrays as
+// pointers) and accumulate in double for numeric robustness.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace ckv {
+
+/// Inner product <a, b>.
+double dot(std::span<const float> a, std::span<const float> b);
+
+/// Euclidean norm |a|.
+double norm2(std::span<const float> a);
+
+/// Squared Euclidean distance |a - b|^2.
+double squared_l2_distance(std::span<const float> a, std::span<const float> b);
+
+/// Cosine similarity <a,b>/(|a||b|); returns 0 when either norm is 0.
+double cosine_similarity(std::span<const float> a, std::span<const float> b);
+
+/// Semantic distance used by ClusterKV (paper §III-B):
+/// D(a, b) = 1 - cosine_similarity(a, b).
+double semantic_distance(std::span<const float> a, std::span<const float> b);
+
+/// y += alpha * x.
+void axpy(float alpha, std::span<const float> x, std::span<float> y);
+
+/// x *= alpha.
+void scale_in_place(std::span<float> x, float alpha) noexcept;
+
+/// Normalizes x to unit length in place; leaves the zero vector unchanged.
+void normalize_in_place(std::span<float> x) noexcept;
+
+/// dst = src (sizes must match).
+void copy_to(std::span<const float> src, std::span<float> dst);
+
+/// Element-wise dst += src.
+void add_in_place(std::span<float> dst, std::span<const float> src);
+
+/// Sets every element to value.
+void fill(std::span<float> x, float value) noexcept;
+
+/// Returns a unit-length copy of v.
+std::vector<float> normalized_copy(std::span<const float> v);
+
+}  // namespace ckv

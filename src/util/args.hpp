@@ -1,0 +1,55 @@
+// Minimal command-line flag parser for the CLI tool: --name value pairs
+// and boolean switches, with typed access and generated help text.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace ckv {
+
+class ArgParser {
+ public:
+  explicit ArgParser(std::string program_description);
+
+  /// Registers a value option (--name <value>) with a default and help.
+  void add_option(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+
+  /// Registers a boolean switch (--name, no value).
+  void add_switch(const std::string& name, const std::string& help);
+
+  /// Parses argv; throws std::invalid_argument for unknown flags or
+  /// missing values. Non-flag tokens are collected as positionals.
+  void parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::string get_string(const std::string& name) const;
+  [[nodiscard]] Index get_index(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] bool get_switch(const std::string& name) const;
+
+  [[nodiscard]] const std::vector<std::string>& positionals() const noexcept {
+    return positionals_;
+  }
+
+  /// Rendered --help text.
+  [[nodiscard]] std::string help() const;
+
+ private:
+  struct Option {
+    std::string default_value;
+    std::string help;
+    bool is_switch = false;
+  };
+
+  std::string description_;
+  std::map<std::string, Option> options_;
+  std::map<std::string, std::string> values_;
+  std::map<std::string, bool> switches_;
+  std::vector<std::string> positionals_;
+};
+
+}  // namespace ckv

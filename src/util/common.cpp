@@ -1,0 +1,24 @@
+#include "util/common.hpp"
+
+namespace ckv {
+
+std::uint64_t fnv1a(std::string_view text) noexcept {
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (const char c : text) {
+    hash ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+std::uint64_t derive_seed(std::uint64_t parent, std::string_view tag) noexcept {
+  // SplitMix64 finalizer over (parent ^ hash(tag)) gives well-mixed child
+  // seeds even for adjacent parents.
+  std::uint64_t z = parent ^ fnv1a(tag);
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace ckv

@@ -1,0 +1,47 @@
+#include "util/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace ckv {
+
+int parallel_worker_count() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void parallel_for(Index begin, Index end, const std::function<void(Index)>& body) {
+  expects(begin <= end, "parallel_for: begin must not exceed end");
+  const Index count = end - begin;
+  if (count == 0) {
+    return;
+  }
+  const int workers = std::min<Index>(parallel_worker_count(), count);
+  if (workers <= 1) {
+    for (Index i = begin; i < end; ++i) {
+      body(i);
+    }
+    return;
+  }
+  std::atomic<Index> next{begin};
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    pool.emplace_back([&next, end, &body] {
+      while (true) {
+        const Index i = next.fetch_add(1);
+        if (i >= end) {
+          return;
+        }
+        body(i);
+      }
+    });
+  }
+  for (auto& t : pool) {
+    t.join();
+  }
+}
+
+}  // namespace ckv

@@ -1,0 +1,20 @@
+// Minimal fork-join helper mirroring the paper's per-head ThreadBlock
+// parallelism (Fig. 7): independent heads are processed by independent
+// workers. Falls back to serial execution on single-core machines.
+#pragma once
+
+#include <functional>
+
+#include "util/common.hpp"
+
+namespace ckv {
+
+/// Number of workers parallel_for will use (>= 1).
+int parallel_worker_count() noexcept;
+
+/// Runs body(i) for i in [begin, end). Iterations must be independent.
+/// With one hardware thread (or end - begin == 1) this runs inline, so
+/// results are identical regardless of worker count.
+void parallel_for(Index begin, Index end, const std::function<void(Index)>& body);
+
+}  // namespace ckv

@@ -1,0 +1,36 @@
+// Plain-text table printer used by the benchmark harness to emit the
+// paper's tables and figure series in a stable, diffable format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ckv {
+
+/// Accumulates rows of string cells and renders an aligned text table.
+/// All benches print through this so output formatting is uniform.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with column alignment and a separator under the header.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Renders as CSV (no alignment padding).
+  [[nodiscard]] std::string to_csv() const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given number of decimals (locale-independent).
+std::string format_double(double value, int decimals);
+
+}  // namespace ckv

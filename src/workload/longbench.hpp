@@ -1,0 +1,61 @@
+// Synthetic LongBench-like task suite (DESIGN.md §2). Each task plants
+// "needle" evidence groups in a long context; during the answer phase the
+// model's queries focus on those groups, so a method's score is driven by
+// how well its selection recalls the evidence — the same quantity the
+// paper's LongBench evaluation measures. Scores are anchored so the full
+// KV cache reproduces the paper's per-task Full-KV score.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/kv_selector.hpp"
+#include "model/model_config.hpp"
+#include "model/procedural.hpp"
+#include "util/common.hpp"
+
+namespace ckv {
+
+struct LongBenchTask {
+  std::string name;
+  std::string metric;        ///< "F1" or "ROUGE-L" (display only)
+  Index context_len = 0;
+  Index answer_steps = 0;    ///< decode steps scored as the answer
+  Index needle_groups = 0;   ///< evidence groups (multi-hop tasks have >1)
+  Index needle_group_size = 0;
+  double full_kv_score = 0.0;  ///< paper's Fig. 9 Full-KV anchor
+  double difficulty = 1.0;     ///< quality -> score exponent
+};
+
+/// The eight LongBench datasets of §V-A with context-length profiles and
+/// Full-KV anchors read off the paper's Fig. 9.
+std::vector<LongBenchTask> longbench_suite();
+
+/// A scaled-down suite (shorter contexts) with the same structure, for
+/// tests and quick examples.
+std::vector<LongBenchTask> longbench_suite_small();
+
+struct TaskRunResult {
+  double score = 0.0;
+  double quality = 0.0;        ///< mean blended quality over answer steps
+  double mean_recall = 0.0;
+  double mean_coverage = 0.0;
+  std::int64_t tokens_fetched = 0;
+  std::int64_t tokens_cache_hit = 0;
+};
+
+struct TaskRunOptions {
+  SimShape shape;
+  ProceduralParams params;
+  Index budget = 1024;
+  Index full_attention_layers = 1;
+  bool attention_feedback = false;  ///< enable for H2O
+  std::uint64_t seed = 2025;
+};
+
+/// Runs one method on one task and returns its score.
+TaskRunResult run_longbench_task(const LongBenchTask& task,
+                                 const SelectorFactory& factory,
+                                 const TaskRunOptions& options);
+
+}  // namespace ckv

@@ -1,0 +1,187 @@
+#include "workload/pg19.hpp"
+
+#include <cmath>
+
+#include "metrics/perplexity.hpp"
+#include "model/lm_head.hpp"
+#include "model/selector_bank.hpp"
+#include "tensor/softmax.hpp"
+#include "tensor/vec_ops.hpp"
+
+namespace ckv {
+
+namespace {
+
+/// Entropy (nats) of softmax(logits / t).
+double entropy_at_temperature(std::span<const float> logits, double t) {
+  std::vector<float> scaled(logits.size());
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    scaled[i] = static_cast<float>(static_cast<double>(logits[i]) / t);
+  }
+  softmax_in_place(scaled);
+  return entropy(scaled);
+}
+
+/// Concatenated last-layer features over the first `prefix_len` tokens:
+/// per head, the attention output (exact when selected == nullptr, else
+/// restricted to the selected positions) plus the residual-stream
+/// contribution of the current token (its value vector), which is method-
+/// independent — as in a real transformer, attention refines the residual
+/// stream rather than replacing it, bounding the damage of a bad
+/// selection.
+std::vector<float> layer_features(ProceduralContextModel& model, Index layer,
+                                  Index query_step, Index prefix_len,
+                                  const std::vector<std::vector<Index>>* selected) {
+  std::vector<float> features;
+  for (Index h = 0; h < model.shape().num_heads; ++h) {
+    auto& stream = model.head(layer, h);
+    const auto query = stream.query(query_step);
+    const auto scores = stream.attention_scores(query, prefix_len);
+    std::vector<float> out(static_cast<std::size_t>(model.shape().head_dim));
+    if (selected == nullptr) {
+      std::vector<float> probs = scores;
+      softmax_in_place(probs);
+      fill(out, 0.0f);
+      for (Index t = 0; t < prefix_len; ++t) {
+        axpy(probs[static_cast<std::size_t>(t)], stream.values().row(t), out);
+      }
+    } else {
+      const auto& indices = (*selected)[static_cast<std::size_t>(h)];
+      std::vector<float> sel_scores(indices.size());
+      for (std::size_t i = 0; i < indices.size(); ++i) {
+        sel_scores[i] = scores[static_cast<std::size_t>(indices[i])];
+      }
+      attention_output(sel_scores, indices, stream.values(), out);
+    }
+    add_in_place(out, stream.values().row(prefix_len - 1));  // residual stream
+    features.insert(features.end(), out.begin(), out.end());
+  }
+  return features;
+}
+
+/// Cross-entropy of the method distribution against the full distribution
+/// at the calibrated temperature.
+double cross_entropy_nll(std::span<const float> full_logits,
+                         std::span<const float> method_logits, double temperature) {
+  std::vector<float> full_probs(full_logits.size());
+  for (std::size_t i = 0; i < full_logits.size(); ++i) {
+    full_probs[i] =
+        static_cast<float>(static_cast<double>(full_logits[i]) / temperature);
+  }
+  softmax_in_place(full_probs);
+  std::vector<float> method_scaled(method_logits.size());
+  for (std::size_t i = 0; i < method_logits.size(); ++i) {
+    method_scaled[i] =
+        static_cast<float>(static_cast<double>(method_logits[i]) / temperature);
+  }
+  const auto method_log_probs = log_softmax(method_scaled);
+  double nll = 0.0;
+  for (std::size_t i = 0; i < full_probs.size(); ++i) {
+    nll -= static_cast<double>(full_probs[i]) *
+           static_cast<double>(method_log_probs[i]);
+  }
+  return nll;
+}
+
+}  // namespace
+
+double calibrate_temperature(std::span<const float> logits, double target_ppl) {
+  expects(logits.size() >= 2, "calibrate_temperature: need >= 2 logits");
+  expects(target_ppl > 1.0 &&
+              target_ppl < static_cast<double>(logits.size()),
+          "calibrate_temperature: target ppl out of achievable range");
+  const double target_entropy = std::log(target_ppl);
+  double lo = 1e-4;
+  double hi = 1e4;
+  for (int iter = 0; iter < 80; ++iter) {
+    const double mid = std::sqrt(lo * hi);  // geometric bisection
+    if (entropy_at_temperature(logits, mid) < target_entropy) {
+      lo = mid;  // entropy increases with temperature
+    } else {
+      hi = mid;
+    }
+  }
+  return std::sqrt(lo * hi);
+}
+
+std::vector<PerplexityPoint> run_pg19(const SelectorFactory& factory,
+                                      const PG19Config& config, const SimShape& shape,
+                                      const ProceduralParams& params) {
+  expects(config.prompt_len > 0 && config.max_len > config.prompt_len,
+          "run_pg19: need max_len > prompt_len > 0");
+  expects(config.eval_stride > 0, "run_pg19: eval_stride must be positive");
+
+  // One underlying corpus: keys/values for the longest input; each
+  // checkpoint treats the leading L tokens as the prompt, mirroring the
+  // paper's "input lengths ranging from 1 to 32000 tokens".
+  ProceduralContextModel model(shape, params, derive_seed(config.seed, "pg19"),
+                               config.max_len + kEvalWindow);
+
+  const Index feature_dim = shape.num_heads * shape.head_dim;
+  const LMHead lm_head(config.vocab_size, feature_dim,
+                       Rng(derive_seed(config.seed, "lm-head")));
+  const Index last_layer = shape.num_layers - 1;
+  const bool last_layer_selects = last_layer >= config.full_attention_layers;
+
+  std::vector<PerplexityPoint> points;
+  // Cumulative meter: the paper's perplexity at input length L averages
+  // the NLL over the whole prefix, so one hard region cannot dominate.
+  PerplexityMeter meter;
+  Index query_step = 0;
+  for (Index input_len = config.prompt_len; input_len <= config.max_len;
+       input_len += config.eval_stride) {
+    // Fresh per-checkpoint selectors prefilled with the length-L prefix
+    // (C0 = L/80 clusters for ClusterKV, pages for Quest, ...). Only the
+    // last layer's heads select in this harness, so only they get
+    // selectors — earlier layers use exact attention regardless.
+    SelectorBank bank(1, shape.num_heads, shape.head_dim, factory);
+    for (Index h = 0; h < shape.num_heads; ++h) {
+      const auto& stream = model.head(last_layer, h);
+      bank.at(0, h).observe_prefill(stream.keys().row_slice(0, input_len),
+                                    stream.values().row_slice(0, input_len));
+    }
+
+    for (Index w = 0; w < kEvalWindow; ++w, ++query_step) {
+      const Index prefix = input_len + w;
+      // The token at position `prefix` joins the context before its query
+      // is issued (it is ClusterKV's pending token / Quest's tail page).
+      for (Index h = 0; h < shape.num_heads; ++h) {
+        const auto& stream = model.head(last_layer, h);
+        bank.at(0, h).observe_decode(stream.keys().row(prefix),
+                                     stream.values().row(prefix));
+      }
+      const Index attended = prefix + 1;
+
+      const auto full_features =
+          layer_features(model, last_layer, query_step, attended, nullptr);
+      const auto full_logits = lm_head.logits(full_features);
+
+      const double progress = static_cast<double>(input_len) /
+                              static_cast<double>(config.max_len);
+      const double target_ppl =
+          config.full_ppl_short +
+          (config.full_ppl_long - config.full_ppl_short) * progress;
+      const double temperature = calibrate_temperature(full_logits, target_ppl);
+
+      std::vector<float> method_logits;
+      if (last_layer_selects) {
+        std::vector<std::vector<Index>> selected;
+        selected.reserve(static_cast<std::size_t>(shape.num_heads));
+        for (Index h = 0; h < shape.num_heads; ++h) {
+          auto& stream = model.head(last_layer, h);
+          const auto query = stream.query(query_step);
+          selected.push_back(bank.at(0, h).select(query, config.budget).indices);
+        }
+        method_logits = lm_head.logits(
+            layer_features(model, last_layer, query_step, attended, &selected));
+      } else {
+        method_logits = full_logits;
+      }
+      meter.add_nll(cross_entropy_nll(full_logits, method_logits, temperature));
+    }
+    points.push_back({input_len, meter.perplexity()});
+  }
+  return points;
+}
+
+}  // namespace ckv

@@ -1,0 +1,247 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/clusterkv_engine.hpp"
+#include "model/procedural.hpp"
+#include "tensor/rng.hpp"
+#include "tensor/topk.hpp"
+#include "tensor/vec_ops.hpp"
+
+namespace ckv {
+namespace {
+
+/// Builds an engine fed with a procedurally generated head context.
+struct Fixture {
+  Fixture(Index prompt_len, const ClusterKVConfig& config, std::uint64_t seed = 99)
+      : params(make_params()),
+        stream(params, Rng(derive_seed(seed, "head")), prompt_len),
+        engine(params.head_dim, config, Rng(derive_seed(seed, "engine"))) {
+    engine.observe_prefill(stream.keys(), stream.values());
+  }
+
+  static ProceduralParams make_params() {
+    ProceduralParams p;
+    p.head_dim = 32;
+    p.num_topics = 16;
+    return p;
+  }
+
+  ProceduralParams params;
+  HeadStream stream;
+  ClusterKVEngine engine;
+};
+
+ClusterKVConfig small_config() {
+  ClusterKVConfig c;
+  c.sink_tokens = 8;
+  c.tokens_per_cluster = 40;
+  c.decode_interval = 16;
+  c.decode_clusters = 2;
+  return c;
+}
+
+TEST(ClusterKVEngine, BudgetCoveringContextSelectsEverything) {
+  Fixture f(300, small_config());
+  const auto q = f.stream.query(0);
+  const auto sel = f.engine.select(q, 300);
+  ASSERT_EQ(sel.indices.size(), 300u);
+  for (Index i = 0; i < 300; ++i) {
+    EXPECT_EQ(sel.indices[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(ClusterKVEngine, RespectsBudget) {
+  Fixture f(600, small_config());
+  const auto q = f.stream.query(0);
+  for (const Index budget : {16, 64, 128, 300}) {
+    const auto sel = f.engine.select(q, budget);
+    EXPECT_LE(static_cast<Index>(sel.indices.size()), budget);
+    // Trimming should land exactly on the budget when enough tokens exist.
+    EXPECT_EQ(static_cast<Index>(sel.indices.size()), budget);
+  }
+}
+
+TEST(ClusterKVEngine, SinksAlwaysSelected) {
+  const auto config = small_config();
+  Fixture f(500, config);
+  const auto q = f.stream.query(0);
+  const auto sel = f.engine.select(q, 64);
+  for (Index s = 0; s < config.sink_tokens; ++s) {
+    EXPECT_TRUE(std::binary_search(sel.indices.begin(), sel.indices.end(), s))
+        << "sink " << s << " missing";
+  }
+}
+
+TEST(ClusterKVEngine, PendingDecodeTokensAlwaysSelected) {
+  Fixture f(400, small_config());
+  // Generate 5 tokens (below the decode_interval of 16): all pending.
+  for (int i = 0; i < 5; ++i) {
+    f.stream.append_generated();
+    const Index last = f.stream.size() - 1;
+    f.engine.observe_decode(f.stream.keys().row(last), f.stream.values().row(last));
+  }
+  EXPECT_EQ(f.engine.pending_count(), 5);
+  const auto q = f.stream.query(0);
+  const auto sel = f.engine.select(q, 64);
+  for (Index t = 400; t < 405; ++t) {
+    EXPECT_TRUE(std::binary_search(sel.indices.begin(), sel.indices.end(), t));
+  }
+}
+
+TEST(ClusterKVEngine, DecodeClusteringFlushesAtInterval) {
+  const auto config = small_config();
+  Fixture f(400, config);
+  const Index before = f.engine.centroid_store().cluster_count();
+  for (Index i = 0; i < config.decode_interval; ++i) {
+    f.stream.append_generated();
+    const Index last = f.stream.size() - 1;
+    f.engine.observe_decode(f.stream.keys().row(last), f.stream.values().row(last));
+  }
+  EXPECT_EQ(f.engine.pending_count(), 0);
+  EXPECT_EQ(f.engine.centroid_store().cluster_count(), before + config.decode_clusters);
+}
+
+TEST(ClusterKVEngine, FlushPendingPartialBatch) {
+  Fixture f(400, small_config());
+  for (int i = 0; i < 3; ++i) {
+    f.stream.append_generated();
+    const Index last = f.stream.size() - 1;
+    f.engine.observe_decode(f.stream.keys().row(last), f.stream.values().row(last));
+  }
+  f.engine.flush_pending();
+  EXPECT_EQ(f.engine.pending_count(), 0);
+  // All tokens are now covered: sinks + clustered.
+  EXPECT_EQ(f.engine.centroid_store().token_count() + f.engine.sink_count(),
+            f.engine.context_size());
+}
+
+TEST(ClusterKVEngine, ClusterCountFollowsPaperRule) {
+  ClusterKVConfig config;
+  config.sink_tokens = 16;
+  config.tokens_per_cluster = 80;
+  Fixture f(16 + 800, config);
+  // (816 - 16 sinks) / 80 = 10 clusters.
+  EXPECT_EQ(f.engine.centroid_store().cluster_count(), 10);
+}
+
+TEST(ClusterKVEngine, FixedClusterCountOverride) {
+  ClusterKVConfig config;
+  config.fixed_cluster_count = 7;
+  Fixture f(500, config);
+  EXPECT_EQ(f.engine.centroid_store().cluster_count(), 7);
+}
+
+TEST(ClusterKVEngine, SelectionRecallsBetterThanRandom) {
+  Fixture f(1600, small_config());
+  // Decode a few steps so the focus process moves around.
+  double recall_sum = 0.0;
+  int steps = 0;
+  for (Index s = 0; s < 12; ++s) {
+    f.stream.append_generated();
+    const Index last = f.stream.size() - 1;
+    f.engine.observe_decode(f.stream.keys().row(last), f.stream.values().row(last));
+    const auto q = f.stream.query(s);
+    const Index budget = 160;
+    const auto sel = f.engine.select(q, budget);
+    const auto scores = f.stream.attention_scores(q);
+    const auto truth = top_k_indices(scores, budget);
+    const std::set<Index> chosen(sel.indices.begin(), sel.indices.end());
+    Index hit = 0;
+    for (const Index t : truth) {
+      if (chosen.contains(t)) {
+        ++hit;
+      }
+    }
+    recall_sum += static_cast<double>(hit) / static_cast<double>(budget);
+    ++steps;
+  }
+  const double mean_recall = recall_sum / steps;
+  // Random selection would land near budget/context = 0.1; semantic
+  // clustering must do substantially better even at this small scale.
+  EXPECT_GT(mean_recall, 0.2);
+}
+
+TEST(ClusterKVEngine, CacheHitsOnRepeatedQueries) {
+  Fixture f(800, small_config());
+  const auto q = f.stream.query(0);
+  const auto first = f.engine.select(q, 100);
+  EXPECT_GT(first.tokens_fetched, 0);
+  EXPECT_EQ(first.tokens_cache_hit, 0);
+  // Same query at the next step: the cluster cache (R = 1) serves it.
+  const auto second = f.engine.select(q, 100);
+  EXPECT_EQ(second.tokens_fetched, 0);
+  EXPECT_GT(second.tokens_cache_hit, 0);
+}
+
+TEST(ClusterKVEngine, TransfersAccountedInTieredStore) {
+  Fixture f(800, small_config());
+  const auto q = f.stream.query(0);
+  const auto sel = f.engine.select(q, 100);
+  const auto& stats = f.engine.tiered_store().stats();
+  EXPECT_EQ(stats.tokens_fetched, sel.tokens_fetched);
+  EXPECT_GT(stats.bytes_to_fast, 0);
+  // All non-sink prompt tokens were offloaded after prefill clustering.
+  EXPECT_GE(stats.tokens_offloaded, 800 - f.engine.sink_count());
+}
+
+TEST(ClusterKVEngine, ShortPromptAllSinks) {
+  ClusterKVConfig config;
+  config.sink_tokens = 16;
+  Fixture f(10, config);
+  EXPECT_EQ(f.engine.sink_count(), 10);
+  EXPECT_EQ(f.engine.centroid_store().cluster_count(), 0);
+  const auto q = f.stream.query(0);
+  const auto sel = f.engine.select(q, 5);
+  // Sinks are always attended even when they exceed the budget.
+  EXPECT_EQ(sel.indices.size(), 10u);
+}
+
+TEST(ClusterKVEngine, PrefillTwiceRejected) {
+  Fixture f(100, small_config());
+  EXPECT_THROW(f.engine.observe_prefill(f.stream.keys(), f.stream.values()),
+               std::invalid_argument);
+}
+
+TEST(ClusterKVEngine, SelectionIsSortedUnique) {
+  Fixture f(700, small_config());
+  const auto q = f.stream.query(0);
+  const auto sel = f.engine.select(q, 200);
+  EXPECT_TRUE(std::is_sorted(sel.indices.begin(), sel.indices.end()));
+  EXPECT_EQ(std::adjacent_find(sel.indices.begin(), sel.indices.end()),
+            sel.indices.end());
+}
+
+TEST(ClusterKVEngine, RepresentationWorkIsClusterCount) {
+  Fixture f(800, small_config());
+  const auto q = f.stream.query(0);
+  const auto sel = f.engine.select(q, 100);
+  EXPECT_EQ(sel.representations_scored, f.engine.centroid_store().cluster_count());
+  // An order of magnitude fewer representations than tokens (§III-A).
+  EXPECT_LT(sel.representations_scored * 10, f.engine.context_size());
+}
+
+TEST(ClusterKVEngine, FactoryDerivesDistinctStreams) {
+  const auto factory = make_clusterkv_factory(small_config(), 7);
+  auto a = factory(0, 0, 32);
+  auto b = factory(0, 1, 32);
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(a->name(), "ClusterKV");
+}
+
+class ClusterKVBudgetSweep : public ::testing::TestWithParam<Index> {};
+
+TEST_P(ClusterKVBudgetSweep, SelectionSizeTracksBudget) {
+  const Index budget = GetParam();
+  Fixture f(1024, small_config());
+  const auto q = f.stream.query(0);
+  const auto sel = f.engine.select(q, budget);
+  EXPECT_EQ(static_cast<Index>(sel.indices.size()), std::min<Index>(budget, 1024));
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, ClusterKVBudgetSweep,
+                         ::testing::Values(16, 32, 64, 128, 256, 512, 1024, 2048));
+
+}  // namespace
+}  // namespace ckv

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "baselines/full_kv.hpp"
+#include "baselines/quest.hpp"
+#include "baselines/streaming_llm.hpp"
+#include "core/clusterkv_engine.hpp"
+#include "model/decode_engine.hpp"
+
+namespace ckv {
+namespace {
+
+SimShape small_shape() {
+  SimShape s;
+  s.num_layers = 2;
+  s.num_heads = 2;
+  s.head_dim = 32;
+  return s;
+}
+
+ProceduralParams small_params() {
+  ProceduralParams p;
+  p.head_dim = 32;
+  p.num_topics = 16;
+  return p;
+}
+
+ClusterKVConfig small_ckv() {
+  ClusterKVConfig c;
+  c.sink_tokens = 8;
+  c.tokens_per_cluster = 40;
+  c.decode_interval = 16;
+  c.decode_clusters = 2;
+  return c;
+}
+
+TEST(DecodeEngine, FullKVIsPerfect) {
+  ProceduralContextModel model(small_shape(), small_params(), 1, 400);
+  DecodeEngineConfig config;
+  config.budget = 64;
+  config.full_attention_layers = 1;
+  DecodeEngine engine(model, make_full_kv_factory(), config);
+  engine.run_prefill();
+  for (Index s = 0; s < 4; ++s) {
+    const auto step = engine.decode_step(s);
+    EXPECT_DOUBLE_EQ(step.mean_recall, 1.0);
+    EXPECT_NEAR(step.mean_coverage, 1.0, 1e-6);
+    EXPECT_NEAR(step.mean_output_error, 0.0, 1e-6);
+  }
+}
+
+TEST(DecodeEngine, StepsMustBeSequential) {
+  ProceduralContextModel model(small_shape(), small_params(), 2, 100);
+  DecodeEngineConfig config;
+  DecodeEngine engine(model, make_full_kv_factory(), config);
+  EXPECT_THROW(engine.decode_step(0), std::invalid_argument);  // prefill first
+  engine.run_prefill();
+  EXPECT_THROW(engine.decode_step(1), std::invalid_argument);
+  EXPECT_NO_THROW(engine.decode_step(0));
+  EXPECT_THROW(engine.run_prefill(), std::invalid_argument);
+}
+
+TEST(DecodeEngine, FeaturesHaveLastLayerWidth) {
+  ProceduralContextModel model(small_shape(), small_params(), 3, 100);
+  DecodeEngineConfig config;
+  DecodeEngine engine(model, make_full_kv_factory(), config);
+  engine.run_prefill();
+  const auto step = engine.decode_step(0);
+  EXPECT_EQ(step.features.size(), 2u * 32u);  // heads * head_dim
+}
+
+TEST(DecodeEngine, ClusterKVBeatsStreamingWindow) {
+  const std::uint64_t seed = 4;
+  const Index budget = 96;
+
+  ProceduralContextModel m1(small_shape(), small_params(), seed, 800);
+  DecodeEngineConfig config;
+  config.budget = budget;
+  config.full_attention_layers = 1;
+  DecodeEngine ckv(m1, make_clusterkv_factory(small_ckv(), 1), config);
+  ckv.run_prefill();
+
+  ProceduralContextModel m2(small_shape(), small_params(), seed, 800);
+  DecodeEngine window(m2, make_streaming_llm_factory(), config);
+  window.run_prefill();
+
+  for (Index s = 0; s < 16; ++s) {
+    ckv.decode_step(s);
+    window.decode_step(s);
+  }
+  EXPECT_GT(ckv.recall_stat().mean(), window.recall_stat().mean());
+  EXPECT_GT(ckv.coverage_stat().mean(), window.coverage_stat().mean());
+}
+
+TEST(DecodeEngine, FullAttentionLayersBypassSelection) {
+  ProceduralContextModel model(small_shape(), small_params(), 5, 300);
+  DecodeEngineConfig config;
+  config.budget = 32;
+  config.full_attention_layers = 2;  // all layers full: metrics over none
+  DecodeEngine engine(model, make_quest_factory(), config);
+  engine.run_prefill();
+  const auto step = engine.decode_step(0);
+  // No selection-active layer contributes, stats stay at defaults.
+  EXPECT_DOUBLE_EQ(step.mean_recall, 0.0);
+  EXPECT_EQ(step.tokens_selected, 0);
+}
+
+TEST(DecodeEngine, CacheCountersFlowThrough) {
+  ProceduralContextModel model(small_shape(), small_params(), 6, 800);
+  DecodeEngineConfig config;
+  config.budget = 96;
+  DecodeEngine engine(model, make_clusterkv_factory(small_ckv(), 2), config);
+  engine.run_prefill();
+  Index fetched = 0;
+  Index hits = 0;
+  for (Index s = 0; s < 12; ++s) {
+    const auto step = engine.decode_step(s);
+    fetched += step.tokens_fetched;
+    hits += step.tokens_cache_hit;
+  }
+  EXPECT_GT(fetched, 0);
+  EXPECT_GT(hits, 0);  // consecutive steps share clusters (R = 1)
+  EXPECT_EQ(engine.total_fetched(), fetched);
+  EXPECT_EQ(engine.total_cache_hits(), hits);
+}
+
+TEST(DecodeEngine, BudgetValidation) {
+  ProceduralContextModel model(small_shape(), small_params(), 7, 50);
+  DecodeEngineConfig config;
+  config.budget = 0;
+  EXPECT_THROW(DecodeEngine(model, make_full_kv_factory(), config),
+               std::invalid_argument);
+  config.budget = 10;
+  config.full_attention_layers = 5;
+  EXPECT_THROW(DecodeEngine(model, make_full_kv_factory(), config),
+               std::invalid_argument);
+}
+
+class BudgetMonotonicity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BudgetMonotonicity, ClusterKVCoverageGrowsWithBudget) {
+  // Property: more budget never hurts coverage (averaged over steps).
+  const std::uint64_t seed = GetParam();
+  double previous = -1.0;
+  for (const Index budget : {32, 96, 256}) {
+    ProceduralContextModel model(small_shape(), small_params(), seed, 600);
+    DecodeEngineConfig config;
+    config.budget = budget;
+    DecodeEngine engine(model, make_clusterkv_factory(small_ckv(), seed), config);
+    engine.run_prefill();
+    for (Index s = 0; s < 8; ++s) {
+      engine.decode_step(s);
+    }
+    EXPECT_GT(engine.coverage_stat().mean(), previous);
+    previous = engine.coverage_stat().mean();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BudgetMonotonicity, ::testing::Values(11, 22, 33));
+
+}  // namespace
+}  // namespace ckv

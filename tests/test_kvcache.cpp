@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kvcache/kv_store.hpp"
+#include "kvcache/tiered_store.hpp"
+#include "tensor/rng.hpp"
+#include "tensor/vec_ops.hpp"
+
+namespace ckv {
+namespace {
+
+Matrix random_block(Index rows, Index cols, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(rows, cols);
+  rng.fill_normal(m.flat(), 0.0, 1.0);
+  return m;
+}
+
+TEST(KVStore, AppendAndAccess) {
+  KVStore store(4);
+  const std::vector<float> k{1.0f, 2.0f, 3.0f, 4.0f};
+  const std::vector<float> v{5.0f, 6.0f, 7.0f, 8.0f};
+  store.append(k, v);
+  EXPECT_EQ(store.size(), 1);
+  EXPECT_FLOAT_EQ(store.key(0)[2], 3.0f);
+  EXPECT_FLOAT_EQ(store.value(0)[3], 8.0f);
+}
+
+TEST(KVStore, WidthValidated) {
+  KVStore store(4);
+  const std::vector<float> bad{1.0f, 2.0f};
+  const std::vector<float> ok(4, 0.0f);
+  EXPECT_THROW(store.append(bad, ok), std::invalid_argument);
+  EXPECT_THROW(store.append(ok, bad), std::invalid_argument);
+}
+
+TEST(KVStore, AppendBlock) {
+  KVStore store(3);
+  const auto keys = random_block(5, 3, 1);
+  const auto values = random_block(5, 3, 2);
+  store.append_block(keys, values);
+  EXPECT_EQ(store.size(), 5);
+  for (Index i = 0; i < 5; ++i) {
+    EXPECT_FLOAT_EQ(store.key(i)[0], keys.at(i, 0));
+  }
+}
+
+TEST(KVStore, GatherPreservesOrder) {
+  KVStore store(2);
+  for (Index i = 0; i < 6; ++i) {
+    const std::vector<float> k{static_cast<float>(i), 0.0f};
+    store.append(k, k);
+  }
+  const std::vector<Index> pick{4, 1, 5};
+  const auto [k, v] = store.gather(pick);
+  EXPECT_EQ(k.rows(), 3);
+  EXPECT_FLOAT_EQ(k.at(0, 0), 4.0f);
+  EXPECT_FLOAT_EQ(k.at(1, 0), 1.0f);
+  EXPECT_FLOAT_EQ(k.at(2, 0), 5.0f);
+}
+
+TEST(KVStore, GatherValidatesRange) {
+  KVStore store(2);
+  const std::vector<float> k{0.0f, 0.0f};
+  store.append(k, k);
+  const std::vector<Index> bad{1};
+  EXPECT_THROW(store.gather(bad), std::invalid_argument);
+}
+
+TEST(KVStore, AttentionScoresScaledDot) {
+  KVStore store(4);
+  const std::vector<float> k{2.0f, 0.0f, 0.0f, 0.0f};
+  store.append(k, k);
+  const std::vector<float> q{3.0f, 0.0f, 0.0f, 0.0f};
+  const auto scores = store.attention_scores(q);
+  ASSERT_EQ(scores.size(), 1u);
+  EXPECT_NEAR(scores[0], 6.0 / std::sqrt(4.0), 1e-6);
+}
+
+TEST(KVStore, AttentionScoresAtSubset) {
+  KVStore store(2);
+  for (Index i = 0; i < 4; ++i) {
+    const std::vector<float> k{static_cast<float>(i), 0.0f};
+    store.append(k, k);
+  }
+  const std::vector<float> q{1.0f, 0.0f};
+  const std::vector<Index> at{3, 0};
+  const auto scores = store.attention_scores_at(q, at);
+  ASSERT_EQ(scores.size(), 2u);
+  EXPECT_GT(scores[0], scores[1]);
+}
+
+TEST(TieredStore, AppendIsFastResident) {
+  TieredKVStore store(4);
+  const std::vector<float> x(4, 1.0f);
+  store.append(x, x);
+  EXPECT_TRUE(store.is_fast_resident(0));
+  EXPECT_EQ(store.fast_resident_count(), 1);
+  EXPECT_EQ(store.stats().bytes_to_fast, 0);  // produced in place, no transfer
+}
+
+TEST(TieredStore, OffloadAccountsBytes) {
+  TieredKVStore store(8, 2);
+  const std::vector<float> x(8, 1.0f);
+  for (int i = 0; i < 3; ++i) {
+    store.append(x, x);
+  }
+  store.offload_to_slow(0, 3);
+  EXPECT_EQ(store.fast_resident_count(), 0);
+  // token_bytes = 2 tensors * 8 channels * 2 bytes = 32.
+  EXPECT_EQ(store.token_bytes(), 32);
+  EXPECT_EQ(store.stats().bytes_to_slow, 96);
+  EXPECT_EQ(store.stats().tokens_offloaded, 3);
+}
+
+TEST(TieredStore, EnsureResidentFetchesOnlyMissing) {
+  TieredKVStore store(4);
+  const std::vector<float> x(4, 1.0f);
+  for (int i = 0; i < 4; ++i) {
+    store.append(x, x);
+  }
+  store.offload_to_slow(0, 4);
+  const std::vector<Index> want{1, 2};
+  EXPECT_EQ(store.ensure_resident(want), 2);
+  EXPECT_EQ(store.stats().tokens_fetched, 2);
+  // Second request: already resident, no traffic.
+  EXPECT_EQ(store.ensure_resident(want), 0);
+  EXPECT_EQ(store.stats().tokens_fetched, 2);
+  EXPECT_EQ(store.stats().fetch_events, 1);
+}
+
+TEST(TieredStore, DropFromFastIsFree) {
+  TieredKVStore store(4);
+  const std::vector<float> x(4, 1.0f);
+  store.append(x, x);
+  const auto before = store.stats().bytes_to_slow;
+  const std::vector<Index> drop{0};
+  store.drop_from_fast(drop);
+  EXPECT_FALSE(store.is_fast_resident(0));
+  EXPECT_EQ(store.stats().bytes_to_slow, before);
+}
+
+TEST(TieredStore, DoubleOffloadCountsOnce) {
+  TieredKVStore store(4);
+  const std::vector<float> x(4, 1.0f);
+  store.append(x, x);
+  store.offload_to_slow(0, 1);
+  store.offload_to_slow(0, 1);
+  EXPECT_EQ(store.stats().tokens_offloaded, 1);
+}
+
+TEST(TieredStore, StatsMerge) {
+  TransferStats a;
+  a.bytes_to_fast = 10;
+  a.tokens_fetched = 1;
+  TransferStats b;
+  b.bytes_to_fast = 5;
+  b.fetch_events = 2;
+  a.merge(b);
+  EXPECT_EQ(a.bytes_to_fast, 15);
+  EXPECT_EQ(a.tokens_fetched, 1);
+  EXPECT_EQ(a.fetch_events, 2);
+}
+
+TEST(TieredStore, RangeValidation) {
+  TieredKVStore store(4);
+  EXPECT_THROW(store.offload_to_slow(0, 1), std::invalid_argument);
+  const std::vector<Index> bad{0};
+  EXPECT_THROW(store.ensure_resident(bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ckv

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/lm_head.hpp"
+#include "tensor/rng.hpp"
+#include "tensor/softmax.hpp"
+
+namespace ckv {
+namespace {
+
+TEST(LMHead, ShapesAndLinearity) {
+  LMHead head(32, 8, Rng(1));
+  EXPECT_EQ(head.vocab_size(), 32);
+  EXPECT_EQ(head.feature_dim(), 8);
+  Rng rng(2);
+  std::vector<float> f(8);
+  rng.fill_normal(f, 0.0, 1.0);
+  const auto logits = head.logits(f);
+  ASSERT_EQ(logits.size(), 32u);
+  // Linearity: logits(2f) == 2 * logits(f).
+  std::vector<float> f2(f);
+  for (auto& x : f2) {
+    x *= 2.0f;
+  }
+  const auto logits2 = head.logits(f2);
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    EXPECT_NEAR(logits2[i], 2.0f * logits[i], 1e-4);
+  }
+}
+
+TEST(LMHead, NllMatchesManualComputation) {
+  const std::vector<float> logits{1.0f, 2.0f, 0.5f};
+  const double t = 1.5;
+  // Manual: -log softmax(logits / t)[1].
+  std::vector<float> scaled(3);
+  for (int i = 0; i < 3; ++i) {
+    scaled[static_cast<std::size_t>(i)] =
+        static_cast<float>(logits[static_cast<std::size_t>(i)] / t);
+  }
+  const auto lp = log_softmax(scaled);
+  EXPECT_NEAR(nll_of(logits, 1, t), -lp[1], 1e-6);
+}
+
+TEST(LMHead, NllValidation) {
+  const std::vector<float> logits{1.0f, 2.0f};
+  EXPECT_THROW(nll_of(logits, 2, 1.0), std::invalid_argument);
+  EXPECT_THROW(nll_of(logits, -1, 1.0), std::invalid_argument);
+  EXPECT_THROW(nll_of(logits, 0, 0.0), std::invalid_argument);
+}
+
+TEST(LMHead, ArgmaxToken) {
+  const std::vector<float> logits{0.2f, 1.5f, -3.0f, 1.4f};
+  EXPECT_EQ(argmax_token(logits), 1);
+}
+
+TEST(LMHead, SamplingDeterministicAndInRange) {
+  const std::vector<float> logits{0.0f, 1.0f, 2.0f, 3.0f};
+  Rng a(5);
+  Rng b(5);
+  for (int i = 0; i < 50; ++i) {
+    const Index ta = sample_token(logits, 0.8, a);
+    const Index tb = sample_token(logits, 0.8, b);
+    EXPECT_EQ(ta, tb);
+    EXPECT_GE(ta, 0);
+    EXPECT_LT(ta, 4);
+  }
+}
+
+TEST(LMHead, LowTemperatureConcentratesOnArgmax) {
+  const std::vector<float> logits{0.0f, 5.0f, 1.0f};
+  Rng rng(6);
+  for (int i = 0; i < 30; ++i) {
+    EXPECT_EQ(sample_token(logits, 0.01, rng), 1);
+  }
+}
+
+TEST(LMHead, HighTemperatureApproachesUniform) {
+  const std::vector<float> logits{0.0f, 5.0f, 1.0f};
+  Rng rng(7);
+  int count0 = 0;
+  const int n = 6000;
+  for (int i = 0; i < n; ++i) {
+    if (sample_token(logits, 1e4, rng) == 0) {
+      ++count0;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(count0) / n, 1.0 / 3.0, 0.05);
+}
+
+}  // namespace
+}  // namespace ckv

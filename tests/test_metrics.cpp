@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "metrics/fragmentation.hpp"
+#include "metrics/metrics.hpp"
+#include "metrics/perplexity.hpp"
+
+namespace ckv {
+namespace {
+
+TEST(Recall, BasicOverlap) {
+  const std::vector<Index> selected{1, 2, 3, 4};
+  const std::vector<Index> truth{3, 4, 5, 6};
+  EXPECT_DOUBLE_EQ(recall_of(selected, truth), 0.5);
+}
+
+TEST(Recall, EmptyTruthIsZero) {
+  const std::vector<Index> selected{1};
+  EXPECT_DOUBLE_EQ(recall_of(selected, {}), 0.0);
+}
+
+TEST(Recall, DuplicatesCountOnce) {
+  const std::vector<Index> selected{3, 3, 3};
+  const std::vector<Index> truth{3, 4};
+  EXPECT_DOUBLE_EQ(recall_of(selected, truth), 0.5);
+}
+
+TEST(AttentionMass, SumsSelectedProbabilities) {
+  const std::vector<float> probs{0.1f, 0.2f, 0.3f, 0.4f};
+  const std::vector<Index> sel{1, 3};
+  EXPECT_NEAR(attention_mass(probs, sel), 0.6, 1e-6);
+}
+
+TEST(AttentionMass, OutOfRangeRejected) {
+  const std::vector<float> probs{0.5f, 0.5f};
+  const std::vector<Index> bad{2};
+  EXPECT_THROW(attention_mass(probs, bad), std::invalid_argument);
+}
+
+TEST(BlendedQuality, BoundsAndMonotonicity) {
+  EXPECT_DOUBLE_EQ(blended_quality(1.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(blended_quality(0.0, 0.0), 0.0);
+  EXPECT_GT(blended_quality(0.8, 0.5), blended_quality(0.5, 0.5));
+  EXPECT_GT(blended_quality(0.5, 0.8), blended_quality(0.5, 0.5));
+  // Out-of-range inputs clamp.
+  EXPECT_DOUBLE_EQ(blended_quality(2.0, 2.0), 1.0);
+}
+
+TEST(QualityToScore, AnchoredAtFullKV) {
+  EXPECT_DOUBLE_EQ(quality_to_score(1.0, 49.0, 1.0), 49.0);
+  EXPECT_DOUBLE_EQ(quality_to_score(1.0, 49.0, 3.6), 49.0);
+  // Linear when difficulty = 1.
+  EXPECT_DOUBLE_EQ(quality_to_score(0.5, 40.0, 1.0), 20.0);
+  // Concave for difficulty > 1: partial quality keeps most of the score.
+  EXPECT_NEAR(quality_to_score(0.5, 40.0, 2.0), 30.0, 1e-9);
+  EXPECT_GT(quality_to_score(0.7, 40.0, 4.0), quality_to_score(0.7, 40.0, 2.0));
+  EXPECT_DOUBLE_EQ(quality_to_score(0.0, 40.0, 3.0), 0.0);
+  EXPECT_THROW(quality_to_score(0.5, 40.0, 0.0), std::invalid_argument);
+}
+
+TEST(Perplexity, ExpOfMeanNll) {
+  PerplexityMeter meter;
+  meter.add_nll(std::log(10.0));
+  meter.add_nll(std::log(10.0));
+  EXPECT_NEAR(meter.perplexity(), 10.0, 1e-9);
+  EXPECT_EQ(meter.count(), 2);
+}
+
+TEST(Perplexity, EmptyMeterIsOne) {
+  PerplexityMeter meter;
+  EXPECT_DOUBLE_EQ(meter.perplexity(), 1.0);
+}
+
+TEST(Perplexity, RejectsNonFinite) {
+  PerplexityMeter meter;
+  EXPECT_THROW(meter.add_nll(std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+}
+
+TEST(Fragmentation, PerfectlyPackedTokens) {
+  // 32 important tokens in exactly 2 pages of 16.
+  std::vector<float> scores(256, 0.0f);
+  for (Index i = 0; i < 16; ++i) {
+    scores[static_cast<std::size_t>(i)] = 10.0f;
+    scores[static_cast<std::size_t>(64 + i)] = 10.0f;
+  }
+  const auto report = analyze_page_fragmentation(scores, 32, 16);
+  EXPECT_EQ(report.pages_touched, 2);
+  EXPECT_EQ(report.tokens_wasted, 0);
+  EXPECT_DOUBLE_EQ(report.mean_per_page, 16.0);
+  EXPECT_EQ(report.histogram.back(), 2);  // two pages with 16 important
+}
+
+TEST(Fragmentation, FullyScatteredTokens) {
+  // One important token every 16 positions: worst-case fragmentation.
+  std::vector<float> scores(256, 0.0f);
+  for (Index p = 0; p < 16; ++p) {
+    scores[static_cast<std::size_t>(p * 16)] = 10.0f;
+  }
+  const auto report = analyze_page_fragmentation(scores, 16, 16);
+  EXPECT_EQ(report.pages_touched, 16);
+  EXPECT_EQ(report.tokens_loaded, 256);
+  EXPECT_EQ(report.tokens_wasted, 240);
+  EXPECT_DOUBLE_EQ(report.mean_per_page, 1.0);
+  EXPECT_EQ(report.histogram[0], 16);  // every page holds exactly 1
+}
+
+TEST(Fragmentation, HistogramSumsToPages) {
+  std::vector<float> scores(512, 0.0f);
+  for (Index i = 0; i < 64; ++i) {
+    scores[static_cast<std::size_t>((i * 37) % 512)] = 5.0f + static_cast<float>(i);
+  }
+  const auto report = analyze_page_fragmentation(scores, 64, 16);
+  Index pages = 0;
+  Index tokens = 0;
+  for (std::size_t bucket = 0; bucket < report.histogram.size(); ++bucket) {
+    pages += report.histogram[bucket];
+    tokens += report.histogram[bucket] * static_cast<Index>(bucket + 1);
+  }
+  EXPECT_EQ(pages, report.pages_touched);
+  EXPECT_EQ(tokens, report.important_tokens);
+}
+
+TEST(Fragmentation, ParameterValidation) {
+  const std::vector<float> scores(16, 0.0f);
+  EXPECT_THROW(analyze_page_fragmentation(scores, 0, 16), std::invalid_argument);
+  EXPECT_THROW(analyze_page_fragmentation(scores, 4, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ckv

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kvcache/quantization.hpp"
+#include "model/procedural.hpp"
+#include "tensor/rng.hpp"
+#include "tensor/vec_ops.hpp"
+
+namespace ckv {
+namespace {
+
+TEST(Quantization, RoundTripErrorBoundedByScale) {
+  Rng rng(1);
+  Matrix block(64, 16);
+  rng.fill_normal(block.flat(), 0.0, 2.0);
+  const auto q = quantize_per_channel(block);
+  // Error per channel is at most half a quantization step.
+  const Matrix back = dequantize(q);
+  for (Index c = 0; c < block.cols(); ++c) {
+    const float scale = q.channel_scale[static_cast<std::size_t>(c)];
+    for (Index r = 0; r < block.rows(); ++r) {
+      EXPECT_LE(std::abs(block.at(r, c) - back.at(r, c)), 0.5f * scale + 1e-6f);
+    }
+  }
+}
+
+TEST(Quantization, ExactForPowerOfScaleValues) {
+  Matrix block(2, 2);
+  block.at(0, 0) = 127.0f;
+  block.at(1, 0) = -127.0f;
+  block.at(0, 1) = 0.0f;
+  block.at(1, 1) = 63.5f;
+  const auto q = quantize_per_channel(block);
+  EXPECT_NEAR(quantization_error(block, q), 0.25, 0.26);  // channel 1 step/2
+  const auto back = dequantize(q);
+  EXPECT_FLOAT_EQ(back.at(0, 0), 127.0f);
+  EXPECT_FLOAT_EQ(back.at(1, 0), -127.0f);
+}
+
+TEST(Quantization, ZeroChannelHandled) {
+  Matrix block(4, 2);
+  for (Index r = 0; r < 4; ++r) {
+    block.at(r, 1) = static_cast<float>(r);
+  }
+  const auto q = quantize_per_channel(block);
+  EXPECT_FLOAT_EQ(q.channel_scale[0], 0.0f);
+  const auto back = dequantize(q);
+  for (Index r = 0; r < 4; ++r) {
+    EXPECT_FLOAT_EQ(back.at(r, 0), 0.0f);
+  }
+}
+
+TEST(Quantization, OutlierChannelsDoNotPoisonOthers) {
+  // The KIVI argument: per-channel scales isolate outlier channels, so
+  // normal channels keep fine resolution.
+  ProceduralParams p;
+  p.head_dim = 32;
+  HeadStream stream(p, Rng(2), 512);
+  const auto q = quantize_per_channel(stream.keys());
+  const auto back = dequantize(q);
+  // Attention-score error stays a small fraction of the score spread.
+  const auto query = stream.query(0);
+  double worst_abs = 0.0;
+  double score_spread = 0.0;
+  for (Index t = 0; t < 512; ++t) {
+    const double exact = dot(query, stream.keys().row(t));
+    const double approx = dot(query, back.row(t));
+    worst_abs = std::max(worst_abs, std::abs(exact - approx));
+    score_spread = std::max(score_spread, std::abs(exact));
+  }
+  EXPECT_LT(worst_abs, 0.05 * score_spread);
+}
+
+TEST(Quantization, CompressionRatioNearTwo) {
+  Rng rng(3);
+  Matrix block(256, 64);
+  rng.fill_normal(block.flat(), 0.0, 1.0);
+  const auto q = quantize_per_channel(block);
+  const double ratio = compression_ratio_vs_fp16(q);
+  EXPECT_GT(ratio, 1.9);   // 2 bytes -> 1 byte, minus scale overhead
+  EXPECT_LT(ratio, 2.01);
+}
+
+TEST(Quantization, ByteSizeAccounting) {
+  Matrix block(8, 4);
+  const auto q = quantize_per_channel(block);
+  EXPECT_EQ(q.byte_size(), 8 * 4 + 4 * static_cast<Index>(sizeof(float)));
+}
+
+TEST(Quantization, ShapeMismatchRejected) {
+  Matrix a(2, 2);
+  Matrix b(3, 2);
+  const auto q = quantize_per_channel(b);
+  EXPECT_THROW(quantization_error(a, q), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ckv

@@ -1,0 +1,233 @@
+// Property-based tests (parameterized fuzz) of the selection, indexing and
+// caching invariants the ClusterKV pipeline relies on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "baselines/quest.hpp"
+#include "core/cluster_cache.hpp"
+#include "core/centroid_store.hpp"
+#include "core/selector_index.hpp"
+#include "model/procedural.hpp"
+#include "tensor/rng.hpp"
+
+namespace ckv {
+namespace {
+
+class SelectClustersFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SelectClustersFuzz, GreedyPrefixMinimalAndOrdered) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 40; ++trial) {
+    const Index n = rng.uniform_int(1, 60);
+    std::vector<float> scores(static_cast<std::size_t>(n));
+    std::vector<Index> sizes(static_cast<std::size_t>(n));
+    Index total = 0;
+    for (Index c = 0; c < n; ++c) {
+      scores[static_cast<std::size_t>(c)] = static_cast<float>(rng.normal());
+      sizes[static_cast<std::size_t>(c)] = rng.uniform_int(1, 50);
+      total += sizes[static_cast<std::size_t>(c)];
+    }
+    const Index budget = rng.uniform_int(0, total + 20);
+    const auto sel = select_clusters(scores, sizes, budget);
+
+    // (1) Selected clusters are in non-ascending score order.
+    for (std::size_t i = 0; i + 1 < sel.clusters.size(); ++i) {
+      EXPECT_GE(scores[static_cast<std::size_t>(sel.clusters[i])],
+                scores[static_cast<std::size_t>(sel.clusters[i + 1])]);
+    }
+    // (2) No duplicates.
+    std::set<Index> unique(sel.clusters.begin(), sel.clusters.end());
+    EXPECT_EQ(unique.size(), sel.clusters.size());
+    // (3) Coverage: the selection reaches the budget or exhausts clusters.
+    Index covered = 0;
+    for (const Index c : sel.clusters) {
+      covered += sizes[static_cast<std::size_t>(c)];
+    }
+    EXPECT_EQ(covered, sel.total_tokens);
+    if (budget > 0) {
+      EXPECT_TRUE(covered >= std::min<Index>(budget, total));
+    }
+    // (4) Minimality: dropping the last selected cluster falls below budget.
+    if (budget > 0 && !sel.clusters.empty()) {
+      EXPECT_LT(covered - sizes[static_cast<std::size_t>(sel.clusters.back())],
+                budget);
+    }
+    // (5) Trim flag is exact.
+    EXPECT_EQ(sel.trimmed, covered > budget && budget > 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SelectClustersFuzz,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+class ClusterCacheFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ClusterCacheFuzz, MatchesNaiveReferenceModel) {
+  Rng rng(GetParam());
+  const Index depth = rng.uniform_int(0, 3);
+  ClusterCache cache(depth);
+
+  // Reference: a deque of token sets.
+  std::vector<std::unordered_set<Index>> reference_window;
+
+  for (int step = 0; step < 60; ++step) {
+    const Index clusters = rng.uniform_int(1, 5);
+    std::vector<std::pair<Index, std::vector<Index>>> selected;
+    std::unordered_set<Index> requested;
+    for (Index c = 0; c < clusters; ++c) {
+      const Index cluster_id = rng.uniform_int(0, 9);
+      std::vector<Index> tokens;
+      const Index count = rng.uniform_int(1, 6);
+      for (Index t = 0; t < count; ++t) {
+        const Index token = cluster_id * 100 + rng.uniform_int(0, 19);
+        if (requested.insert(token).second) {
+          tokens.push_back(token);
+        }
+      }
+      if (!tokens.empty()) {
+        std::sort(tokens.begin(), tokens.end());
+        selected.emplace_back(cluster_id, tokens);
+      }
+    }
+
+    std::unordered_set<Index> resident;
+    for (const auto& entry : reference_window) {
+      resident.insert(entry.begin(), entry.end());
+    }
+    Index expected_hits = 0;
+    Index expected_misses = 0;
+    for (const auto& [cluster, tokens] : selected) {
+      for (const Index t : tokens) {
+        if (resident.contains(t)) {
+          ++expected_hits;
+        } else {
+          ++expected_misses;
+        }
+      }
+    }
+
+    const auto result = cache.step(selected);
+    EXPECT_EQ(result.hits, expected_hits) << "step " << step;
+    EXPECT_EQ(result.misses, expected_misses) << "step " << step;
+    EXPECT_EQ(static_cast<Index>(result.missing_tokens.size()), expected_misses);
+
+    reference_window.insert(reference_window.begin(), requested);
+    while (static_cast<Index>(reference_window.size()) > depth) {
+      reference_window.pop_back();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClusterCacheFuzz,
+                         ::testing::Values(11, 12, 13, 14, 15, 16));
+
+class QuestBoundFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QuestBoundFuzz, UpperBoundHoldsOnRandomData) {
+  // The page-score upper bound must hold for arbitrary key/query data,
+  // not just procedural streams.
+  Rng rng(GetParam());
+  const Index dim = 16;
+  QuestSelector quest(dim, QuestConfig{.page_size = 8});
+  Matrix keys(64, dim);
+  Matrix values(64, dim);
+  rng.fill_normal(keys.flat(), 0.0, 2.0);
+  rng.fill_normal(values.flat(), 0.0, 1.0);
+  quest.observe_prefill(keys, values);
+
+  KVStore reference(dim);
+  reference.append_block(keys, values);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<float> query(static_cast<std::size_t>(dim));
+    rng.fill_normal(query, 0.0, 3.0);
+    const auto scores = reference.attention_scores(query);
+    for (Index page = 0; page < quest.page_count(); ++page) {
+      const double bound = quest.page_score(query, page);
+      for (Index t = page * 8; t < (page + 1) * 8; ++t) {
+        EXPECT_GE(bound + 1e-4, scores[static_cast<std::size_t>(t)]);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuestBoundFuzz, ::testing::Values(21, 22, 23, 24));
+
+class CentroidStoreFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CentroidStoreFuzz, PartitionInvariantUnderIncrementalAdds) {
+  // Incremental cluster additions must always leave a perfect partition of
+  // all registered token positions.
+  Rng rng(GetParam());
+  CentroidStore store(8);
+  Index offset = 0;
+  for (int batch = 0; batch < 8; ++batch) {
+    const Index clusters = rng.uniform_int(1, 5);
+    const Index tokens = rng.uniform_int(1, 40);
+    Matrix centroids(clusters, 8);
+    rng.fill_normal(centroids.flat(), 0.0, 1.0);
+    std::vector<Index> labels(static_cast<std::size_t>(tokens));
+    for (auto& l : labels) {
+      l = rng.uniform_int(0, clusters - 1);
+    }
+    store.add_clusters(centroids, labels, offset);
+    offset += tokens;
+  }
+  std::set<Index> seen;
+  for (Index c = 0; c < store.cluster_count(); ++c) {
+    Index previous = -1;
+    for (const Index t : store.tokens_of(c)) {
+      EXPECT_TRUE(seen.insert(t).second) << "token in two clusters";
+      EXPECT_GT(t, previous) << "tokens not ascending within cluster";
+      previous = t;
+    }
+  }
+  EXPECT_EQ(static_cast<Index>(seen.size()), offset);
+  EXPECT_EQ(store.token_count(), offset);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CentroidStoreFuzz,
+                         ::testing::Values(31, 32, 33, 34, 35));
+
+class GatherTrimFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GatherTrimFuzz, NeverExceedsBudgetAndPreservesClusterOrder) {
+  Rng rng(GetParam());
+  CentroidStore store(4);
+  const Index clusters = 6;
+  Matrix centroids(clusters, 4);
+  rng.fill_normal(centroids.flat(), 0.0, 1.0);
+  std::vector<Index> labels;
+  for (Index t = 0; t < 120; ++t) {
+    labels.push_back(rng.uniform_int(0, clusters - 1));
+  }
+  store.add_clusters(centroids, labels, 0);
+
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<float> scores(clusters);
+    for (auto& s : scores) {
+      s = static_cast<float>(rng.normal());
+    }
+    const Index budget = rng.uniform_int(0, 140);
+    const auto sel = select_clusters(scores, store.cluster_sizes(), budget);
+    const auto indexed = gather_selected_tokens(store, sel, budget);
+    EXPECT_LE(static_cast<Index>(indexed.token_positions.size()), budget);
+    // Budget is met exactly whenever enough tokens were selected.
+    if (sel.total_tokens >= budget) {
+      EXPECT_EQ(static_cast<Index>(indexed.token_positions.size()), budget);
+    }
+    // per_cluster breakdown flattens to token_positions.
+    std::vector<Index> flattened;
+    for (const auto& [cluster, tokens] : indexed.per_cluster) {
+      flattened.insert(flattened.end(), tokens.begin(), tokens.end());
+    }
+    EXPECT_EQ(flattened, indexed.token_positions);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GatherTrimFuzz, ::testing::Values(41, 42, 43, 44));
+
+}  // namespace
+}  // namespace ckv

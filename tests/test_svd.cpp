@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/matrix.hpp"
+#include "tensor/rng.hpp"
+#include "tensor/svd.hpp"
+#include "tensor/vec_ops.hpp"
+
+namespace ckv {
+namespace {
+
+class SvdShapes : public ::testing::TestWithParam<std::pair<Index, Index>> {};
+
+TEST_P(SvdShapes, ReconstructionIsExact) {
+  const auto [rows, cols] = GetParam();
+  Rng rng(derive_seed(100, std::to_string(rows) + "x" + std::to_string(cols)));
+  Matrix a(rows, cols);
+  rng.fill_normal(a.flat(), 0.0, 1.0);
+  const auto svd = jacobi_svd(a);
+  const auto back = svd_reconstruct(svd);
+  EXPECT_LT(frobenius_distance(a, back), 1e-3 * std::sqrt(static_cast<double>(a.size())));
+}
+
+TEST_P(SvdShapes, SingularValuesDescendingNonNegative) {
+  const auto [rows, cols] = GetParam();
+  Rng rng(derive_seed(200, std::to_string(rows)));
+  Matrix a(rows, cols);
+  rng.fill_normal(a.flat(), 0.0, 1.0);
+  const auto svd = jacobi_svd(a);
+  for (std::size_t i = 0; i + 1 < svd.singular_values.size(); ++i) {
+    EXPECT_GE(svd.singular_values[i], svd.singular_values[i + 1]);
+  }
+  for (const float s : svd.singular_values) {
+    EXPECT_GE(s, 0.0f);
+  }
+}
+
+TEST_P(SvdShapes, SingularVectorsOrthonormal) {
+  const auto [rows, cols] = GetParam();
+  Rng rng(derive_seed(300, std::to_string(cols)));
+  Matrix a(rows, cols);
+  rng.fill_normal(a.flat(), 0.0, 1.0);
+  const auto svd = jacobi_svd(a);
+  const Index r = static_cast<Index>(svd.singular_values.size());
+  // V columns orthonormal: V^T V = I.
+  for (Index i = 0; i < r; ++i) {
+    for (Index j = i; j < r; ++j) {
+      double acc = 0.0;
+      for (Index k = 0; k < svd.v.rows(); ++k) {
+        acc += static_cast<double>(svd.v.at(k, i)) * static_cast<double>(svd.v.at(k, j));
+      }
+      EXPECT_NEAR(acc, i == j ? 1.0 : 0.0, 1e-4);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SvdShapes,
+                         ::testing::Values(std::pair<Index, Index>{4, 4},
+                                           std::pair<Index, Index>{16, 8},
+                                           std::pair<Index, Index>{12, 12},
+                                           std::pair<Index, Index>{64, 16},
+                                           std::pair<Index, Index>{32, 32}));
+
+TEST(Svd, KnownDiagonal) {
+  Matrix a(3, 3);
+  a.at(0, 0) = 3.0f;
+  a.at(1, 1) = 1.0f;
+  a.at(2, 2) = 2.0f;
+  const auto svd = jacobi_svd(a);
+  ASSERT_EQ(svd.singular_values.size(), 3u);
+  EXPECT_NEAR(svd.singular_values[0], 3.0f, 1e-5);
+  EXPECT_NEAR(svd.singular_values[1], 2.0f, 1e-5);
+  EXPECT_NEAR(svd.singular_values[2], 1.0f, 1e-5);
+}
+
+TEST(Svd, LowRankTruncationCapturesEnergy) {
+  // Build an exactly rank-2 matrix; rank-2 truncation must reconstruct it.
+  Rng rng(42);
+  Matrix u(10, 2);
+  Matrix v(2, 6);
+  rng.fill_normal(u.flat(), 0.0, 1.0);
+  rng.fill_normal(v.flat(), 0.0, 1.0);
+  const Matrix a = matmul(u, v);
+  const auto svd = jacobi_svd(a);
+  const auto rank2 = svd_reconstruct(svd, 2);
+  EXPECT_LT(frobenius_distance(a, rank2), 1e-3);
+  EXPECT_LT(svd.singular_values[2], 1e-3);
+}
+
+TEST(Svd, TruncationRankValidated) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1.0f;
+  a.at(1, 1) = 1.0f;
+  const auto svd = jacobi_svd(a);
+  EXPECT_THROW(svd_reconstruct(svd, 3), std::invalid_argument);
+}
+
+TEST(Svd, EmptyMatrixRejected) {
+  Matrix empty;
+  EXPECT_THROW(jacobi_svd(empty), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ckv

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/full_kv.hpp"
+#include "baselines/quest.hpp"
+#include "core/clusterkv_engine.hpp"
+#include "model/tiny_transformer.hpp"
+#include "tensor/rng.hpp"
+
+namespace ckv {
+namespace {
+
+TinyTransformerConfig tiny_config() {
+  TinyTransformerConfig c;
+  c.vocab_size = 64;
+  c.num_layers = 2;
+  c.num_heads = 4;
+  c.head_dim = 16;
+  c.ffn_dim = 128;
+  return c;
+}
+
+std::vector<Index> make_prompt(Index len, Index vocab, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Index> prompt(static_cast<std::size_t>(len));
+  for (auto& t : prompt) {
+    t = rng.uniform_int(0, vocab - 1);
+  }
+  return prompt;
+}
+
+ClusterKVConfig tiny_ckv() {
+  ClusterKVConfig c;
+  c.sink_tokens = 4;
+  c.tokens_per_cluster = 16;
+  c.decode_interval = 8;
+  c.decode_clusters = 2;
+  return c;
+}
+
+double max_abs_diff(std::span<const float> a, std::span<const float> b) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::abs(static_cast<double>(a[i]) - static_cast<double>(b[i])));
+  }
+  return m;
+}
+
+TEST(TinyTransformer, LogitsAreFinite) {
+  TinyTransformer model(tiny_config(), Rng(1));
+  SelectorBank bank(2, 4, 16, make_full_kv_factory());
+  const auto prompt = make_prompt(32, 64, 2);
+  const auto logits = model.prefill(prompt, bank);
+  ASSERT_EQ(logits.size(), 64u);
+  for (const float x : logits) {
+    EXPECT_TRUE(std::isfinite(x));
+  }
+}
+
+TEST(TinyTransformer, GreedyGenerationDeterministic) {
+  const auto prompt = make_prompt(24, 64, 3);
+  TinyTransformer m1(tiny_config(), Rng(7));
+  SelectorBank b1(2, 4, 16, make_full_kv_factory());
+  const auto g1 = m1.generate_greedy(prompt, b1, 1 << 20, 12);
+
+  TinyTransformer m2(tiny_config(), Rng(7));
+  SelectorBank b2(2, 4, 16, make_full_kv_factory());
+  const auto g2 = m2.generate_greedy(prompt, b2, 1 << 20, 12);
+  EXPECT_EQ(g1, g2);
+}
+
+TEST(TinyTransformer, ClusterKVWithFullBudgetMatchesExact) {
+  // With budget >= context, ClusterKV selects every token, so the decode
+  // logits must match the Full-KV run to float tolerance.
+  const auto prompt = make_prompt(48, 64, 4);
+
+  TinyTransformer exact_model(tiny_config(), Rng(9));
+  SelectorBank exact_bank(2, 4, 16, make_full_kv_factory());
+  auto exact_logits = exact_model.prefill(prompt, exact_bank);
+
+  TinyTransformer ckv_model(tiny_config(), Rng(9));
+  SelectorBank ckv_bank(2, 4, 16, make_clusterkv_factory(tiny_ckv(), 5));
+  auto ckv_logits = ckv_model.prefill(prompt, ckv_bank);
+  EXPECT_LT(max_abs_diff(exact_logits, ckv_logits), 1e-5);
+
+  const Index huge_budget = 1 << 20;
+  for (Index step = 0; step < 10; ++step) {
+    const Index token = step % 64;
+    exact_logits = exact_model.decode_step(token, exact_bank, huge_budget);
+    ckv_logits = ckv_model.decode_step(token, ckv_bank, huge_budget);
+    EXPECT_LT(max_abs_diff(exact_logits, ckv_logits), 1e-4) << "step " << step;
+  }
+}
+
+TEST(TinyTransformer, CompressedBudgetStaysClose) {
+  const auto prompt = make_prompt(96, 64, 6);
+
+  TinyTransformer exact_model(tiny_config(), Rng(11));
+  SelectorBank exact_bank(2, 4, 16, make_full_kv_factory());
+  auto exact_logits = exact_model.prefill(prompt, exact_bank);
+
+  TinyTransformer ckv_model(tiny_config(), Rng(11));
+  SelectorBank ckv_bank(2, 4, 16, make_clusterkv_factory(tiny_ckv(), 8));
+  auto ckv_logits = ckv_model.prefill(prompt, ckv_bank);
+
+  double worst = 0.0;
+  for (Index step = 0; step < 8; ++step) {
+    const Index token = (step * 7) % 64;
+    exact_logits = exact_model.decode_step(token, exact_bank, 1 << 20);
+    ckv_logits = ckv_model.decode_step(token, ckv_bank, 48);  // half the context
+    worst = std::max(worst, max_abs_diff(exact_logits, ckv_logits));
+  }
+  // Approximation drift exists but stays bounded (logit scale is O(1);
+  // dropping half the attended mass can move logits by a few units).
+  EXPECT_GT(worst, 0.0);
+  EXPECT_LT(worst, 5.0);
+}
+
+TEST(TinyTransformer, PrefillTwiceRejected) {
+  TinyTransformer model(tiny_config(), Rng(12));
+  SelectorBank bank(2, 4, 16, make_full_kv_factory());
+  const auto prompt = make_prompt(8, 64, 7);
+  model.prefill(prompt, bank);
+  EXPECT_THROW(model.prefill(prompt, bank), std::invalid_argument);
+}
+
+TEST(TinyTransformer, DecodeBeforePrefillRejected) {
+  TinyTransformer model(tiny_config(), Rng(13));
+  SelectorBank bank(2, 4, 16, make_full_kv_factory());
+  EXPECT_THROW(model.decode_step(0, bank, 8), std::invalid_argument);
+}
+
+TEST(TinyTransformer, QuestRunsEndToEnd) {
+  TinyTransformer model(tiny_config(), Rng(14));
+  QuestConfig quest;
+  quest.page_size = 8;
+  SelectorBank bank(2, 4, 16, make_quest_factory(quest));
+  const auto prompt = make_prompt(64, 64, 8);
+  const auto generated = model.generate_greedy(prompt, bank, 32, 8);
+  EXPECT_EQ(generated.size(), 8u);
+  for (const Index t : generated) {
+    EXPECT_GE(t, 0);
+    EXPECT_LT(t, 64);
+  }
+}
+
+TEST(SelectorBankTest, ShapeAndValidation) {
+  SelectorBank bank(2, 3, 8, make_full_kv_factory());
+  EXPECT_EQ(bank.num_layers(), 2);
+  EXPECT_EQ(bank.num_heads(), 3);
+  EXPECT_EQ(bank.method_name(), "Full KV");
+  EXPECT_THROW(bank.at(2, 0), std::invalid_argument);
+  EXPECT_THROW(bank.at(0, 3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ckv

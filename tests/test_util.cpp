@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "util/common.hpp"
+#include "util/parallel.hpp"
+#include "util/table.hpp"
+
+namespace ckv {
+namespace {
+
+TEST(Expects, ThrowsOnViolation) {
+  EXPECT_THROW(expects(false, "boom"), std::invalid_argument);
+  EXPECT_NO_THROW(expects(true, "fine"));
+}
+
+TEST(Ensures, ThrowsOnViolation) {
+  EXPECT_THROW(ensures(false, "boom"), std::logic_error);
+  EXPECT_NO_THROW(ensures(true, "fine"));
+}
+
+TEST(Fnv1a, StableAndDistinct) {
+  EXPECT_EQ(fnv1a("clusterkv"), fnv1a("clusterkv"));
+  EXPECT_NE(fnv1a("clusterkv"), fnv1a("clusterkw"));
+  EXPECT_NE(fnv1a(""), fnv1a("a"));
+}
+
+TEST(DeriveSeed, DependsOnParentAndTag) {
+  EXPECT_EQ(derive_seed(1, "x"), derive_seed(1, "x"));
+  EXPECT_NE(derive_seed(1, "x"), derive_seed(2, "x"));
+  EXPECT_NE(derive_seed(1, "x"), derive_seed(1, "y"));
+}
+
+TEST(DeriveSeed, AdjacentParentsWellMixed) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t p = 0; p < 100; ++p) {
+    seeds.insert(derive_seed(p, "tag"));
+  }
+  EXPECT_EQ(seeds.size(), 100u);
+}
+
+TEST(ParallelFor, VisitsEveryIndexOnce) {
+  std::vector<std::atomic<int>> hits(64);
+  parallel_for(0, 64, [&hits](Index i) { ++hits[static_cast<std::size_t>(i)]; });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  parallel_for(5, 5, [](Index) { FAIL() << "must not be called"; });
+}
+
+TEST(ParallelFor, RejectsInvertedRange) {
+  EXPECT_THROW(parallel_for(3, 1, [](Index) {}), std::invalid_argument);
+}
+
+TEST(TextTable, AlignsAndCounts) {
+  TextTable table({"name", "value"});
+  table.add_row({"a", "1"});
+  table.add_row({"bee", "22"});
+  EXPECT_EQ(table.row_count(), 2u);
+  const auto text = table.to_string();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("bee"), std::string::npos);
+}
+
+TEST(TextTable, RejectsArityMismatch) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TextTable, CsvRoundTrip) {
+  TextTable table({"x", "y"});
+  table.add_row({"1", "2"});
+  EXPECT_EQ(table.to_csv(), "x,y\n1,2\n");
+}
+
+TEST(FormatDouble, FixedDecimals) {
+  EXPECT_EQ(format_double(1.23456, 2), "1.23");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+  EXPECT_EQ(format_double(-0.5, 1), "-0.5");
+}
+
+}  // namespace
+}  // namespace ckv

@@ -1,0 +1,294 @@
+// ckv — command-line driver for the ClusterKV reproduction.
+//
+//   ckv recall    --context 8192 --budget 512 --method clusterkv
+//   ckv latency   --model llama31-8b --prompt 32768 --decode 512 --budget 1024
+//   ckv cache     --context 8192 --budget 1024 --depth 1 --steps 64
+//   ckv longbench --budget 1024 [--csv]
+//   ckv ppl       --max-len 8192 --budget 512
+//
+// Run `ckv <command> --help` for the command's options.
+#include <iostream>
+
+#include "baselines/full_kv.hpp"
+#include "baselines/h2o.hpp"
+#include "baselines/infinigen.hpp"
+#include "baselines/quest.hpp"
+#include "baselines/streaming_llm.hpp"
+#include "core/clusterkv_engine.hpp"
+#include "model/decode_engine.hpp"
+#include "sim/latency_model.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+#include "workload/longbench.hpp"
+#include "workload/pg19.hpp"
+
+namespace {
+
+using namespace ckv;
+
+SelectorFactory make_method(const std::string& name, std::uint64_t seed,
+                            Index budget) {
+  if (name == "clusterkv") {
+    return make_clusterkv_factory(ClusterKVConfig{}, seed);
+  }
+  if (name == "quest") {
+    return make_quest_factory();
+  }
+  if (name == "infinigen") {
+    return make_infinigen_factory();
+  }
+  if (name == "h2o") {
+    H2OConfig config;
+    config.budget = budget;
+    return make_h2o_factory(config);
+  }
+  if (name == "window" || name == "streamingllm") {
+    return make_streaming_llm_factory();
+  }
+  if (name == "full") {
+    return make_full_kv_factory();
+  }
+  throw std::invalid_argument(
+      "unknown method '" + name +
+      "' (expected clusterkv|quest|infinigen|h2o|window|full)");
+}
+
+ModelConfig make_model(const std::string& name) {
+  if (name == "llama31-8b") {
+    return ModelConfig::llama31_8b();
+  }
+  if (name == "glm4-9b") {
+    return ModelConfig::glm4_9b();
+  }
+  if (name == "opt-6.7b") {
+    return ModelConfig::opt_6_7b();
+  }
+  throw std::invalid_argument("unknown model '" + name +
+                              "' (expected llama31-8b|glm4-9b|opt-6.7b)");
+}
+
+void emit(const TextTable& table, bool csv) {
+  std::cout << (csv ? table.to_csv() : table.to_string());
+}
+
+int run_recall(int argc, const char* const* argv) {
+  ArgParser args("ckv recall — recall/coverage of one method on one context");
+  args.add_option("context", "8192", "context length (tokens)");
+  args.add_option("budget", "512", "KV cache budget (tokens)");
+  args.add_option("method", "clusterkv", "clusterkv|quest|infinigen|h2o|window|full");
+  args.add_option("steps", "24", "decode steps to average over");
+  args.add_option("heads", "4", "KV heads in the simulation slice");
+  args.add_option("seed", "1", "experiment seed");
+  args.add_switch("csv", "emit CSV instead of an aligned table");
+  args.parse(argc, argv);
+
+  SimShape shape;
+  shape.num_layers = 1;
+  shape.num_heads = args.get_index("heads");
+  shape.head_dim = 64;
+  ProceduralParams params;
+  params.head_dim = 64;
+  ProceduralContextModel model(
+      shape, params, static_cast<std::uint64_t>(args.get_index("seed")),
+      args.get_index("context"));
+  DecodeEngineConfig config;
+  config.budget = args.get_index("budget");
+  config.full_attention_layers = 0;
+  config.attention_feedback = args.get_string("method") == "h2o";
+  DecodeEngine engine(
+      model,
+      make_method(args.get_string("method"),
+                  static_cast<std::uint64_t>(args.get_index("seed")), config.budget),
+      config);
+  engine.run_prefill();
+  for (Index s = 0; s < args.get_index("steps"); ++s) {
+    engine.decode_step(s);
+  }
+  TextTable table({"method", "context", "budget", "recall@B", "coverage",
+                   "cache hits", "fetched"});
+  table.add_row({args.get_string("method"), args.get_string("context"),
+                 args.get_string("budget"),
+                 format_double(engine.recall_stat().mean(), 3),
+                 format_double(engine.coverage_stat().mean(), 3),
+                 std::to_string(engine.total_cache_hits()),
+                 std::to_string(engine.total_fetched())});
+  emit(table, args.get_switch("csv"));
+  return 0;
+}
+
+int run_latency(int argc, const char* const* argv) {
+  ArgParser args("ckv latency — analytic end-to-end latency (Fig. 12 model)");
+  args.add_option("model", "llama31-8b", "llama31-8b|glm4-9b|opt-6.7b");
+  args.add_option("prompt", "32768", "prompt length P");
+  args.add_option("decode", "512", "decode length D");
+  args.add_option("budget", "1024", "KV budget for compressed methods");
+  args.add_option("miss-rate", "0.37", "ClusterKV cache miss rate");
+  args.add_switch("csv", "emit CSV instead of an aligned table");
+  args.parse(argc, argv);
+
+  const LatencyModel model(HardwareModel::ada6000(),
+                           make_model(args.get_string("model")));
+  TextTable table({"method", "prefill (s)", "decode (s)", "total (s)", "tok/s"});
+  const Index decode_len = args.get_index("decode");
+  for (const auto method :
+       {LatencyModel::Method::kFullKV, LatencyModel::Method::kClusterKV,
+        LatencyModel::Method::kQuest, LatencyModel::Method::kInfiniGen}) {
+    LatencyModel::RunParams run;
+    run.method = method;
+    run.prompt_len = args.get_index("prompt");
+    run.decode_len = decode_len;
+    run.budget = args.get_index("budget");
+    run.clusterkv_miss_rate = args.get_double("miss-rate");
+    const auto latency = model.run_latency(run);
+    table.add_row({to_string(method), format_double(latency.prefill_ms / 1000.0, 2),
+                   format_double(latency.decode_ms / 1000.0, 2),
+                   format_double(latency.total_ms() / 1000.0, 2),
+                   format_double(latency.decode_throughput_tps(decode_len), 1)});
+  }
+  emit(table, args.get_switch("csv"));
+  return 0;
+}
+
+int run_cache(int argc, const char* const* argv) {
+  ArgParser args("ckv cache — cluster-cache hit rates (§IV-D)");
+  args.add_option("context", "8192", "context length (tokens)");
+  args.add_option("budget", "1024", "KV cache budget");
+  args.add_option("depth", "1", "cache depth R");
+  args.add_option("steps", "64", "decode steps");
+  args.add_option("seed", "1", "experiment seed");
+  args.add_switch("csv", "emit CSV instead of an aligned table");
+  args.parse(argc, argv);
+
+  SimShape shape;
+  shape.num_layers = 1;
+  shape.num_heads = 4;
+  shape.head_dim = 64;
+  ProceduralParams params;
+  params.head_dim = 64;
+  ProceduralContextModel model(
+      shape, params, static_cast<std::uint64_t>(args.get_index("seed")),
+      args.get_index("context"));
+  ClusterKVConfig config;
+  config.cache_depth = args.get_index("depth");
+  DecodeEngineConfig engine_config;
+  engine_config.budget = args.get_index("budget");
+  engine_config.full_attention_layers = 0;
+  DecodeEngine engine(model,
+                      make_clusterkv_factory(
+                          config, static_cast<std::uint64_t>(args.get_index("seed"))),
+                      engine_config);
+  engine.run_prefill();
+  for (Index s = 0; s < args.get_index("steps"); ++s) {
+    engine.decode_step(s);
+  }
+  const double total =
+      static_cast<double>(engine.total_cache_hits() + engine.total_fetched());
+  TextTable table({"R", "hit rate", "hits", "fetched"});
+  table.add_row({args.get_string("depth"),
+                 format_double(total == 0.0 ? 0.0
+                                            : 100.0 * engine.total_cache_hits() / total,
+                               1) +
+                     "%",
+                 std::to_string(engine.total_cache_hits()),
+                 std::to_string(engine.total_fetched())});
+  emit(table, args.get_switch("csv"));
+  return 0;
+}
+
+int run_longbench(int argc, const char* const* argv) {
+  ArgParser args("ckv longbench — synthetic LongBench suite (Fig. 9 workload)");
+  args.add_option("budget", "1024", "KV cache budget");
+  args.add_option("method", "clusterkv", "clusterkv|quest|infinigen|h2o|window|full");
+  args.add_option("seed", "2025", "experiment seed");
+  args.add_switch("small", "use the short-context suite (fast)");
+  args.add_switch("csv", "emit CSV instead of an aligned table");
+  args.parse(argc, argv);
+
+  TaskRunOptions options;
+  options.shape.num_layers = 2;
+  options.shape.num_heads = 2;
+  options.shape.head_dim = 64;
+  options.params.head_dim = 64;
+  options.budget = args.get_index("budget");
+  options.full_attention_layers = 1;
+  options.seed = static_cast<std::uint64_t>(args.get_index("seed"));
+  options.attention_feedback = args.get_string("method") == "h2o";
+
+  const auto suite =
+      args.get_switch("small") ? longbench_suite_small() : longbench_suite();
+  const auto factory = make_method(args.get_string("method"), options.seed,
+                                   options.budget);
+  TextTable table({"task", "metric", "context", "score", "quality"});
+  for (const auto& task : suite) {
+    const auto result = run_longbench_task(task, factory, options);
+    table.add_row({task.name, task.metric, std::to_string(task.context_len),
+                   format_double(result.score, 2), format_double(result.quality, 3)});
+  }
+  emit(table, args.get_switch("csv"));
+  return 0;
+}
+
+int run_ppl(int argc, const char* const* argv) {
+  ArgParser args("ckv ppl — streaming perplexity (Fig. 10 workload)");
+  args.add_option("max-len", "8192", "longest input length");
+  args.add_option("budget", "512", "KV cache budget");
+  args.add_option("method", "clusterkv", "clusterkv|quest|infinigen|full");
+  args.add_option("stride", "1024", "evaluation stride");
+  args.add_switch("csv", "emit CSV instead of an aligned table");
+  args.parse(argc, argv);
+
+  PG19Config config;
+  config.max_len = args.get_index("max-len");
+  config.prompt_len = std::min<Index>(1024, config.max_len / 2);
+  config.eval_stride = args.get_index("stride");
+  config.budget = args.get_index("budget");
+  SimShape shape;
+  shape.num_layers = 2;
+  shape.num_heads = 2;
+  shape.head_dim = 64;
+  ProceduralParams params;
+  params.head_dim = 64;
+
+  const auto points = run_pg19(make_method(args.get_string("method"), 7, config.budget),
+                               config, shape, params);
+  TextTable table({"input length", "perplexity"});
+  for (const auto& p : points) {
+    table.add_row({std::to_string(p.input_len), format_double(p.perplexity, 2)});
+  }
+  emit(table, args.get_switch("csv"));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string usage =
+      "usage: ckv <recall|latency|cache|longbench|ppl> [--help] [options]\n";
+  if (argc < 2) {
+    std::cerr << usage;
+    return 2;
+  }
+  const std::string command = argv[1];
+  try {
+    if (command == "recall") {
+      return run_recall(argc - 1, argv + 1);
+    }
+    if (command == "latency") {
+      return run_latency(argc - 1, argv + 1);
+    }
+    if (command == "cache") {
+      return run_cache(argc - 1, argv + 1);
+    }
+    if (command == "longbench") {
+      return run_longbench(argc - 1, argv + 1);
+    }
+    if (command == "ppl") {
+      return run_ppl(argc - 1, argv + 1);
+    }
+    std::cerr << "unknown command '" << command << "'\n" << usage;
+    return 2;
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+}
