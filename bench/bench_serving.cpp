@@ -1,0 +1,149 @@
+// Multi-session serving bench: sustained decode throughput and latency
+// percentiles vs. offered load, ClusterKV against the full-KV and Quest
+// baselines under one shared fast-tier (HBM) byte budget.
+//
+// This is where recallable compression pays off beyond single-sequence
+// latency (Fig. 12/13): a ClusterKV session only pins its sinks, pending
+// tokens and the cluster-cache window in HBM, so the same budget admits
+// several times more concurrent sessions, which amortizes the dominant
+// weight-streaming cost of every decode tick. Full KV and Quest pin the
+// whole context and queue instead.
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "baselines/full_kv.hpp"
+#include "baselines/quest.hpp"
+#include "bench_common.hpp"
+#include "core/clusterkv_engine.hpp"
+#include "serve/batch_scheduler.hpp"
+#include "serve/trace.hpp"
+#include "sim/latency_model.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace ckv;
+
+struct ServingSetup {
+  SessionConfig session;
+  ClusterKVConfig clusterkv;
+  TraceConfig trace;
+  std::int64_t fast_budget_bytes = 0;
+  std::uint64_t seed = 2025;
+};
+
+ServingSetup make_setup() {
+  ServingSetup setup;
+  setup.session.shape.num_layers = 1;
+  setup.session.shape.num_heads = 2;
+  setup.session.shape.head_dim = 64;
+  setup.session.params.head_dim = 64;
+  setup.session.engine.budget = 128;
+  setup.session.engine.full_attention_layers = 0;
+
+  setup.clusterkv = bench::paper_clusterkv();
+  setup.clusterkv.decode_interval = 32;  // serving decodes are short; keep
+  setup.clusterkv.decode_clusters = 2;   // the pending buffer proportionate
+  setup.clusterkv.tokens_per_cluster = 20;  // L/80 is too coarse at ~1k tokens
+
+  setup.trace.num_requests = 16;
+  setup.trace.prompt_len_min = 700;
+  setup.trace.prompt_len_max = 1100;
+  setup.trace.decode_len_min = 16;
+  setup.trace.decode_len_max = 32;
+
+  // Global HBM budget: ~2.5 mean full contexts. Full KV can overlap two or
+  // three sessions; the ClusterKV working set (sinks + pending + cache
+  // window) is ~6x smaller, so it batches most of the fleet.
+  const Index mean_context =
+      (setup.trace.prompt_len_min + setup.trace.prompt_len_max) / 2 +
+      (setup.trace.decode_len_min + setup.trace.decode_len_max) / 2;
+  const Index per_token = session_token_bytes(setup.session);
+  setup.fast_budget_bytes = static_cast<std::int64_t>(
+      2.2 * static_cast<double>(mean_context * per_token *
+                                setup.session.shape.total_heads()));
+  return setup;
+}
+
+struct MethodRun {
+  std::string name;
+  SelectorFactory factory;
+  BatchSchedulerConfig scheduler;
+};
+
+std::vector<MethodRun> serving_methods(const ServingSetup& setup) {
+  std::vector<MethodRun> methods;
+
+  BatchSchedulerConfig ckv_config;
+  ckv_config.method = LatencyModel::Method::kClusterKV;
+  ckv_config.tiered_residency = true;
+  ckv_config.sink_tokens = setup.clusterkv.sink_tokens;
+  ckv_config.decode_interval = setup.clusterkv.decode_interval;
+  ckv_config.cache_depth = setup.clusterkv.cache_depth;
+  ckv_config.tokens_per_cluster = setup.clusterkv.tokens_per_cluster;
+  ckv_config.admission_overcommit = 1.5;
+  ckv_config.fast_tier_budget_bytes = setup.fast_budget_bytes;
+  methods.push_back({"ClusterKV",
+                     make_clusterkv_factory(setup.clusterkv, setup.seed),
+                     ckv_config});
+
+  BatchSchedulerConfig quest_config;
+  quest_config.method = LatencyModel::Method::kQuest;
+  quest_config.fast_tier_budget_bytes = setup.fast_budget_bytes;
+  methods.push_back({"Quest", make_quest_factory(bench::paper_quest()), quest_config});
+
+  BatchSchedulerConfig full_config;
+  full_config.method = LatencyModel::Method::kFullKV;
+  full_config.fast_tier_budget_bytes = setup.fast_budget_bytes;
+  methods.push_back({"Full KV", make_full_kv_factory(), full_config});
+  return methods;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Serving: throughput & latency vs offered load",
+                      "multi-tenant extension of Fig. 12/13 (§V-C) under a "
+                      "shared fast-tier budget");
+
+  const auto setup = make_setup();
+  std::cout << "sessions: " << setup.trace.num_requests
+            << ", fast-tier budget: " << setup.fast_budget_bytes / 1024
+            << " KiB (slice scale), per-session KV budget: "
+            << setup.session.engine.budget << " tokens\n\n";
+
+  TextTable table({"method", "load (req/s)", "tok/s", "max batch", "p50 TTFT (s)",
+                   "p95 TTFT (s)", "p50 ITL (ms)", "p95 ITL (ms)",
+                   "queue wait (s)", "preempt", "hit rate", "recall@B"});
+  const LatencyModel latency(HardwareModel::ada6000(), ModelConfig::llama31_8b());
+
+  for (const double load : {2.0, 6.0, 12.0}) {
+    TraceConfig trace_config = setup.trace;
+    trace_config.offered_rps = load;
+    const auto trace = make_poisson_trace(trace_config, setup.seed);
+    for (const auto& method : serving_methods(setup)) {
+      bench::Stopwatch watch;
+      BatchScheduler scheduler(trace, method.factory, setup.session, latency,
+                               method.scheduler);
+      scheduler.run();
+      const auto& m = scheduler.metrics();
+      table.add_row({method.name, format_double(load, 1),
+                     format_double(m.throughput_tps(), 1),
+                     format_double(m.concurrency().max(), 0),
+                     format_double(m.ttft_percentile(50.0) / 1000.0, 2),
+                     format_double(m.ttft_percentile(95.0) / 1000.0, 2),
+                     format_double(m.inter_token_percentile(50.0), 1),
+                     format_double(m.inter_token_percentile(95.0), 1),
+                     format_double(m.mean_queue_wait_ms() / 1000.0, 2),
+                     std::to_string(m.total_preemptions()),
+                     format_double(m.mean_cache_hit_rate(), 2),
+                     format_double(m.mean_recall(), 3)});
+      std::cerr << "  [" << method.name << " @ " << load << " req/s] "
+                << format_double(watch.seconds(), 1) << "s wall\n";
+    }
+  }
+  std::cout << table.to_string();
+  return 0;
+}

@@ -46,6 +46,11 @@ class ClusterCache {
 
   void reset_counters() noexcept;
 
+  /// Forgets the R-step window without touching lifetime counters. Used
+  /// when a scheduler offloads the cached tokens behind the cache's back
+  /// (preemption): the next step then misses and refetches honestly.
+  void clear_window() noexcept { window_.clear(); }
+
  private:
   Index depth_;
   std::deque<std::vector<std::pair<Index, std::vector<Index>>>> window_;

@@ -36,7 +36,39 @@ void ClusterKVEngine::cluster_range(Index begin, Index end, Index cluster_count)
   clustering_flops_ += result.iterations *
                        assignment_flops(end - begin, kconfig.num_clusters,
                                         tiered_.store().head_dim());
-  centroids_.add_clusters(result.centroids, result.labels, begin);
+
+  // k-means can leave clusters empty on degenerate inputs (duplicate keys
+  // in a partial decode flush with as many clusters as tokens). Zero-size
+  // clusters must not reach the centroid store: they would waste selection
+  // budget and break the size/offset indexing invariants, so compact them
+  // out and remap labels before registering.
+  std::vector<Index> counts(static_cast<std::size_t>(result.centroids.rows()), 0);
+  for (const Index label : result.labels) {
+    ++counts[static_cast<std::size_t>(label)];
+  }
+  std::vector<Index> remap(counts.size(), -1);
+  Index kept = 0;
+  for (std::size_t c = 0; c < counts.size(); ++c) {
+    if (counts[c] > 0) {
+      remap[c] = kept++;
+    }
+  }
+  if (kept == result.centroids.rows()) {
+    centroids_.add_clusters(result.centroids, result.labels, begin);
+  } else {
+    Matrix compact(kept, result.centroids.cols());
+    for (std::size_t c = 0; c < remap.size(); ++c) {
+      if (remap[c] >= 0) {
+        std::ranges::copy(result.centroids.row(static_cast<Index>(c)),
+                          compact.row(remap[c]).begin());
+      }
+    }
+    std::vector<Index> labels(result.labels.size());
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      labels[i] = remap[static_cast<std::size_t>(result.labels[i])];
+    }
+    centroids_.add_clusters(compact, labels, begin);
+  }
   // Clustered tokens move to the slow tier (Fig. 5: offload K & V); they
   // come back through the cluster cache on demand.
   tiered_.offload_to_slow(begin, end);
@@ -67,12 +99,31 @@ void ClusterKVEngine::observe_decode(std::span<const float> key,
 
 void ClusterKVEngine::flush_pending() {
   if (pending_positions_.empty()) {
-    return;
+    return;  // zero pending: no clusters, no clustering_flops_ charged
   }
   const Index begin = pending_positions_.front();
   const Index end = pending_positions_.back() + 1;
+  // cluster_range clamps the cluster count to the token count, so a
+  // partial batch gets at most one cluster per token and its flop billing
+  // covers the clamped problem, not C+ phantom centroids.
   cluster_range(begin, end, config_.decode_clusters);
   pending_positions_.clear();
+}
+
+Index ClusterKVEngine::release_fast_tier() {
+  // Pending decode tokens are the contiguous tail past the last flush;
+  // everything clustered and non-sink is reclaimable.
+  const Index pending_begin =
+      pending_positions_.empty() ? tiered_.size() : pending_positions_.front();
+  std::vector<Index> victims;
+  for (const Index p : tiered_.fast_positions()) {
+    if (p >= sink_count_ && p < pending_begin) {
+      victims.push_back(p);
+    }
+  }
+  const Index moved = tiered_.offload_positions(victims);
+  cache_.clear_window();
+  return moved;
 }
 
 SelectionResult ClusterKVEngine::select(std::span<const float> query, Index budget) {

@@ -48,8 +48,26 @@ class ClusterKVEngine : public KVSelector {
   [[nodiscard]] Index context_size() const override;
 
   /// Forces clustering of any pending decode tokens (end-of-generation
-  /// flush; also lets tests exercise partial batches).
+  /// flush; also lets tests exercise partial batches). A no-op with zero
+  /// pending tokens; a partial batch smaller than decode_clusters gets at
+  /// most one cluster per token and never registers empty clusters.
   void flush_pending();
+
+  // ---- fast-tier residency (serving scheduler hooks) ----
+
+  [[nodiscard]] Index fast_resident_tokens() const override {
+    return tiered_.fast_resident_count();
+  }
+
+  /// Offloads every fast-resident token except the attention sinks and the
+  /// not-yet-clustered pending tokens (both are irreducible: select()
+  /// assumes they are fast-resident), and forgets the cluster-cache window
+  /// so later steps refetch honestly. Returns tokens moved.
+  Index release_fast_tier() override;
+
+  void attach_fast_tier_ledger(FastTierLedger* ledger) override {
+    tiered_.attach_ledger(ledger);
+  }
 
   [[nodiscard]] const CentroidStore& centroid_store() const noexcept {
     return centroids_;

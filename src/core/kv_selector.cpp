@@ -7,4 +7,8 @@ void KVSelector::observe_attention(std::span<const Index> /*indices*/,
   // Most methods ignore attention feedback; H2O overrides this.
 }
 
+void KVSelector::attach_fast_tier_ledger(FastTierLedger* /*ledger*/) {
+  // Methods without tiered placement have no residency to account.
+}
+
 }  // namespace ckv

@@ -15,6 +15,8 @@
 
 namespace ckv {
 
+class FastTierLedger;
+
 /// Outcome of one selection call plus the work/traffic accounting the
 /// latency model consumes.
 struct SelectionResult {
@@ -73,6 +75,25 @@ class KVSelector {
 
   /// Number of tokens this selector currently knows about.
   [[nodiscard]] virtual Index context_size() const = 0;
+
+  // ---- fast-tier residency (multi-session serving) ----
+  //
+  // The serving scheduler arbitrates one HBM byte budget across sessions.
+  // Methods with a tiered store (ClusterKV) report and release their fast
+  // residency; everything else pins the whole context in HBM, which is
+  // exactly why compressed methods admit more concurrent sessions.
+
+  /// Tokens of this head's KV currently resident on the fast tier.
+  [[nodiscard]] virtual Index fast_resident_tokens() const { return context_size(); }
+
+  /// Offloads reclaimable fast-tier KV (everything but the irreducible
+  /// working set: sinks, pending decode tokens) to the slow tier. Returns
+  /// tokens moved; methods without a tiered store have nothing to release.
+  virtual Index release_fast_tier() { return 0; }
+
+  /// Registers a shared fast-tier byte ledger (nullptr detaches). No-op
+  /// for methods without tiered placement.
+  virtual void attach_fast_tier_ledger(FastTierLedger* ledger);
 };
 
 /// Creates one selector instance for a given (layer, head); head_dim is

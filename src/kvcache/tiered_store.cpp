@@ -1,5 +1,7 @@
 #include "kvcache/tiered_store.hpp"
 
+#include <algorithm>
+
 #include "tensor/matrix.hpp"
 
 namespace ckv {
@@ -17,16 +19,36 @@ TieredKVStore::TieredKVStore(Index head_dim, Index element_bytes)
   expects(element_bytes > 0, "TieredKVStore: element_bytes must be positive");
 }
 
+bool TieredKVStore::mark_fast(Index position) {
+  if (!fast_resident_.insert(position).second) {
+    return false;
+  }
+  if (ledger_ != nullptr) {
+    ledger_->add(token_bytes());
+  }
+  return true;
+}
+
+bool TieredKVStore::unmark_fast(Index position) {
+  if (fast_resident_.erase(position) == 0) {
+    return false;
+  }
+  if (ledger_ != nullptr) {
+    ledger_->add(-token_bytes());
+  }
+  return true;
+}
+
 void TieredKVStore::append(std::span<const float> key, std::span<const float> value) {
   store_.append(key, value);
-  fast_resident_.insert(store_.size() - 1);
+  mark_fast(store_.size() - 1);
 }
 
 void TieredKVStore::append_block(const Matrix& keys, const Matrix& values) {
   const Index begin = store_.size();
   store_.append_block(keys, values);
   for (Index p = begin; p < store_.size(); ++p) {
-    fast_resident_.insert(p);
+    mark_fast(p);
   }
 }
 
@@ -34,11 +56,25 @@ void TieredKVStore::offload_to_slow(Index begin, Index end) {
   expects(begin >= 0 && begin <= end && end <= store_.size(),
           "TieredKVStore::offload_to_slow: bad range");
   for (Index p = begin; p < end; ++p) {
-    if (fast_resident_.erase(p) > 0) {
+    if (unmark_fast(p)) {
       stats_.bytes_to_slow += token_bytes();
       ++stats_.tokens_offloaded;
     }
   }
+}
+
+Index TieredKVStore::offload_positions(std::span<const Index> positions) {
+  Index moved = 0;
+  for (const Index p : positions) {
+    expects(p >= 0 && p < store_.size(),
+            "TieredKVStore::offload_positions: position out of range");
+    if (unmark_fast(p)) {
+      stats_.bytes_to_slow += token_bytes();
+      ++stats_.tokens_offloaded;
+      ++moved;
+    }
+  }
+  return moved;
 }
 
 Index TieredKVStore::ensure_resident(std::span<const Index> positions) {
@@ -46,7 +82,7 @@ Index TieredKVStore::ensure_resident(std::span<const Index> positions) {
   for (const Index p : positions) {
     expects(p >= 0 && p < store_.size(),
             "TieredKVStore::ensure_resident: position out of range");
-    if (fast_resident_.insert(p).second) {
+    if (mark_fast(p)) {
       stats_.bytes_to_fast += token_bytes();
       ++stats_.tokens_fetched;
       ++moved;
@@ -60,7 +96,7 @@ Index TieredKVStore::ensure_resident(std::span<const Index> positions) {
 
 void TieredKVStore::drop_from_fast(std::span<const Index> positions) {
   for (const Index p : positions) {
-    fast_resident_.erase(p);
+    unmark_fast(p);
   }
 }
 
@@ -72,8 +108,28 @@ Index TieredKVStore::fast_resident_count() const noexcept {
   return static_cast<Index>(fast_resident_.size());
 }
 
+std::vector<Index> TieredKVStore::fast_positions() const {
+  std::vector<Index> positions(fast_resident_.begin(), fast_resident_.end());
+  std::sort(positions.begin(), positions.end());
+  return positions;
+}
+
 Index TieredKVStore::token_bytes() const noexcept {
   return 2 * store_.head_dim() * element_bytes_;
+}
+
+std::int64_t TieredKVStore::fast_resident_bytes() const noexcept {
+  return static_cast<std::int64_t>(fast_resident_count()) * token_bytes();
+}
+
+void TieredKVStore::attach_ledger(FastTierLedger* ledger) noexcept {
+  if (ledger_ != nullptr) {
+    ledger_->add(-fast_resident_bytes());
+  }
+  ledger_ = ledger;
+  if (ledger_ != nullptr) {
+    ledger_->add(fast_resident_bytes());
+  }
 }
 
 }  // namespace ckv

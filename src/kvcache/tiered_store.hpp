@@ -25,6 +25,18 @@ struct TransferStats {
   void merge(const TransferStats& other) noexcept;
 };
 
+/// Shared fast-tier byte counter. Serving attaches one ledger to every
+/// TieredKVStore of every admitted session so the scheduler reads global
+/// HBM residency in O(1) instead of re-summing per-head sets each tick.
+class FastTierLedger {
+ public:
+  void add(std::int64_t bytes) noexcept { bytes_ += bytes; }
+  [[nodiscard]] std::int64_t bytes() const noexcept { return bytes_; }
+
+ private:
+  std::int64_t bytes_ = 0;
+};
+
 /// Placement tracker. Token KV entries live on the slow tier by default;
 /// `ensure_resident` pulls missing ones into the fast tier (evicting by
 /// explicit calls only — eviction policy belongs to the caller, e.g. the
@@ -45,6 +57,11 @@ class TieredKVStore {
   /// traffic for those currently fast-resident.
   void offload_to_slow(Index begin, Index end);
 
+  /// Offloads an explicit position list (scheduler preemption path).
+  /// Accounts offload traffic for the ones that were fast-resident and
+  /// returns how many actually moved.
+  Index offload_positions(std::span<const Index> positions);
+
   /// Ensures the given tokens are fast-resident; counts transfer bytes for
   /// the ones that were not. Returns the number of tokens actually moved.
   Index ensure_resident(std::span<const Index> positions);
@@ -57,8 +74,19 @@ class TieredKVStore {
   [[nodiscard]] Index fast_resident_count() const noexcept;
   [[nodiscard]] Index size() const noexcept { return store_.size(); }
 
+  /// Fast-resident token positions, ascending (preemption victim scan).
+  [[nodiscard]] std::vector<Index> fast_positions() const;
+
   /// Bytes of one token's KV entry (key + value) at the configured width.
   [[nodiscard]] Index token_bytes() const noexcept;
+
+  /// Bytes currently held on the fast tier.
+  [[nodiscard]] std::int64_t fast_resident_bytes() const noexcept;
+
+  /// Attaches (or detaches, with nullptr) a shared residency ledger. The
+  /// current residency is credited on attach and debited on detach, so the
+  /// ledger stays equal to the sum of its attached stores' fast bytes.
+  void attach_ledger(FastTierLedger* ledger) noexcept;
 
   [[nodiscard]] const KVStore& store() const noexcept { return store_; }
   [[nodiscard]] KVStore& store() noexcept { return store_; }
@@ -66,10 +94,16 @@ class TieredKVStore {
   void reset_stats() noexcept { stats_ = TransferStats{}; }
 
  private:
+  /// All residency mutations funnel through these two so the ledger can
+  /// never drift from the set.
+  bool mark_fast(Index position);
+  bool unmark_fast(Index position);
+
   KVStore store_;
   Index element_bytes_;
   std::unordered_set<Index> fast_resident_;
   TransferStats stats_;
+  FastTierLedger* ledger_ = nullptr;
 };
 
 }  // namespace ckv

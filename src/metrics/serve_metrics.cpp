@@ -1,0 +1,116 @@
+#include "metrics/serve_metrics.hpp"
+
+#include <algorithm>
+
+namespace ckv {
+
+void ServeMetrics::record_session(SessionRecord record) {
+  expects(record.finish_ms >= record.first_token_ms &&
+              record.first_token_ms >= record.admit_ms &&
+              record.admit_ms >= record.arrival_ms,
+          "ServeMetrics::record_session: timestamps out of order");
+  total_tokens_ += record.decode_len;
+  total_preemptions_ += record.preemptions;
+  if (!any_session_) {
+    first_arrival_ms_ = record.arrival_ms;
+    last_finish_ms_ = record.finish_ms;
+    any_session_ = true;
+  } else {
+    first_arrival_ms_ = std::min(first_arrival_ms_, record.arrival_ms);
+    last_finish_ms_ = std::max(last_finish_ms_, record.finish_ms);
+  }
+  records_.push_back(std::move(record));
+}
+
+void ServeMetrics::record_occupancy(std::int64_t fast_bytes) {
+  occupancy_.add(static_cast<double>(fast_bytes));
+}
+
+void ServeMetrics::record_tick(double tick_ms, Index running_sessions) {
+  expects(tick_ms >= 0.0, "ServeMetrics::record_tick: negative tick");
+  concurrency_.add(static_cast<double>(running_sessions));
+}
+
+double ServeMetrics::makespan_ms() const noexcept {
+  return any_session_ ? last_finish_ms_ - first_arrival_ms_ : 0.0;
+}
+
+double ServeMetrics::throughput_tps() const noexcept {
+  const double span = makespan_ms();
+  return span <= 0.0 ? 0.0 : static_cast<double>(total_tokens_) / (span / 1000.0);
+}
+
+std::vector<double> ServeMetrics::collect(
+    double (SessionRecord::*fn)() const noexcept) const {
+  std::vector<double> values;
+  values.reserve(records_.size());
+  for (const auto& record : records_) {
+    values.push_back((record.*fn)());
+  }
+  return values;
+}
+
+double ServeMetrics::ttft_percentile(double p) const {
+  const auto values = collect(&SessionRecord::ttft_ms);
+  return values.empty() ? 0.0 : percentile(values, p);
+}
+
+double ServeMetrics::inter_token_percentile(double p) const {
+  const auto values = collect(&SessionRecord::inter_token_ms);
+  return values.empty() ? 0.0 : percentile(values, p);
+}
+
+double ServeMetrics::queue_wait_percentile(double p) const {
+  const auto values = collect(&SessionRecord::queue_wait_ms);
+  return values.empty() ? 0.0 : percentile(values, p);
+}
+
+double ServeMetrics::mean_queue_wait_ms() const noexcept {
+  if (records_.empty()) {
+    return 0.0;
+  }
+  double total = 0.0;
+  for (const auto& record : records_) {
+    total += record.queue_wait_ms();
+  }
+  return total / static_cast<double>(records_.size());
+}
+
+double ServeMetrics::mean_recall() const noexcept {
+  if (records_.empty()) {
+    return 0.0;
+  }
+  double total = 0.0;
+  for (const auto& record : records_) {
+    total += record.mean_recall;
+  }
+  return total / static_cast<double>(records_.size());
+}
+
+double ServeMetrics::mean_coverage() const noexcept {
+  if (records_.empty()) {
+    return 0.0;
+  }
+  double total = 0.0;
+  for (const auto& record : records_) {
+    total += record.mean_coverage;
+  }
+  return total / static_cast<double>(records_.size());
+}
+
+double ServeMetrics::mean_cache_hit_rate() const noexcept {
+  if (records_.empty()) {
+    return 0.0;
+  }
+  double total = 0.0;
+  for (const auto& record : records_) {
+    total += record.cache_hit_rate;
+  }
+  return total / static_cast<double>(records_.size());
+}
+
+std::int64_t ServeMetrics::peak_occupancy_bytes() const noexcept {
+  return occupancy_.count() == 0 ? 0 : static_cast<std::int64_t>(occupancy_.max());
+}
+
+}  // namespace ckv

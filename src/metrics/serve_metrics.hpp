@@ -1,0 +1,104 @@
+// Serving-level metrics aggregation: per-session records (TTFT,
+// inter-token latency, queue wait, selection quality, cache hit rate) plus
+// fleet-level occupancy and throughput. All times are virtual milliseconds
+// assigned by the scheduler from sim/latency_model step costs.
+#pragma once
+
+#include <vector>
+
+#include "tensor/stats.hpp"
+#include "util/common.hpp"
+
+namespace ckv {
+
+/// Completed-session summary the scheduler hands over at retirement.
+struct SessionRecord {
+  Index id = 0;
+  Index prompt_len = 0;
+  Index decode_len = 0;
+  double arrival_ms = 0.0;
+  double admit_ms = 0.0;
+  double first_token_ms = 0.0;
+  double finish_ms = 0.0;
+  double mean_recall = 0.0;
+  double mean_coverage = 0.0;
+  double cache_hit_rate = 0.0;
+  Index preemptions = 0;
+
+  /// Time spent queued before admission.
+  [[nodiscard]] double queue_wait_ms() const noexcept {
+    return admit_ms - arrival_ms;
+  }
+  /// Time to first token, measured from arrival (includes queueing).
+  [[nodiscard]] double ttft_ms() const noexcept {
+    return first_token_ms - arrival_ms;
+  }
+  /// Mean inter-token latency over the generation.
+  [[nodiscard]] double inter_token_ms() const noexcept {
+    return decode_len <= 1 ? 0.0
+                           : (finish_ms - first_token_ms) /
+                                 static_cast<double>(decode_len - 1);
+  }
+};
+
+class ServeMetrics {
+ public:
+  void record_session(SessionRecord record);
+
+  /// Samples global fast-tier occupancy at a tick boundary (unweighted
+  /// per-tick sample, not time-weighted).
+  void record_occupancy(std::int64_t fast_bytes);
+
+  /// Records one scheduler tick: its virtual duration and the number of
+  /// sessions that decoded.
+  void record_tick(double tick_ms, Index running_sessions);
+
+  [[nodiscard]] const std::vector<SessionRecord>& records() const noexcept {
+    return records_;
+  }
+  [[nodiscard]] Index sessions() const noexcept {
+    return static_cast<Index>(records_.size());
+  }
+  [[nodiscard]] std::int64_t total_tokens() const noexcept { return total_tokens_; }
+  [[nodiscard]] Index total_preemptions() const noexcept { return total_preemptions_; }
+
+  /// Virtual time from the first arrival to the last finish.
+  [[nodiscard]] double makespan_ms() const noexcept;
+
+  /// Sustained decode throughput: generated tokens / makespan.
+  [[nodiscard]] double throughput_tps() const noexcept;
+
+  [[nodiscard]] double ttft_percentile(double p) const;
+  [[nodiscard]] double inter_token_percentile(double p) const;
+  [[nodiscard]] double queue_wait_percentile(double p) const;
+  [[nodiscard]] double mean_queue_wait_ms() const noexcept;
+
+  /// Session means weighted equally (the Fig. 11-style recall signal, now
+  /// per tenant).
+  [[nodiscard]] double mean_recall() const noexcept;
+  [[nodiscard]] double mean_coverage() const noexcept;
+  [[nodiscard]] double mean_cache_hit_rate() const noexcept;
+
+  [[nodiscard]] const RunningStat& occupancy_bytes() const noexcept {
+    return occupancy_;
+  }
+  [[nodiscard]] std::int64_t peak_occupancy_bytes() const noexcept;
+  [[nodiscard]] const RunningStat& concurrency() const noexcept {
+    return concurrency_;
+  }
+
+ private:
+  [[nodiscard]] std::vector<double> collect(double (SessionRecord::*fn)()
+                                                const noexcept) const;
+
+  std::vector<SessionRecord> records_;
+  RunningStat occupancy_;
+  RunningStat concurrency_;
+  std::int64_t total_tokens_ = 0;
+  Index total_preemptions_ = 0;
+  double first_arrival_ms_ = 0.0;
+  double last_finish_ms_ = 0.0;
+  bool any_session_ = false;
+};
+
+}  // namespace ckv

@@ -50,6 +50,14 @@ class DecodeEngine {
   /// and returns the step's measurements.
   StepResult decode_step(Index step);
 
+  /// Executes the next decode step — the re-entry point for interleaved
+  /// multi-session scheduling, where each session's engine advances
+  /// independently one step per scheduler tick.
+  StepResult decode_next() { return decode_step(next_step_); }
+
+  [[nodiscard]] bool prefilled() const noexcept { return prefilled_; }
+  [[nodiscard]] Index steps_completed() const noexcept { return next_step_; }
+
   [[nodiscard]] const RunningStat& recall_stat() const noexcept { return recall_; }
   [[nodiscard]] const RunningStat& coverage_stat() const noexcept { return coverage_; }
   [[nodiscard]] const RunningStat& output_error_stat() const noexcept {

@@ -1,0 +1,265 @@
+#include "serve/batch_scheduler.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace ckv {
+
+BatchScheduler::BatchScheduler(std::vector<ServeRequest> trace,
+                               SelectorFactory factory,
+                               SessionConfig session_config, LatencyModel latency,
+                               BatchSchedulerConfig config)
+    : factory_(std::move(factory)),
+      session_config_(session_config),
+      latency_(std::move(latency)),
+      config_(config) {
+  expects(config.fast_tier_budget_bytes >= 0,
+          "BatchScheduler: budget must be >= 0");
+  expects(config.admission_overcommit >= 1.0,
+          "BatchScheduler: admission_overcommit must be >= 1");
+  expects(config.tiered_residency || config.admission_overcommit == 1.0,
+          "BatchScheduler: overcommit requires tiered residency (untiered "
+          "sessions cannot be preempted back under budget)");
+  const double budget_cap = static_cast<double>(config_.fast_tier_budget_bytes) *
+                            config_.admission_overcommit;
+  for (auto& request : trace) {
+    expects(config_.fast_tier_budget_bytes == 0 ||
+                (static_cast<double>(projected_bytes(request)) <= budget_cap &&
+                 residual_bytes(request) <= config_.fast_tier_budget_bytes),
+            "BatchScheduler: a request's projected residency exceeds the "
+            "global fast-tier budget; it could never be admitted");
+    queue_.push(std::move(request));
+  }
+}
+
+std::int64_t BatchScheduler::projected_bytes(const ServeRequest& request) const {
+  const Index context = request.prompt_len + request.decode_len;
+  Index tokens = context;
+  if (config_.tiered_residency) {
+    // Working-set peak of a tiered session between steps: sinks + one
+    // decode interval of pending tokens + the cache window (R steps of at
+    // most `budget` selected tokens). The whole context caps it for short
+    // requests.
+    const Index floor_tokens =
+        config_.sink_tokens + config_.decode_interval +
+        config_.cache_depth * session_config_.engine.budget;
+    tokens = std::min<Index>(context, floor_tokens);
+  }
+  return static_cast<std::int64_t>(tokens) * session_token_bytes(session_config_) *
+         session_config_.shape.total_heads();
+}
+
+std::int64_t BatchScheduler::residual_bytes(const ServeRequest& request) const {
+  const Index context = request.prompt_len + request.decode_len;
+  Index tokens = context;
+  if (config_.tiered_residency) {
+    tokens = std::min<Index>(context,
+                             config_.sink_tokens + config_.decode_interval);
+  }
+  return static_cast<std::int64_t>(tokens) * session_token_bytes(session_config_) *
+         session_config_.shape.total_heads();
+}
+
+StepBreakdown BatchScheduler::step_cost(const Session& session) const {
+  const Index context = session.request().prompt_len + session.tokens_generated();
+  const Index budget = session_config_.engine.budget;
+  switch (config_.method) {
+    case LatencyModel::Method::kFullKV:
+      return latency_.full_kv_step(context);
+    case LatencyModel::Method::kClusterKV: {
+      // Measured miss rate so far; the first selection after prefill has no
+      // history (hit rate 0) and misses everything.
+      const double miss_rate = 1.0 - session.cache_hit_rate();
+      const Index clusters =
+          std::max<Index>(1, context / std::max<Index>(1, config_.tokens_per_cluster));
+      return latency_.clusterkv_step(context, budget, miss_rate, clusters);
+    }
+    case LatencyModel::Method::kQuest:
+      return latency_.quest_step(context, budget);
+    case LatencyModel::Method::kInfiniGen:
+      return latency_.infinigen_step(context, budget);
+    case LatencyModel::Method::kFullKVOffload:
+      return latency_.full_kv_offload_step(context);
+  }
+  return latency_.full_kv_step(context);
+}
+
+std::int64_t BatchScheduler::fast_tier_bytes() const {
+  if (config_.tiered_residency) {
+    // Every running session's per-head stores feed the shared ledger, so
+    // global residency is a single read — enforcement calls this in a
+    // loop, which would otherwise be O(sessions x heads) per victim.
+    return ledger_.bytes();
+  }
+  std::int64_t bytes = 0;
+  for (const auto& session : running_) {
+    bytes += session->fast_resident_bytes();
+  }
+  return bytes;
+}
+
+void BatchScheduler::admit_arrivals() {
+  while (queue_.has_arrival(now_ms_)) {
+    if (config_.max_running > 0 && running_count() >= config_.max_running) {
+      return;
+    }
+    if (config_.fast_tier_budget_bytes > 0) {
+      // Admission reserves every running session's projected peak (up to
+      // budget * overcommit) AND keeps the sum of irreducible residuals
+      // under the plain budget, so enforcement can always preempt its way
+      // back under the cap no matter how aggressive the overcommit is.
+      std::int64_t reserved = 0;
+      std::int64_t residual = 0;
+      for (const auto& session : running_) {
+        reserved += projected_bytes(session->request());
+        residual += residual_bytes(session->request());
+      }
+      const double cap = static_cast<double>(config_.fast_tier_budget_bytes) *
+                         config_.admission_overcommit;
+      if (static_cast<double>(reserved + projected_bytes(queue_.front())) > cap ||
+          residual + residual_bytes(queue_.front()) >
+              config_.fast_tier_budget_bytes) {
+        return;  // FIFO: the head blocks until residency frees up
+      }
+    }
+    auto session = std::make_unique<Session>(queue_.pop(), factory_, session_config_);
+    const std::int64_t ledger_before = ledger_.bytes();
+    if (config_.tiered_residency) {
+      session->attach_fast_tier_ledger(&ledger_);
+    }
+    session->run_prefill(now_ms_);
+    // Config/factory mismatch guard: with tiered_residency, every
+    // selector must actually feed the ledger — an untiered factory would
+    // leave it at zero and void budget enforcement silently.
+    ensures(!config_.tiered_residency ||
+                ledger_.bytes() - ledger_before == session->fast_resident_bytes(),
+            "BatchScheduler: tiered_residency is set but the session's "
+            "selectors do not report through the fast-tier ledger (untiered "
+            "factory?)");
+    // Prefill executes inline on the virtual clock (chunked prefill that
+    // overlaps running decodes is future work, see ROADMAP).
+    double prefill_ms = latency_.prefill_ms(session->request().prompt_len);
+    if (config_.method == LatencyModel::Method::kClusterKV) {
+      prefill_ms +=
+          latency_.clustering_visible_overhead_ms(session->request().prompt_len);
+    }
+    now_ms_ += prefill_ms;
+    running_.push_back(std::move(session));
+    enforce_budget(running_.back().get());
+  }
+}
+
+void BatchScheduler::enforce_budget(Session* just_stepped) {
+  if (config_.fast_tier_budget_bytes == 0) {
+    return;
+  }
+  if (fast_tier_bytes() > config_.fast_tier_budget_bytes) {
+    // Coldest first: sessions whose last decode step is oldest release
+    // before warmer ones (never-stepped sorts coldest of all; ties keep
+    // admission order). The session that just produced a token is the
+    // victim of last resort — evicting it only costs its next step a
+    // refetch, but fairness prefers idle state first.
+    std::vector<Session*> victims;
+    victims.reserve(running_.size());
+    for (const auto& session : running_) {
+      if (session.get() != just_stepped) {
+        victims.push_back(session.get());
+      }
+    }
+    std::stable_sort(victims.begin(), victims.end(),
+                     [](const Session* a, const Session* b) {
+                       return a->last_step_ms() < b->last_step_ms();
+                     });
+    if (just_stepped != nullptr) {
+      victims.push_back(just_stepped);
+    }
+    for (Session* victim : victims) {
+      if (fast_tier_bytes() <= config_.fast_tier_budget_bytes) {
+        break;
+      }
+      victim->release_fast_tier();
+    }
+  }
+  ensures(config_.fast_tier_budget_bytes == 0 ||
+              fast_tier_bytes() <= config_.fast_tier_budget_bytes,
+          "BatchScheduler: fast-tier budget exceeded after enforcement");
+}
+
+void BatchScheduler::retire_finished() {
+  auto it = running_.begin();
+  while (it != running_.end()) {
+    Session& session = **it;
+    if (!session.finished()) {
+      ++it;
+      continue;
+    }
+    SessionRecord record;
+    record.id = session.request().id;
+    record.prompt_len = session.request().prompt_len;
+    record.decode_len = session.request().decode_len;
+    record.arrival_ms = session.arrival_ms();
+    record.admit_ms = session.admit_ms();
+    record.first_token_ms = session.first_token_ms();
+    record.finish_ms = session.finish_ms();
+    record.mean_recall = session.mean_recall();
+    record.mean_coverage = session.mean_coverage();
+    record.cache_hit_rate = session.cache_hit_rate();
+    record.preemptions = session.preemptions();
+    metrics_.record_session(std::move(record));
+    // Teardown frees the session's fast-tier residency (ledger included).
+    session.attach_fast_tier_ledger(nullptr);
+    ++finished_count_;
+    it = running_.erase(it);
+  }
+}
+
+bool BatchScheduler::tick() {
+  if (running_.empty() && queue_.empty()) {
+    return false;
+  }
+  if (running_.empty() && !queue_.has_arrival(now_ms_)) {
+    now_ms_ = queue_.next_arrival_ms();  // idle: jump to the next arrival
+  }
+  admit_arrivals();
+  ++ticks_;
+
+  const Index batch = running_count();
+  if (batch > 0) {
+    // One shared weight pass + per-step overhead for the whole batch; each
+    // session adds its private KV/selection/transfer cost. This is the
+    // continuous-batching economy: more concurrent sessions amortize the
+    // dominant weight-streaming term.
+    std::vector<Session*> order;
+    order.reserve(static_cast<std::size_t>(batch));
+    for (Index i = 0; i < batch; ++i) {
+      order.push_back(running_[(round_robin_offset_ + i) % batch].get());
+    }
+    double tick_ms = 0.0;
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      const StepBreakdown b = step_cost(*order[i]);
+      if (i == 0) {
+        tick_ms += b.weights_ms + b.overhead_ms;
+      }
+      tick_ms += b.total_ms() - b.weights_ms - b.overhead_ms;
+    }
+    const double completed_ms = now_ms_ + tick_ms;
+    for (Session* session : order) {
+      session->decode_next(completed_ms);
+      enforce_budget(session);
+    }
+    now_ms_ = completed_ms;
+    round_robin_offset_ = (round_robin_offset_ + 1) % batch;
+    metrics_.record_tick(tick_ms, batch);
+  }
+
+  retire_finished();
+  metrics_.record_occupancy(fast_tier_bytes());
+  return !(running_.empty() && queue_.empty());
+}
+
+void BatchScheduler::run() {
+  while (tick()) {
+  }
+}
+
+}  // namespace ckv

@@ -1,0 +1,41 @@
+#include "serve/request_queue.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace ckv {
+
+void RequestQueue::push(ServeRequest request) {
+  expects(request.prompt_len > 0, "RequestQueue::push: prompt_len must be positive");
+  expects(request.decode_len > 0, "RequestQueue::push: decode_len must be positive");
+  expects(request.arrival_ms >= 0.0, "RequestQueue::push: arrival must be >= 0");
+  const auto at = std::upper_bound(
+      queue_.begin(), queue_.end(), request,
+      [](const ServeRequest& a, const ServeRequest& b) {
+        return a.arrival_ms < b.arrival_ms;
+      });
+  queue_.insert(at, std::move(request));
+}
+
+const ServeRequest& RequestQueue::front() const {
+  expects(!queue_.empty(), "RequestQueue::front: queue is empty");
+  return queue_.front();
+}
+
+ServeRequest RequestQueue::pop() {
+  expects(!queue_.empty(), "RequestQueue::pop: queue is empty");
+  ServeRequest request = queue_.front();
+  queue_.pop_front();
+  return request;
+}
+
+bool RequestQueue::has_arrival(double now_ms) const {
+  return !queue_.empty() && queue_.front().arrival_ms <= now_ms;
+}
+
+double RequestQueue::next_arrival_ms() const noexcept {
+  return queue_.empty() ? std::numeric_limits<double>::infinity()
+                        : queue_.front().arrival_ms;
+}
+
+}  // namespace ckv

@@ -1,0 +1,49 @@
+// Arrival queue of the serving runtime: requests carry an arrival time on
+// the virtual clock plus the prompt/generation lengths the scheduler needs
+// for admission control. FIFO in arrival order — head-of-line requests that
+// do not fit the fast-tier budget block later ones (no bypass), which keeps
+// admission fair and the budget math simple.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "util/common.hpp"
+
+namespace ckv {
+
+/// One user request: generate `decode_len` tokens after a `prompt_len`
+/// prefill. `seed` derives the session's procedural context so every
+/// session sees distinct but reproducible traffic.
+struct ServeRequest {
+  Index id = 0;
+  double arrival_ms = 0.0;
+  Index prompt_len = 0;
+  Index decode_len = 0;
+  std::uint64_t seed = 0;
+};
+
+class RequestQueue {
+ public:
+  /// Inserts keeping the queue sorted by arrival time (stable: equal
+  /// arrivals keep push order).
+  void push(ServeRequest request);
+
+  [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
+  [[nodiscard]] Index size() const noexcept { return static_cast<Index>(queue_.size()); }
+
+  [[nodiscard]] const ServeRequest& front() const;
+  ServeRequest pop();
+
+  /// True when the head request has arrived by `now_ms`.
+  [[nodiscard]] bool has_arrival(double now_ms) const;
+
+  /// Arrival time of the head request (+inf when empty) — lets an idle
+  /// scheduler jump its clock to the next arrival.
+  [[nodiscard]] double next_arrival_ms() const noexcept;
+
+ private:
+  std::deque<ServeRequest> queue_;
+};
+
+}  // namespace ckv

@@ -1,0 +1,105 @@
+#include "serve/session.hpp"
+
+namespace ckv {
+
+const char* to_string(SessionState state) noexcept {
+  switch (state) {
+    case SessionState::kQueued:
+      return "queued";
+    case SessionState::kPrefilling:
+      return "prefilling";
+    case SessionState::kDecoding:
+      return "decoding";
+    case SessionState::kFinished:
+      return "finished";
+  }
+  return "unknown";
+}
+
+Session::Session(const ServeRequest& request, const SelectorFactory& factory,
+                 const SessionConfig& config)
+    : request_(request), config_(config) {
+  expects(request.prompt_len > 0, "Session: prompt_len must be positive");
+  expects(request.decode_len > 0, "Session: decode_len must be positive");
+  model_ = std::make_unique<ProceduralContextModel>(config.shape, config.params,
+                                                    request.seed, request.prompt_len);
+  engine_ = std::make_unique<DecodeEngine>(*model_, factory, config.engine);
+}
+
+void Session::run_prefill(double now_ms) {
+  expects(state_ == SessionState::kQueued, "Session::run_prefill: already admitted");
+  expects(now_ms >= request_.arrival_ms,
+          "Session::run_prefill: admitted before arrival");
+  state_ = SessionState::kPrefilling;
+  admit_ms_ = now_ms;
+  engine_->run_prefill();
+  state_ = SessionState::kDecoding;
+}
+
+StepResult Session::decode_next(double completed_ms) {
+  expects(state_ == SessionState::kDecoding,
+          "Session::decode_next: session is not decoding");
+  StepResult result = engine_->decode_next();
+  last_step_ms_ = completed_ms;
+  if (first_token_ms_ < 0.0) {
+    first_token_ms_ = completed_ms;
+  }
+  if (engine_->steps_completed() >= request_.decode_len) {
+    state_ = SessionState::kFinished;
+    finish_ms_ = completed_ms;
+  }
+  return result;
+}
+
+void Session::attach_fast_tier_ledger(FastTierLedger* ledger) {
+  auto& bank = engine_->selectors();
+  for (Index l = 0; l < bank.num_layers(); ++l) {
+    for (Index h = 0; h < bank.num_heads(); ++h) {
+      bank.at(l, h).attach_fast_tier_ledger(ledger);
+    }
+  }
+}
+
+std::int64_t Session::fast_resident_bytes() const {
+  const Index per_token = session_token_bytes(config_);
+  std::int64_t tokens = 0;
+  const auto& bank = engine_->selectors();
+  for (Index l = 0; l < bank.num_layers(); ++l) {
+    for (Index h = 0; h < bank.num_heads(); ++h) {
+      tokens += bank.at(l, h).fast_resident_tokens();
+    }
+  }
+  return tokens * per_token;
+}
+
+Index Session::release_fast_tier() {
+  Index moved = 0;
+  auto& bank = engine_->selectors();
+  for (Index l = 0; l < bank.num_layers(); ++l) {
+    for (Index h = 0; h < bank.num_heads(); ++h) {
+      moved += bank.at(l, h).release_fast_tier();
+    }
+  }
+  if (moved > 0) {
+    ++preemptions_;
+  }
+  return moved;
+}
+
+std::int64_t Session::context_bytes(Index tokens) const noexcept {
+  return static_cast<std::int64_t>(tokens) * session_token_bytes(config_) *
+         config_.shape.total_heads();
+}
+
+double Session::mean_recall() const { return engine_->recall_stat().mean(); }
+
+double Session::mean_coverage() const { return engine_->coverage_stat().mean(); }
+
+double Session::cache_hit_rate() const {
+  const double total = static_cast<double>(engine_->total_cache_hits()) +
+                       static_cast<double>(engine_->total_fetched());
+  return total <= 0.0 ? 0.0
+                      : static_cast<double>(engine_->total_cache_hits()) / total;
+}
+
+}  // namespace ckv

@@ -1,0 +1,122 @@
+// One serving session: a per-request procedural context plus its own
+// DecodeEngine (per-head selector state) and lifecycle. The scheduler owns
+// the virtual clock; the session records the timestamps it is handed and
+// exposes the fast-tier residency hooks the global budget arbitration
+// needs (sum over its per-head stores, release-on-preemption).
+//
+// Lifecycle: kQueued -> (admit) kPrefilling -> kDecoding -> kFinished.
+// Preemption does not change state: it only moves reclaimable KV to the
+// slow tier; the session keeps decoding and refetches on demand.
+#pragma once
+
+#include <memory>
+
+#include "model/decode_engine.hpp"
+#include "model/procedural.hpp"
+#include "serve/request_queue.hpp"
+#include "util/common.hpp"
+
+namespace ckv {
+
+enum class SessionState { kQueued, kPrefilling, kDecoding, kFinished };
+
+[[nodiscard]] const char* to_string(SessionState state) noexcept;
+
+struct SessionConfig {
+  SimShape shape;            ///< simulation slice every session runs
+  ProceduralParams params;   ///< procedural context statistics
+  DecodeEngineConfig engine; ///< budget etc. for the per-session engine
+  /// fp16-equivalent residency accounting. Must match the selector's own
+  /// width (ClusterKVConfig::element_bytes) or the scheduler's byte math
+  /// diverges from the stores' ledger.
+  Index element_bytes = 2;
+};
+
+/// Bytes of one token's KV entry (key + value) for one head at the
+/// config's accounting width — the single source for all serving byte
+/// math (sessions, scheduler projections, bench budget sizing).
+[[nodiscard]] inline Index session_token_bytes(const SessionConfig& config) noexcept {
+  return 2 * config.shape.head_dim * config.element_bytes;
+}
+
+class Session {
+ public:
+  /// Builds the session's context model and engine (selector state per
+  /// layer/head comes from the factory). Construction is cheap relative to
+  /// prefill; the heavy work happens in run_prefill.
+  Session(const ServeRequest& request, const SelectorFactory& factory,
+          const SessionConfig& config);
+
+  [[nodiscard]] const ServeRequest& request() const noexcept { return request_; }
+  [[nodiscard]] SessionState state() const noexcept { return state_; }
+  [[nodiscard]] Index tokens_generated() const noexcept {
+    return engine_->steps_completed();
+  }
+  [[nodiscard]] bool finished() const noexcept {
+    return state_ == SessionState::kFinished;
+  }
+
+  /// Admits the session: feeds the prompt to every selector (ClusterKV
+  /// clusters and offloads here). `now_ms` is the admission timestamp on
+  /// the scheduler's clock (queue wait = now - arrival).
+  void run_prefill(double now_ms);
+
+  /// Runs one decode step; `completed_ms` is when the token lands on the
+  /// virtual clock (the scheduler knows the tick cost, the session does
+  /// not). Transitions to kFinished after decode_len steps.
+  StepResult decode_next(double completed_ms);
+
+  // ---- fast-tier residency ----
+
+  /// Attaches a shared ledger to every tiered per-head store (no-op for
+  /// untiered methods, which is why the scheduler also sums sessions).
+  void attach_fast_tier_ledger(FastTierLedger* ledger);
+
+  /// Fast-tier bytes this session currently holds, summed over all
+  /// per-head selectors at the configured element width.
+  [[nodiscard]] std::int64_t fast_resident_bytes() const;
+
+  /// Preemption: every per-head selector releases its reclaimable fast KV
+  /// (sinks and pending tokens stay). Returns total tokens offloaded.
+  Index release_fast_tier();
+
+  [[nodiscard]] Index preemptions() const noexcept { return preemptions_; }
+
+  /// Bytes of `tokens` context tokens held fast across all heads/layers —
+  /// the admission projection for methods that pin the whole context.
+  [[nodiscard]] std::int64_t context_bytes(Index tokens) const noexcept;
+
+  // ---- timing (scheduler-assigned virtual timestamps, ms) ----
+
+  [[nodiscard]] double arrival_ms() const noexcept { return request_.arrival_ms; }
+  [[nodiscard]] double admit_ms() const noexcept { return admit_ms_; }
+  [[nodiscard]] double first_token_ms() const noexcept { return first_token_ms_; }
+  [[nodiscard]] double finish_ms() const noexcept { return finish_ms_; }
+  [[nodiscard]] double last_step_ms() const noexcept { return last_step_ms_; }
+
+  // ---- quality / traffic ----
+
+  [[nodiscard]] double mean_recall() const;
+  [[nodiscard]] double mean_coverage() const;
+  /// Lifetime cluster-cache hit rate (hits / (hits + fetches); 0 when the
+  /// method never fetches).
+  [[nodiscard]] double cache_hit_rate() const;
+
+  [[nodiscard]] DecodeEngine& engine() noexcept { return *engine_; }
+  [[nodiscard]] const DecodeEngine& engine() const noexcept { return *engine_; }
+  [[nodiscard]] const SessionConfig& config() const noexcept { return config_; }
+
+ private:
+  ServeRequest request_;
+  SessionConfig config_;
+  std::unique_ptr<ProceduralContextModel> model_;
+  std::unique_ptr<DecodeEngine> engine_;
+  SessionState state_ = SessionState::kQueued;
+  double admit_ms_ = -1.0;
+  double first_token_ms_ = -1.0;
+  double finish_ms_ = -1.0;
+  double last_step_ms_ = -1.0;
+  Index preemptions_ = 0;
+};
+
+}  // namespace ckv

@@ -1,0 +1,31 @@
+// Synthetic request traces for the serving benches: Poisson arrivals at a
+// configurable offered load with uniformly drawn prompt/generation lengths,
+// fully reproducible from one seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/request_queue.hpp"
+#include "util/common.hpp"
+
+namespace ckv {
+
+struct TraceConfig {
+  Index num_requests = 16;
+  /// Mean arrival rate in requests per second of virtual time. <= 0 means
+  /// all requests arrive at t = 0 (closed-loop / batch workload).
+  double offered_rps = 4.0;
+  Index prompt_len_min = 768;
+  Index prompt_len_max = 1280;
+  Index decode_len_min = 16;
+  Index decode_len_max = 48;
+};
+
+/// Generates `num_requests` requests with exponential inter-arrival gaps
+/// (Poisson process) and uniform lengths. Ids are 0..n-1 in arrival order;
+/// per-request seeds are derived from `seed` and the id.
+std::vector<ServeRequest> make_poisson_trace(const TraceConfig& config,
+                                             std::uint64_t seed);
+
+}  // namespace ckv

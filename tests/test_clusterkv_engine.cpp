@@ -230,6 +230,98 @@ TEST(ClusterKVEngine, FactoryDerivesDistinctStreams) {
   EXPECT_EQ(a->name(), "ClusterKV");
 }
 
+
+TEST(ClusterKVEngine, FlushZeroPendingIsNoOp) {
+  Fixture f(400, small_config());
+  const Index clusters_before = f.engine.centroid_store().cluster_count();
+  const std::int64_t flops_before = f.engine.clustering_flops();
+  f.engine.flush_pending();  // nothing pending: no clusters, no flops
+  f.engine.flush_pending();  // idempotent
+  EXPECT_EQ(f.engine.centroid_store().cluster_count(), clusters_before);
+  EXPECT_EQ(f.engine.clustering_flops(), flops_before);
+}
+
+TEST(ClusterKVEngine, FlushSingleTokenMakesOneNonEmptyCluster) {
+  const auto config = small_config();  // decode_clusters = 2 > pending = 1
+  Fixture f(400, config);
+  f.stream.append_generated();
+  const Index last = f.stream.size() - 1;
+  f.engine.observe_decode(f.stream.keys().row(last), f.stream.values().row(last));
+  const Index clusters_before = f.engine.centroid_store().cluster_count();
+  f.engine.flush_pending();
+  // One token can only make one cluster, never decode_clusters' worth.
+  EXPECT_EQ(f.engine.centroid_store().cluster_count(), clusters_before + 1);
+  for (Index c = 0; c < f.engine.centroid_store().cluster_count(); ++c) {
+    EXPECT_GT(f.engine.centroid_store().size_of(c), 0);
+  }
+}
+
+TEST(ClusterKVEngine, FlushDuplicateKeysNeverRegistersEmptyClusters) {
+  // Identical pending keys degenerate k-means (seeds collide, reseeding
+  // can leave a cluster empty); the engine must compact those away before
+  // they reach the centroid store.
+  auto config = small_config();
+  config.decode_clusters = 4;
+  Fixture f(200, config);
+  std::vector<float> key(static_cast<std::size_t>(f.params.head_dim), 0.5f);
+  for (int i = 0; i < 4; ++i) {
+    f.engine.observe_decode(key, key);  // four identical tokens
+  }
+  f.engine.flush_pending();
+  EXPECT_EQ(f.engine.pending_count(), 0);
+  Index covered = f.engine.sink_count();
+  for (Index c = 0; c < f.engine.centroid_store().cluster_count(); ++c) {
+    EXPECT_GT(f.engine.centroid_store().size_of(c), 0) << "empty cluster " << c;
+    covered += f.engine.centroid_store().size_of(c);
+  }
+  EXPECT_EQ(covered, f.engine.context_size());
+}
+
+TEST(ClusterKVEngine, PartialFlushBillsClampedClusterCount) {
+  // Flops for a 3-token flush must be billed at min(C+, 3) centroids; a
+  // same-size full-rate flush with C+ = 2 gives an upper bound, so the
+  // partial flush can never charge more than the clamped problem costs.
+  const auto config = small_config();
+  Fixture f(400, config);
+  const std::int64_t before = f.engine.clustering_flops();
+  for (int i = 0; i < 3; ++i) {
+    f.stream.append_generated();
+    const Index last = f.stream.size() - 1;
+    f.engine.observe_decode(f.stream.keys().row(last), f.stream.values().row(last));
+  }
+  f.engine.flush_pending();
+  const std::int64_t billed = f.engine.clustering_flops() - before;
+  EXPECT_GT(billed, 0);
+  // assignment work <= iterations_cap * tokens * clamped_clusters * d MACs
+  const std::int64_t cap = config.kmeans_max_iterations * 3 *
+                           std::min<Index>(config.decode_clusters, 3) *
+                           f.params.head_dim;
+  EXPECT_LE(billed, cap);
+}
+
+TEST(ClusterKVEngine, ReleaseFastTierKeepsSinksAndPending) {
+  const auto config = small_config();
+  Fixture f(400, config);
+  f.stream.append_generated();
+  const Index last = f.stream.size() - 1;
+  f.engine.observe_decode(f.stream.keys().row(last), f.stream.values().row(last));
+  const auto q = f.stream.query(0);
+  f.engine.select(q, 64);  // pulls cluster tokens fast
+  EXPECT_GT(f.engine.fast_resident_tokens(), f.engine.sink_count() + 1);
+
+  f.engine.release_fast_tier();
+  EXPECT_EQ(f.engine.fast_resident_tokens(), f.engine.sink_count() + 1);
+  for (Index s = 0; s < f.engine.sink_count(); ++s) {
+    EXPECT_TRUE(f.engine.tiered_store().is_fast_resident(s));
+  }
+  EXPECT_TRUE(f.engine.tiered_store().is_fast_resident(f.engine.context_size() - 1));
+
+  // Selection still works afterwards and refetches what it needs.
+  const auto sel = f.engine.select(q, 64);
+  EXPECT_GT(sel.tokens_fetched, 0);
+}
+
+
 class ClusterKVBudgetSweep : public ::testing::TestWithParam<Index> {};
 
 TEST_P(ClusterKVBudgetSweep, SelectionSizeTracksBudget) {

@@ -163,6 +163,126 @@ TEST(TieredStore, StatsMerge) {
   EXPECT_EQ(a.fetch_events, 2);
 }
 
+
+TEST(TieredStore, RepeatedEvictRefetchCyclesStaySymmetric) {
+  // Offload/fetch churn (the serving preemption pattern) must keep the
+  // transfer ledger exact: every byte that went out is matched by the byte
+  // that came back, with token counters agreeing at token_bytes() scale.
+  TieredKVStore store(8, 2);
+  const std::vector<float> x(8, 1.0f);
+  for (int i = 0; i < 16; ++i) {
+    store.append(x, x);
+  }
+  store.offload_to_slow(0, 16);  // initial placement: all slow
+  const auto baseline = store.stats();
+
+  std::vector<Index> working{2, 3, 5, 7, 11, 13};
+  for (int cycle = 0; cycle < 10; ++cycle) {
+    EXPECT_EQ(store.ensure_resident(working), 6);
+    EXPECT_EQ(store.offload_positions(working), 6);
+  }
+  const auto& stats = store.stats();
+  EXPECT_EQ(stats.tokens_fetched, baseline.tokens_fetched + 60);
+  EXPECT_EQ(stats.tokens_offloaded, baseline.tokens_offloaded + 60);
+  EXPECT_EQ(stats.bytes_to_fast, 60 * store.token_bytes());
+  EXPECT_EQ(stats.bytes_to_slow - baseline.bytes_to_slow, 60 * store.token_bytes());
+  // Symmetry: fetched bytes equal re-offloaded bytes over whole cycles.
+  EXPECT_EQ(stats.bytes_to_fast, stats.bytes_to_slow - baseline.bytes_to_slow);
+  EXPECT_EQ(store.fast_resident_count(), 0);
+  EXPECT_EQ(store.fast_resident_bytes(), 0);
+}
+
+TEST(TieredStore, OffloadPositionsCountsOnlyResident) {
+  TieredKVStore store(4, 2);
+  const std::vector<float> x(4, 1.0f);
+  for (int i = 0; i < 4; ++i) {
+    store.append(x, x);
+  }
+  const std::vector<Index> some{0, 2};
+  EXPECT_EQ(store.offload_positions(some), 2);
+  EXPECT_EQ(store.offload_positions(some), 0);  // already slow: no traffic
+  EXPECT_EQ(store.stats().tokens_offloaded, 2);
+  const std::vector<Index> bad{9};
+  EXPECT_THROW(store.offload_positions(bad), std::invalid_argument);
+}
+
+TEST(TieredStore, FastPositionsAreSortedAndComplete) {
+  TieredKVStore store(4);
+  const std::vector<float> x(4, 1.0f);
+  for (int i = 0; i < 5; ++i) {
+    store.append(x, x);
+  }
+  store.offload_to_slow(1, 3);
+  const auto fast = store.fast_positions();
+  const std::vector<Index> want{0, 3, 4};
+  EXPECT_EQ(fast, want);
+}
+
+TEST(TieredStore, TransferStatsMergeAllFields) {
+  TransferStats a;
+  a.bytes_to_fast = 10;
+  a.bytes_to_slow = 20;
+  a.fetch_events = 3;
+  a.tokens_fetched = 5;
+  a.tokens_offloaded = 7;
+  TransferStats b = a;
+  a.merge(b);
+  EXPECT_EQ(a.bytes_to_fast, 20);
+  EXPECT_EQ(a.bytes_to_slow, 40);
+  EXPECT_EQ(a.fetch_events, 6);
+  EXPECT_EQ(a.tokens_fetched, 10);
+  EXPECT_EQ(a.tokens_offloaded, 14);
+  // Merging an empty accumulator is the identity.
+  TransferStats before = a;
+  a.merge(TransferStats{});
+  EXPECT_EQ(a.bytes_to_fast, before.bytes_to_fast);
+  EXPECT_EQ(a.tokens_offloaded, before.tokens_offloaded);
+}
+
+TEST(TieredStore, LedgerTracksEveryResidencyMutation) {
+  FastTierLedger ledger;
+  TieredKVStore store(8, 2);
+  const std::vector<float> x(8, 1.0f);
+  store.append(x, x);  // resident before attach
+  store.attach_ledger(&ledger);
+  EXPECT_EQ(ledger.bytes(), store.fast_resident_bytes());  // attach credits
+
+  for (int i = 0; i < 7; ++i) {
+    store.append(x, x);
+  }
+  EXPECT_EQ(ledger.bytes(), 8 * store.token_bytes());
+
+  store.offload_to_slow(0, 8);
+  EXPECT_EQ(ledger.bytes(), 0);
+
+  const std::vector<Index> some{1, 4, 6};
+  store.ensure_resident(some);
+  EXPECT_EQ(ledger.bytes(), 3 * store.token_bytes());
+
+  const std::vector<Index> drop{4};
+  store.drop_from_fast(drop);
+  EXPECT_EQ(ledger.bytes(), 2 * store.token_bytes());
+
+  store.attach_ledger(nullptr);  // detach debits the residual
+  EXPECT_EQ(ledger.bytes(), 0);
+}
+
+TEST(TieredStore, LedgerSharedAcrossStores) {
+  FastTierLedger ledger;
+  TieredKVStore a(4, 2);
+  TieredKVStore b(4, 2);
+  a.attach_ledger(&ledger);
+  b.attach_ledger(&ledger);
+  const std::vector<float> x(4, 1.0f);
+  a.append(x, x);
+  b.append(x, x);
+  b.append(x, x);
+  EXPECT_EQ(ledger.bytes(), a.fast_resident_bytes() + b.fast_resident_bytes());
+  a.offload_to_slow(0, 1);
+  EXPECT_EQ(ledger.bytes(), b.fast_resident_bytes());
+}
+
+
 TEST(TieredStore, RangeValidation) {
   TieredKVStore store(4);
   EXPECT_THROW(store.offload_to_slow(0, 1), std::invalid_argument);

@@ -1,0 +1,387 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baselines/full_kv.hpp"
+#include "baselines/quest.hpp"
+#include "core/clusterkv_engine.hpp"
+#include "serve/batch_scheduler.hpp"
+#include "serve/request_queue.hpp"
+#include "serve/session.hpp"
+#include "serve/trace.hpp"
+
+namespace ckv {
+namespace {
+
+SessionConfig small_session_config() {
+  SessionConfig config;
+  config.shape.num_layers = 1;
+  config.shape.num_heads = 2;
+  config.shape.head_dim = 32;
+  config.params.head_dim = 32;
+  config.params.num_topics = 16;
+  config.engine.budget = 48;
+  config.engine.full_attention_layers = 0;
+  return config;
+}
+
+ClusterKVConfig small_ckv_config() {
+  ClusterKVConfig config;
+  config.sink_tokens = 8;
+  config.tokens_per_cluster = 40;
+  config.decode_interval = 8;
+  config.decode_clusters = 2;
+  config.cache_depth = 1;
+  return config;
+}
+
+BatchSchedulerConfig tiered_scheduler_config(const ClusterKVConfig& ckv,
+                                             const SessionConfig& session) {
+  BatchSchedulerConfig config;
+  config.method = LatencyModel::Method::kClusterKV;
+  config.tiered_residency = true;
+  config.sink_tokens = ckv.sink_tokens;
+  config.decode_interval = ckv.decode_interval;
+  config.cache_depth = ckv.cache_depth;
+  config.tokens_per_cluster = ckv.tokens_per_cluster;
+  (void)session;
+  return config;
+}
+
+std::vector<ServeRequest> fixed_trace(Index n, Index prompt_len, Index decode_len,
+                                      double gap_ms) {
+  std::vector<ServeRequest> trace;
+  for (Index i = 0; i < n; ++i) {
+    ServeRequest request;
+    request.id = i;
+    request.arrival_ms = gap_ms * static_cast<double>(i);
+    request.prompt_len = prompt_len;
+    request.decode_len = decode_len;
+    request.seed = derive_seed(99, "trace/" + std::to_string(i));
+    trace.push_back(request);
+  }
+  return trace;
+}
+
+LatencyModel test_latency() {
+  return LatencyModel(HardwareModel::ada6000(), ModelConfig::llama31_8b());
+}
+
+TEST(RequestQueue, OrdersByArrival) {
+  RequestQueue queue;
+  ServeRequest late{0, 50.0, 10, 5, 1};
+  ServeRequest early{1, 10.0, 10, 5, 2};
+  queue.push(late);
+  queue.push(early);
+  EXPECT_EQ(queue.front().id, 1);
+  EXPECT_FALSE(queue.has_arrival(5.0));
+  EXPECT_TRUE(queue.has_arrival(10.0));
+  EXPECT_DOUBLE_EQ(queue.next_arrival_ms(), 10.0);
+  EXPECT_EQ(queue.pop().id, 1);
+  EXPECT_EQ(queue.pop().id, 0);
+  EXPECT_TRUE(queue.empty());
+  EXPECT_TRUE(std::isinf(queue.next_arrival_ms()));
+}
+
+TEST(RequestQueue, RejectsBadRequests) {
+  RequestQueue queue;
+  EXPECT_THROW(queue.push(ServeRequest{0, 0.0, 0, 5, 1}), std::invalid_argument);
+  EXPECT_THROW(queue.push(ServeRequest{0, 0.0, 5, 0, 1}), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(queue.front()), std::invalid_argument);
+}
+
+TEST(Trace, PoissonTraceIsReproducibleAndMonotone) {
+  TraceConfig config;
+  config.num_requests = 12;
+  config.offered_rps = 10.0;
+  config.prompt_len_min = 100;
+  config.prompt_len_max = 200;
+  config.decode_len_min = 4;
+  config.decode_len_max = 8;
+  const auto a = make_poisson_trace(config, 7);
+  const auto b = make_poisson_trace(config, 7);
+  ASSERT_EQ(a.size(), 12u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].arrival_ms, b[i].arrival_ms);
+    EXPECT_EQ(a[i].prompt_len, b[i].prompt_len);
+    EXPECT_EQ(a[i].seed, b[i].seed);
+    EXPECT_GE(a[i].prompt_len, 100);
+    EXPECT_LE(a[i].prompt_len, 200);
+    if (i > 0) {
+      EXPECT_GE(a[i].arrival_ms, a[i - 1].arrival_ms);
+    }
+  }
+  const auto c = make_poisson_trace(config, 8);
+  EXPECT_NE(a[1].arrival_ms, c[1].arrival_ms);
+}
+
+TEST(Trace, ZeroRateArrivesAtOnce) {
+  TraceConfig config;
+  config.num_requests = 5;
+  config.offered_rps = 0.0;
+  const auto trace = make_poisson_trace(config, 3);
+  for (const auto& request : trace) {
+    EXPECT_DOUBLE_EQ(request.arrival_ms, 0.0);
+  }
+}
+
+TEST(Session, LifecycleAndTimestamps) {
+  const auto config = small_session_config();
+  ServeRequest request{0, 5.0, 200, 4, 11};
+  Session session(request, make_clusterkv_factory(small_ckv_config(), 1), config);
+  EXPECT_EQ(session.state(), SessionState::kQueued);
+  EXPECT_THROW(session.decode_next(1.0), std::invalid_argument);
+  EXPECT_THROW(session.run_prefill(1.0), std::invalid_argument);  // before arrival
+
+  session.run_prefill(20.0);
+  EXPECT_EQ(session.state(), SessionState::kDecoding);
+  EXPECT_DOUBLE_EQ(session.admit_ms(), 20.0);
+
+  session.decode_next(30.0);
+  EXPECT_DOUBLE_EQ(session.first_token_ms(), 30.0);
+  session.decode_next(40.0);
+  session.decode_next(50.0);
+  EXPECT_EQ(session.state(), SessionState::kDecoding);
+  session.decode_next(60.0);
+  EXPECT_TRUE(session.finished());
+  EXPECT_EQ(session.tokens_generated(), 4);
+  EXPECT_DOUBLE_EQ(session.finish_ms(), 60.0);
+  EXPECT_THROW(session.decode_next(70.0), std::invalid_argument);
+}
+
+TEST(Session, FastResidencyIsBoundedAndReleasable) {
+  const auto config = small_session_config();
+  ServeRequest request{0, 0.0, 400, 6, 12};
+  Session session(request, make_clusterkv_factory(small_ckv_config(), 2), config);
+  session.run_prefill(0.0);
+  // After prefill, clustered tokens are offloaded: only sinks remain fast.
+  const Index per_token = session_token_bytes(config);
+  EXPECT_EQ(session.fast_resident_bytes(),
+            small_ckv_config().sink_tokens * per_token * config.shape.total_heads());
+
+  session.decode_next(1.0);
+  EXPECT_GT(session.fast_resident_bytes(),
+            small_ckv_config().sink_tokens * per_token * config.shape.total_heads());
+
+  const Index moved = session.release_fast_tier();
+  EXPECT_GT(moved, 0);
+  EXPECT_EQ(session.preemptions(), 1);
+  // Post-release: only sinks + the pending decode token stay fast.
+  EXPECT_EQ(session.fast_resident_bytes(),
+            (small_ckv_config().sink_tokens + 1) * per_token *
+                config.shape.total_heads());
+  // The session keeps decoding after preemption (recallable compression).
+  const auto step = session.decode_next(2.0);
+  EXPECT_GT(step.tokens_fetched, 0);
+}
+
+TEST(Session, FullKVPinsWholeContext) {
+  const auto config = small_session_config();
+  ServeRequest request{0, 0.0, 150, 3, 13};
+  Session session(request, make_full_kv_factory(), config);
+  session.run_prefill(0.0);
+  EXPECT_EQ(session.fast_resident_bytes(), session.context_bytes(150));
+  EXPECT_EQ(session.release_fast_tier(), 0);  // nothing reclaimable
+  EXPECT_EQ(session.preemptions(), 0);
+  session.decode_next(1.0);
+  EXPECT_EQ(session.fast_resident_bytes(), session.context_bytes(151));
+}
+
+// The two scheduler acceptance invariants: the global fast-tier residency
+// never exceeds the configured budget at any tick boundary, and sink
+// tokens of admitted sessions are never offloaded.
+TEST(BatchScheduler, BudgetAndSinkInvariantsHold) {
+  const auto session_config = small_session_config();
+  const auto ckv = small_ckv_config();
+  auto config = tiered_scheduler_config(ckv, session_config);
+  // Tight budget + overcommit so admission piles sessions on and
+  // enforcement has to preempt.
+  const Index per_token = session_token_bytes(session_config);
+  const Index floor_tokens =
+      ckv.sink_tokens + ckv.decode_interval + ckv.cache_depth * session_config.engine.budget;
+  config.fast_tier_budget_bytes =
+      2 * floor_tokens * per_token * session_config.shape.total_heads();
+  config.admission_overcommit = 2.0;
+
+  BatchScheduler scheduler(fixed_trace(6, 300, 6, 1.0),
+                           make_clusterkv_factory(ckv, 5), session_config,
+                           test_latency(), config);
+  while (scheduler.tick()) {
+    EXPECT_LE(scheduler.fast_tier_bytes(), config.fast_tier_budget_bytes);
+    // The O(1) ledger (which fast_tier_bytes reads in tiered mode) must
+    // agree with an independent re-sum over every running session.
+    std::int64_t summed = 0;
+    for (const auto& session : scheduler.running()) {
+      summed += session->fast_resident_bytes();
+    }
+    EXPECT_EQ(scheduler.ledger().bytes(), summed);
+    for (const auto& session : scheduler.running()) {
+      auto& bank = session->engine().selectors();
+      for (Index l = 0; l < bank.num_layers(); ++l) {
+        for (Index h = 0; h < bank.num_heads(); ++h) {
+          const auto* engine = dynamic_cast<const ClusterKVEngine*>(&bank.at(l, h));
+          ASSERT_NE(engine, nullptr);
+          for (Index s = 0; s < engine->sink_count(); ++s) {
+            EXPECT_TRUE(engine->tiered_store().is_fast_resident(s))
+                << "sink " << s << " offloaded";
+          }
+        }
+      }
+    }
+  }
+  EXPECT_EQ(scheduler.finished_count(), 6);
+  EXPECT_EQ(scheduler.metrics().sessions(), 6);
+  EXPECT_EQ(scheduler.metrics().total_tokens(), 6 * 6);
+  EXPECT_GT(scheduler.metrics().total_preemptions(), 0);
+  EXPECT_EQ(scheduler.ledger().bytes(), 0);  // all sessions retired
+}
+
+TEST(BatchScheduler, ConstrainedBudgetForcesQueueing) {
+  const auto session_config = small_session_config();
+  const auto ckv = small_ckv_config();
+  auto config = tiered_scheduler_config(ckv, session_config);
+  const Index per_token = session_token_bytes(session_config);
+  const Index floor_tokens =
+      ckv.sink_tokens + ckv.decode_interval + ckv.cache_depth * session_config.engine.budget;
+  // Exactly one session fits: the rest must queue.
+  config.fast_tier_budget_bytes =
+      floor_tokens * per_token * session_config.shape.total_heads() + 1;
+
+  BatchScheduler scheduler(fixed_trace(3, 250, 4, 0.0),
+                           make_clusterkv_factory(ckv, 6), session_config,
+                           test_latency(), config);
+  Index max_running = 0;
+  while (scheduler.tick()) {
+    max_running = std::max(max_running, scheduler.running_count());
+    EXPECT_LE(scheduler.fast_tier_bytes(), config.fast_tier_budget_bytes);
+  }
+  EXPECT_EQ(max_running, 1);
+  EXPECT_EQ(scheduler.finished_count(), 3);
+  // Sessions 2 and 3 arrived at t=0 but had to wait for residency.
+  EXPECT_GT(scheduler.metrics().queue_wait_percentile(95.0), 0.0);
+  EXPECT_DOUBLE_EQ(scheduler.metrics().queue_wait_percentile(0.0), 0.0);
+}
+
+TEST(BatchScheduler, UnlimitedBudgetRunsAllConcurrently) {
+  const auto session_config = small_session_config();
+  const auto ckv = small_ckv_config();
+  auto config = tiered_scheduler_config(ckv, session_config);
+  config.fast_tier_budget_bytes = 0;  // unlimited
+
+  BatchScheduler scheduler(fixed_trace(4, 200, 5, 0.0),
+                           make_clusterkv_factory(ckv, 7), session_config,
+                           test_latency(), config);
+  scheduler.tick();
+  EXPECT_EQ(scheduler.running_count(), 4);
+  scheduler.run();
+  EXPECT_EQ(scheduler.finished_count(), 4);
+  EXPECT_EQ(scheduler.metrics().total_preemptions(), 0);
+}
+
+TEST(BatchScheduler, RejectsImpossibleRequests) {
+  const auto session_config = small_session_config();
+  BatchSchedulerConfig config;
+  config.method = LatencyModel::Method::kFullKV;
+  config.fast_tier_budget_bytes = 1024;  // smaller than any full context
+  EXPECT_THROW(BatchScheduler(fixed_trace(1, 300, 4, 0.0), make_full_kv_factory(),
+                              session_config, test_latency(), config),
+               std::invalid_argument);
+}
+
+TEST(BatchScheduler, TieredResidencyRequiresTieredFactory) {
+  // tiered_residency with an untiered factory would leave the ledger at
+  // zero and silently void budget enforcement; admission must catch the
+  // mismatch instead.
+  const auto session_config = small_session_config();
+  auto config = tiered_scheduler_config(small_ckv_config(), session_config);
+  config.fast_tier_budget_bytes = 1 << 20;
+  BatchScheduler scheduler(fixed_trace(1, 100, 4, 0.0), make_full_kv_factory(),
+                           session_config, test_latency(), config);
+  EXPECT_THROW(scheduler.tick(), std::logic_error);
+}
+
+TEST(BatchScheduler, OvercommitRequiresTieredResidency) {
+  const auto session_config = small_session_config();
+  BatchSchedulerConfig config;
+  config.method = LatencyModel::Method::kFullKV;
+  config.admission_overcommit = 1.5;
+  EXPECT_THROW(BatchScheduler(fixed_trace(1, 100, 4, 0.0), make_full_kv_factory(),
+                              session_config, test_latency(), config),
+               std::invalid_argument);
+}
+
+TEST(BatchScheduler, ClusterKVOutservesFullKVAtEqualBudget) {
+  const auto session_config = small_session_config();
+  const auto ckv = small_ckv_config();
+  const auto trace = fixed_trace(8, 400, 8, 2.0);
+  const Index per_token = session_token_bytes(session_config);
+  // Budget fits ~2 full-KV contexts but many ClusterKV working sets.
+  const std::int64_t budget = static_cast<std::int64_t>(2.2 * 408.0) * per_token *
+                              session_config.shape.total_heads();
+
+  auto full_config = BatchSchedulerConfig{};
+  full_config.method = LatencyModel::Method::kFullKV;
+  full_config.fast_tier_budget_bytes = budget;
+  BatchScheduler full(trace, make_full_kv_factory(), session_config, test_latency(),
+                      full_config);
+  full.run();
+
+  auto ckv_config = tiered_scheduler_config(ckv, session_config);
+  ckv_config.fast_tier_budget_bytes = budget;
+  BatchScheduler clustered(trace, make_clusterkv_factory(ckv, 9), session_config,
+                           test_latency(), ckv_config);
+  clustered.run();
+
+  EXPECT_EQ(full.finished_count(), 8);
+  EXPECT_EQ(clustered.finished_count(), 8);
+  EXPECT_GT(clustered.metrics().throughput_tps(), full.metrics().throughput_tps());
+  // Per-session quality metrics still come out of the serving path. A
+  // ~12% budget on the coarse test slice lands near 0.37 recall; the bar
+  // here is that the signal flows, is materially better than chance
+  // (budget/context), and coverage holds up.
+  EXPECT_GT(clustered.metrics().mean_recall(), 0.25);
+  EXPECT_GT(clustered.metrics().mean_coverage(), 0.4);
+  EXPECT_GT(clustered.metrics().mean_cache_hit_rate(), 0.0);
+  // Full KV is exact by construction.
+  EXPECT_NEAR(full.metrics().mean_recall(), 1.0, 1e-9);
+}
+
+TEST(ServeMetrics, AggregatesAndValidates) {
+  ServeMetrics metrics;
+  SessionRecord a;
+  a.id = 0;
+  a.decode_len = 5;
+  a.arrival_ms = 0.0;
+  a.admit_ms = 10.0;
+  a.first_token_ms = 30.0;
+  a.finish_ms = 70.0;
+  a.mean_recall = 0.8;
+  a.cache_hit_rate = 0.5;
+  metrics.record_session(a);
+
+  SessionRecord b = a;
+  b.id = 1;
+  b.arrival_ms = 20.0;
+  b.admit_ms = 20.0;
+  b.first_token_ms = 50.0;
+  b.finish_ms = 90.0;
+  b.mean_recall = 0.6;
+  metrics.record_session(b);
+
+  EXPECT_EQ(metrics.sessions(), 2);
+  EXPECT_EQ(metrics.total_tokens(), 10);
+  EXPECT_DOUBLE_EQ(metrics.makespan_ms(), 90.0);
+  EXPECT_NEAR(metrics.throughput_tps(), 10.0 / 0.09, 1e-9);
+  EXPECT_DOUBLE_EQ(metrics.mean_queue_wait_ms(), 5.0);
+  EXPECT_NEAR(metrics.mean_recall(), 0.7, 1e-12);
+  EXPECT_DOUBLE_EQ(metrics.ttft_percentile(0.0), 30.0);
+  EXPECT_DOUBLE_EQ(metrics.ttft_percentile(100.0), 30.0);  // both TTFT = 30
+  EXPECT_DOUBLE_EQ(metrics.inter_token_percentile(100.0), 10.0);
+
+  SessionRecord bad = a;
+  bad.first_token_ms = 5.0;  // before admission
+  EXPECT_THROW(metrics.record_session(bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ckv

@@ -5,6 +5,7 @@
 //   ckv cache     --context 8192 --budget 1024 --depth 1 --steps 64
 //   ckv longbench --budget 1024 [--csv]
 //   ckv ppl       --max-len 8192 --budget 512
+//   ckv serve     --sessions 12 --rps 6 --method clusterkv --budget-mult 2.5
 //
 // Run `ckv <command> --help` for the command's options.
 #include <iostream>
@@ -16,6 +17,8 @@
 #include "baselines/streaming_llm.hpp"
 #include "core/clusterkv_engine.hpp"
 #include "model/decode_engine.hpp"
+#include "serve/batch_scheduler.hpp"
+#include "serve/trace.hpp"
 #include "sim/latency_model.hpp"
 #include "util/args.hpp"
 #include "util/table.hpp"
@@ -259,11 +262,111 @@ int run_ppl(int argc, const char* const* argv) {
   return 0;
 }
 
+int run_serve(int argc, const char* const* argv) {
+  ArgParser args("ckv serve — multi-session continuous batching under a "
+                 "shared fast-tier budget");
+  args.add_option("sessions", "12", "number of requests in the trace");
+  args.add_option("rps", "6", "offered load (requests per second; 0 = all at t=0)");
+  args.add_option("prompt", "900", "mean prompt length (+-20%)");
+  args.add_option("decode", "24", "mean generation length (+-33%)");
+  args.add_option("budget", "128", "per-session KV cache budget (tokens)");
+  args.add_option("method", "clusterkv", "clusterkv|quest|full");
+  args.add_option("budget-mult", "2.5",
+                  "global fast-tier budget as a multiple of one mean full context");
+  args.add_option("overcommit", "1",
+                  "admission overcommit factor (clusterkv only; >= 1)");
+  args.add_option("seed", "2025", "experiment seed");
+  args.add_switch("csv", "emit CSV instead of an aligned table");
+  args.parse(argc, argv);
+
+  const std::string method = args.get_string("method");
+  const Index prompt = args.get_index("prompt");
+  const Index decode = args.get_index("decode");
+
+  TraceConfig trace_config;
+  trace_config.num_requests = args.get_index("sessions");
+  trace_config.offered_rps = args.get_double("rps");
+  trace_config.prompt_len_min = std::max<Index>(1, prompt * 8 / 10);
+  trace_config.prompt_len_max = prompt * 12 / 10;
+  trace_config.decode_len_min = std::max<Index>(1, decode * 2 / 3);
+  trace_config.decode_len_max = decode * 4 / 3;
+  const auto seed = static_cast<std::uint64_t>(args.get_index("seed"));
+  const auto trace = make_poisson_trace(trace_config, seed);
+
+  SessionConfig session_config;
+  session_config.shape.num_layers = 1;
+  session_config.shape.num_heads = 2;
+  session_config.shape.head_dim = 64;
+  session_config.params.head_dim = 64;
+  session_config.engine.budget = args.get_index("budget");
+  session_config.engine.full_attention_layers = 0;
+
+  ClusterKVConfig ckv;
+  ckv.tokens_per_cluster = 20;
+  ckv.decode_interval = 32;
+  ckv.decode_clusters = 2;
+
+  BatchSchedulerConfig scheduler_config;
+  SelectorFactory factory;
+  if (method == "clusterkv") {
+    scheduler_config.method = LatencyModel::Method::kClusterKV;
+    scheduler_config.tiered_residency = true;
+    scheduler_config.sink_tokens = ckv.sink_tokens;
+    scheduler_config.decode_interval = ckv.decode_interval;
+    scheduler_config.cache_depth = ckv.cache_depth;
+    scheduler_config.tokens_per_cluster = ckv.tokens_per_cluster;
+    scheduler_config.admission_overcommit = args.get_double("overcommit");
+    factory = make_clusterkv_factory(ckv, seed);
+  } else if (method == "quest") {
+    scheduler_config.method = LatencyModel::Method::kQuest;
+    factory = make_quest_factory();
+  } else if (method == "full") {
+    scheduler_config.method = LatencyModel::Method::kFullKV;
+    factory = make_full_kv_factory();
+  } else {
+    throw std::invalid_argument("unknown method '" + method +
+                                "' (expected clusterkv|quest|full)");
+  }
+  if (method != "clusterkv" && args.get_double("overcommit") != 1.0) {
+    throw std::invalid_argument(
+        "--overcommit only applies to clusterkv (untiered methods cannot "
+        "be preempted back under budget)");
+  }
+  scheduler_config.fast_tier_budget_bytes = static_cast<std::int64_t>(
+      args.get_double("budget-mult") *
+      static_cast<double>((prompt + decode) * session_token_bytes(session_config) *
+                          session_config.shape.total_heads()));
+
+  const LatencyModel latency(HardwareModel::ada6000(),
+                             make_model("llama31-8b"));
+  BatchScheduler scheduler(trace, factory, session_config, latency,
+                           scheduler_config);
+  scheduler.run();
+
+  const auto& m = scheduler.metrics();
+  TextTable table({"method", "sessions", "rps", "tok/s", "max batch",
+                   "p50 TTFT (s)", "p95 TTFT (s)", "p50 ITL (ms)", "p95 ITL (ms)",
+                   "wait (s)", "preempt", "hit rate", "recall@B"});
+  table.add_row({method, std::to_string(m.sessions()), args.get_string("rps"),
+                 format_double(m.throughput_tps(), 1),
+                 format_double(m.concurrency().max(), 0),
+                 format_double(m.ttft_percentile(50.0) / 1000.0, 2),
+                 format_double(m.ttft_percentile(95.0) / 1000.0, 2),
+                 format_double(m.inter_token_percentile(50.0), 1),
+                 format_double(m.inter_token_percentile(95.0), 1),
+                 format_double(m.mean_queue_wait_ms() / 1000.0, 2),
+                 std::to_string(m.total_preemptions()),
+                 format_double(m.mean_cache_hit_rate(), 2),
+                 format_double(m.mean_recall(), 3)});
+  emit(table, args.get_switch("csv"));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::string usage =
-      "usage: ckv <recall|latency|cache|longbench|ppl> [--help] [options]\n";
+      "usage: ckv <recall|latency|cache|longbench|ppl|serve> [--help] [options]\n";
   if (argc < 2) {
     std::cerr << usage;
     return 2;
@@ -284,6 +387,9 @@ int main(int argc, char** argv) {
     }
     if (command == "ppl") {
       return run_ppl(argc - 1, argv + 1);
+    }
+    if (command == "serve") {
+      return run_serve(argc - 1, argv + 1);
     }
     std::cerr << "unknown command '" << command << "'\n" << usage;
     return 2;
