@@ -62,30 +62,45 @@ int main() {
                              ckv.cache_depth * session_config.engine.budget;
   scheduler_config.fast_tier_budget_bytes =
       3 * floor_tokens * per_token * session_config.shape.total_heads();
+  // The knobs below are the full scheduler surface (docs/SCHEDULING.md):
+  // overcommit lets admission reserve past the budget (preemption keeps
+  // actual residency under it), chunked prefill bounds how long one
+  // admission can stall the running batch.
   scheduler_config.admission_overcommit = 1.5;
+  scheduler_config.prefill_chunk_tokens = 128;
+  scheduler_config.max_running = 0;  // unlimited; the byte budget gates
 
   const LatencyModel latency(HardwareModel::ada6000(), ModelConfig::llama31_8b());
   BatchScheduler scheduler(trace, make_clusterkv_factory(ckv, 2025),
                            session_config, latency, scheduler_config);
 
-  // 3. Tick manually to watch the runtime arbitrate.
-  std::cout << "tick  t (ms)    queued  running  finished  fast-tier (KiB / "
+  // 3. Tick manually to watch the runtime arbitrate. Prefilling sessions
+  //    consume one 128-token chunk per tick while decoding sessions keep
+  //    producing tokens — no admission stalls the batch for a whole prompt.
+  std::cout << "tick  t (ms)    queued  prefilling  decoding  finished  "
+            << "fast-tier (KiB / "
             << scheduler_config.fast_tier_budget_bytes / 1024 << " KiB budget)\n";
   while (scheduler.tick()) {
+    Index prefilling = 0;
+    for (const auto& session : scheduler.running()) {
+      prefilling += session->state() == SessionState::kPrefilling ? 1 : 0;
+    }
     std::cout << "  " << scheduler.ticks() << "\t" << static_cast<long>(scheduler.now_ms())
-              << "\t  " << scheduler.queued_count() << "\t  "
-              << scheduler.running_count() << "\t   " << scheduler.finished_count()
-              << "\t    " << scheduler.fast_tier_bytes() / 1024 << "\n";
+              << "\t  " << scheduler.queued_count() << "\t    " << prefilling
+              << "\t      " << scheduler.running_count() - prefilling << "\t    "
+              << scheduler.finished_count() << "\t    "
+              << scheduler.fast_tier_bytes() / 1024 << "\n";
   }
 
   // 4. Per-session records: every user kept their recall metrics.
   const auto& metrics = scheduler.metrics();
-  TextTable table({"session", "prompt", "decode", "wait (ms)", "TTFT (ms)",
-                   "ITL (ms)", "preempt", "hit rate", "recall@B"});
+  TextTable table({"session", "prompt", "decode", "wait (ms)", "prefill (ms)",
+                   "TTFT (ms)", "ITL (ms)", "preempt", "hit rate", "recall@B"});
   for (const auto& record : metrics.records()) {
     table.add_row({std::to_string(record.id), std::to_string(record.prompt_len),
                    std::to_string(record.decode_len),
                    format_double(record.queue_wait_ms(), 0),
+                   format_double(record.prefill_ms(), 0),
                    format_double(record.ttft_ms(), 0),
                    format_double(record.inter_token_ms(), 1),
                    std::to_string(record.preemptions),

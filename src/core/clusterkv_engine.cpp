@@ -88,6 +88,26 @@ void ClusterKVEngine::observe_prefill(const Matrix& keys, const Matrix& values) 
   }
 }
 
+void ClusterKVEngine::observe_prefill_chunk(const Matrix& keys, const Matrix& values,
+                                            bool last_chunk) {
+  const Index begin = tiered_.size();
+  tiered_.append_block(keys, values);
+  const Index end = tiered_.size();
+  // The sink prefix can span chunks when the first chunk is smaller than
+  // sink_tokens: keep extending it while every prior token is a sink.
+  if (sink_count_ == begin) {
+    sink_count_ = std::min<Index>(config_.sink_tokens, end);
+  }
+  for (Index p = std::max<Index>(begin, sink_count_); p < end; ++p) {
+    pending_positions_.push_back(p);
+  }
+  const Index pending = pending_count();
+  if (pending > 0 && (last_chunk || pending >= config_.tokens_per_cluster)) {
+    flush_pending_clusters(
+        default_cluster_count(pending, config_.tokens_per_cluster));
+  }
+}
+
 void ClusterKVEngine::observe_decode(std::span<const float> key,
                                      std::span<const float> value) {
   tiered_.append(key, value);
@@ -97,7 +117,9 @@ void ClusterKVEngine::observe_decode(std::span<const float> key,
   }
 }
 
-void ClusterKVEngine::flush_pending() {
+void ClusterKVEngine::flush_pending() { flush_pending_clusters(config_.decode_clusters); }
+
+void ClusterKVEngine::flush_pending_clusters(Index cluster_count) {
   if (pending_positions_.empty()) {
     return;  // zero pending: no clusters, no clustering_flops_ charged
   }
@@ -105,8 +127,8 @@ void ClusterKVEngine::flush_pending() {
   const Index end = pending_positions_.back() + 1;
   // cluster_range clamps the cluster count to the token count, so a
   // partial batch gets at most one cluster per token and its flop billing
-  // covers the clamped problem, not C+ phantom centroids.
-  cluster_range(begin, end, config_.decode_clusters);
+  // covers the clamped problem, not phantom centroids.
+  cluster_range(begin, end, cluster_count);
   pending_positions_.clear();
 }
 

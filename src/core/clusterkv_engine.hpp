@@ -42,6 +42,20 @@ class ClusterKVEngine : public KVSelector {
   [[nodiscard]] std::string name() const override { return "ClusterKV"; }
 
   void observe_prefill(const Matrix& keys, const Matrix& values) override;
+
+  [[nodiscard]] bool supports_chunked_prefill() const override { return true; }
+
+  /// Incremental prefill: appends one prompt slice, extends the sink
+  /// prefix while the context is still all-sink, and accumulates the rest
+  /// as pending tokens that cluster at prompt granularity whenever at
+  /// least tokens_per_cluster of them are buffered (the last chunk flushes
+  /// the remainder, so decode starts fully clustered). Chunk boundaries
+  /// are scheduler artifacts and never force undersized clusters. The
+  /// fixed_cluster_count ablation knob applies only to the whole-prompt
+  /// observe_prefill path.
+  void observe_prefill_chunk(const Matrix& keys, const Matrix& values,
+                             bool last_chunk) override;
+
   void observe_decode(std::span<const float> key,
                       std::span<const float> value) override;
   SelectionResult select(std::span<const float> query, Index budget) override;
@@ -89,6 +103,10 @@ class ClusterKVEngine : public KVSelector {
 
  private:
   void cluster_range(Index begin, Index end, Index cluster_count);
+  /// Clusters the pending positions into at most `cluster_count` clusters
+  /// and clears them (shared by the decode-interval flush and the chunked
+  /// prefill path, which differ only in the cluster count they request).
+  void flush_pending_clusters(Index cluster_count);
 
   ClusterKVConfig config_;
   Rng rng_;

@@ -2,6 +2,15 @@
 
 namespace ckv {
 
+void KVSelector::observe_prefill_chunk(const Matrix& keys, const Matrix& values,
+                                       bool last_chunk) {
+  expects(last_chunk && context_size() == 0,
+          "KVSelector::observe_prefill_chunk: this method is chunk-oblivious "
+          "(supports_chunked_prefill() is false); feed it the whole prompt "
+          "as one final chunk");
+  observe_prefill(keys, values);
+}
+
 void KVSelector::observe_attention(std::span<const Index> /*indices*/,
                                    std::span<const float> /*probabilities*/) {
   // Most methods ignore attention feedback; H2O overrides this.

@@ -55,6 +55,22 @@ class KVSelector {
   /// Consumes the prompt's keys/values after prefill (N x d each).
   virtual void observe_prefill(const Matrix& keys, const Matrix& values) = 0;
 
+  /// True when this method can build its prefill state incrementally via
+  /// observe_prefill_chunk. Chunk-oblivious methods keep the default; the
+  /// decode engine then defers their state construction to one whole-prompt
+  /// observe_prefill call when the last chunk lands (latency is still
+  /// billed per chunk by the scheduler, so the timing model is identical).
+  [[nodiscard]] virtual bool supports_chunked_prefill() const { return false; }
+
+  /// Consumes one contiguous slice of the prompt's KV during chunked
+  /// prefill. Called with strictly consecutive slices; `last_chunk` marks
+  /// the final one, after which the selector must be ready for select() /
+  /// observe_decode(). The default only accepts a single whole-prompt
+  /// chunk (it forwards to observe_prefill); callers must gate on
+  /// supports_chunked_prefill() before splitting the prompt.
+  virtual void observe_prefill_chunk(const Matrix& keys, const Matrix& values,
+                                     bool last_chunk);
+
   /// Consumes one generated token's key/value during decoding.
   virtual void observe_decode(std::span<const float> key,
                               std::span<const float> value) = 0;

@@ -6,7 +6,8 @@ namespace ckv {
 
 void ServeMetrics::record_session(SessionRecord record) {
   expects(record.finish_ms >= record.first_token_ms &&
-              record.first_token_ms >= record.admit_ms &&
+              record.first_token_ms >= record.prefill_done_ms &&
+              record.prefill_done_ms >= record.admit_ms &&
               record.admit_ms >= record.arrival_ms,
           "ServeMetrics::record_session: timestamps out of order");
   total_tokens_ += record.decode_len;
@@ -62,6 +63,16 @@ double ServeMetrics::inter_token_percentile(double p) const {
 
 double ServeMetrics::queue_wait_percentile(double p) const {
   const auto values = collect(&SessionRecord::queue_wait_ms);
+  return values.empty() ? 0.0 : percentile(values, p);
+}
+
+double ServeMetrics::prefill_percentile(double p) const {
+  const auto values = collect(&SessionRecord::prefill_ms);
+  return values.empty() ? 0.0 : percentile(values, p);
+}
+
+double ServeMetrics::first_decode_wait_percentile(double p) const {
+  const auto values = collect(&SessionRecord::first_decode_wait_ms);
   return values.empty() ? 0.0 : percentile(values, p);
 }
 

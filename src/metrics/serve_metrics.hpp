@@ -12,12 +12,16 @@
 namespace ckv {
 
 /// Completed-session summary the scheduler hands over at retirement.
+/// Timestamps are ordered arrival <= admit <= prefill_done <= first_token
+/// <= finish, splitting TTFT into queue wait, (chunked) prefill time, and
+/// the wait for the first decode tick.
 struct SessionRecord {
   Index id = 0;
   Index prompt_len = 0;
   Index decode_len = 0;
   double arrival_ms = 0.0;
   double admit_ms = 0.0;
+  double prefill_done_ms = 0.0;
   double first_token_ms = 0.0;
   double finish_ms = 0.0;
   double mean_recall = 0.0;
@@ -29,7 +33,19 @@ struct SessionRecord {
   [[nodiscard]] double queue_wait_ms() const noexcept {
     return admit_ms - arrival_ms;
   }
-  /// Time to first token, measured from arrival (includes queueing).
+  /// Time from admission to the final prefill chunk. Under chunked prefill
+  /// this spans several ticks and includes the decode work interleaved
+  /// with the chunks, not just the prompt's own compute.
+  [[nodiscard]] double prefill_ms() const noexcept {
+    return prefill_done_ms - admit_ms;
+  }
+  /// Time from prefill completion to the first generated token (the
+  /// scheduling gap before the session's first decode tick).
+  [[nodiscard]] double first_decode_wait_ms() const noexcept {
+    return first_token_ms - prefill_done_ms;
+  }
+  /// Time to first token, measured from arrival (== queue_wait_ms() +
+  /// prefill_ms() + first_decode_wait_ms()).
   [[nodiscard]] double ttft_ms() const noexcept {
     return first_token_ms - arrival_ms;
   }
@@ -43,6 +59,7 @@ struct SessionRecord {
 
 class ServeMetrics {
  public:
+  /// Ingests a retired session's record; validates timestamp ordering.
   void record_session(SessionRecord record);
 
   /// Samples global fast-tier occupancy at a tick boundary (unweighted
@@ -50,16 +67,20 @@ class ServeMetrics {
   void record_occupancy(std::int64_t fast_bytes);
 
   /// Records one scheduler tick: its virtual duration and the number of
-  /// sessions that decoded.
+  /// sessions that made progress (prefill chunks + decode steps).
   void record_tick(double tick_ms, Index running_sessions);
 
+  /// All retired sessions, retirement order.
   [[nodiscard]] const std::vector<SessionRecord>& records() const noexcept {
     return records_;
   }
+  /// Retired session count.
   [[nodiscard]] Index sessions() const noexcept {
     return static_cast<Index>(records_.size());
   }
+  /// Generated tokens summed over retired sessions.
   [[nodiscard]] std::int64_t total_tokens() const noexcept { return total_tokens_; }
+  /// Preemption events summed over retired sessions.
   [[nodiscard]] Index total_preemptions() const noexcept { return total_preemptions_; }
 
   /// Virtual time from the first arrival to the last finish.
@@ -68,9 +89,14 @@ class ServeMetrics {
   /// Sustained decode throughput: generated tokens / makespan.
   [[nodiscard]] double throughput_tps() const noexcept;
 
+  /// Percentiles over completed sessions (p in [0, 100]; 0 when none).
   [[nodiscard]] double ttft_percentile(double p) const;
   [[nodiscard]] double inter_token_percentile(double p) const;
   [[nodiscard]] double queue_wait_percentile(double p) const;
+  /// Percentile of the prefill span (admit -> last chunk) per session.
+  [[nodiscard]] double prefill_percentile(double p) const;
+  /// Percentile of the post-prefill wait for the first decode tick.
+  [[nodiscard]] double first_decode_wait_percentile(double p) const;
   [[nodiscard]] double mean_queue_wait_ms() const noexcept;
 
   /// Session means weighted equally (the Fig. 11-style recall signal, now
@@ -79,10 +105,13 @@ class ServeMetrics {
   [[nodiscard]] double mean_coverage() const noexcept;
   [[nodiscard]] double mean_cache_hit_rate() const noexcept;
 
+  /// Per-tick samples of global fast-tier occupancy (bytes).
   [[nodiscard]] const RunningStat& occupancy_bytes() const noexcept {
     return occupancy_;
   }
+  /// Largest occupancy sample seen (0 before any sample).
   [[nodiscard]] std::int64_t peak_occupancy_bytes() const noexcept;
+  /// Per-tick samples of the active batch size.
   [[nodiscard]] const RunningStat& concurrency() const noexcept {
     return concurrency_;
   }

@@ -26,13 +26,46 @@ DecodeEngine::DecodeEngine(ProceduralContextModel& model,
 
 void DecodeEngine::run_prefill() {
   expects(!prefilled_, "DecodeEngine::run_prefill: already prefilled");
+  expects(prefill_done_ == 0,
+          "DecodeEngine::run_prefill: chunked prefill already started; finish "
+          "it with prefill_chunk");
   for (Index l = 0; l < model_.shape().num_layers; ++l) {
     for (Index h = 0; h < model_.shape().num_heads; ++h) {
       const auto& stream = model_.head(l, h);
       bank_.at(l, h).observe_prefill(stream.keys(), stream.values());
     }
   }
+  prefill_done_ = model_.prompt_len();
   prefilled_ = true;
+}
+
+Index DecodeEngine::prefill_chunk(Index max_tokens) {
+  expects(max_tokens > 0, "DecodeEngine::prefill_chunk: max_tokens must be > 0");
+  if (prefilled_) {
+    return 0;
+  }
+  const Index prompt = model_.prompt_len();
+  const Index begin = prefill_done_;
+  const Index end = std::min<Index>(prompt, begin + max_tokens);
+  const bool last = end == prompt;
+  for (Index l = 0; l < model_.shape().num_layers; ++l) {
+    for (Index h = 0; h < model_.shape().num_heads; ++h) {
+      const auto& stream = model_.head(l, h);
+      auto& selector = bank_.at(l, h);
+      if (selector.supports_chunked_prefill()) {
+        selector.observe_prefill_chunk(stream.keys().row_slice(begin, end),
+                                       stream.values().row_slice(begin, end), last);
+      } else if (last) {
+        // Chunk-oblivious methods build whole-prompt state once the final
+        // chunk lands; the scheduler has billed every chunk's latency by
+        // then, so only the state construction is deferred, not the time.
+        selector.observe_prefill(stream.keys(), stream.values());
+      }
+    }
+  }
+  prefill_done_ = end;
+  prefilled_ = last;
+  return end - begin;
 }
 
 StepResult DecodeEngine::decode_step(Index step) {

@@ -41,9 +41,24 @@ class DecodeEngine {
   DecodeEngine(ProceduralContextModel& model, const SelectorFactory& factory,
                const DecodeEngineConfig& config);
 
-  /// Feeds the prompt KV to every selector. Must be called exactly once,
-  /// before the first decode_step.
+  /// Feeds the whole prompt KV to every selector in one shot. Must be
+  /// called exactly once, before the first decode_step, and must not be
+  /// mixed with prefill_chunk.
   void run_prefill();
+
+  /// Feeds the next at most `max_tokens` prompt rows to every selector —
+  /// the re-entrant chunked-prefill mirror of decode_next(), letting a
+  /// scheduler interleave one prompt chunk per tick with other sessions'
+  /// decode steps. Chunk-aware selectors (supports_chunked_prefill())
+  /// receive each slice as it lands; chunk-oblivious ones get one
+  /// whole-prompt observe_prefill when the final chunk arrives. Returns
+  /// tokens consumed (0 once the prompt is exhausted); prefilled() turns
+  /// true with the final chunk.
+  Index prefill_chunk(Index max_tokens);
+
+  /// Prompt tokens consumed by prefill so far (== prompt_len once
+  /// prefilled() is true).
+  [[nodiscard]] Index prefill_tokens_done() const noexcept { return prefill_done_; }
 
   /// Executes decode step `step` (0-based, strictly increasing): appends
   /// one generated token, selects, computes approximate + exact attention,
@@ -75,6 +90,7 @@ class DecodeEngine {
   DecodeEngineConfig config_;
   SelectorBank bank_;
   bool prefilled_ = false;
+  Index prefill_done_ = 0;
   Index next_step_ = 0;
   RunningStat recall_;
   RunningStat coverage_;

@@ -15,6 +15,10 @@ BatchScheduler::BatchScheduler(std::vector<ServeRequest> trace,
       config_(config) {
   expects(config.fast_tier_budget_bytes >= 0,
           "BatchScheduler: budget must be >= 0");
+  expects(config.prefill_chunk_tokens >= 0,
+          "BatchScheduler: prefill_chunk_tokens must be >= 0 (0 = whole "
+          "prompt per tick)");
+  expects(config.max_running >= 0, "BatchScheduler: max_running must be >= 0");
   expects(config.admission_overcommit >= 1.0,
           "BatchScheduler: admission_overcommit must be >= 1");
   expects(config.tiered_residency || config.admission_overcommit == 1.0,
@@ -36,13 +40,17 @@ std::int64_t BatchScheduler::projected_bytes(const ServeRequest& request) const 
   const Index context = request.prompt_len + request.decode_len;
   Index tokens = context;
   if (config_.tiered_residency) {
-    // Working-set peak of a tiered session between steps: sinks + one
-    // decode interval of pending tokens + the cache window (R steps of at
-    // most `budget` selected tokens). The whole context caps it for short
-    // requests.
+    // Working-set peak of a tiered session between ticks: sinks + the
+    // larger of the decode-phase set (one decode interval of pending
+    // tokens + the cache window of R steps x at most `budget` selected
+    // tokens) and the prefill-phase pending buffer (chunked prefill
+    // flushes clusters every tokens_per_cluster tokens). The whole context
+    // caps it for short requests.
     const Index floor_tokens =
-        config_.sink_tokens + config_.decode_interval +
-        config_.cache_depth * session_config_.engine.budget;
+        config_.sink_tokens +
+        std::max<Index>(config_.tokens_per_cluster,
+                        config_.decode_interval +
+                            config_.cache_depth * session_config_.engine.budget);
     tokens = std::min<Index>(context, floor_tokens);
   }
   return static_cast<std::int64_t>(tokens) * session_token_bytes(session_config_) *
@@ -53,8 +61,13 @@ std::int64_t BatchScheduler::residual_bytes(const ServeRequest& request) const {
   const Index context = request.prompt_len + request.decode_len;
   Index tokens = context;
   if (config_.tiered_residency) {
-    tokens = std::min<Index>(context,
-                             config_.sink_tokens + config_.decode_interval);
+    // Irreducible fast residency: sinks plus the larger of the two pending
+    // buffers — decode-phase (flushed every decode_interval steps) and
+    // prefill-phase (chunked prefill flushes every tokens_per_cluster
+    // tokens). Preemption can never reclaim below this, mid-prefill or not.
+    tokens = std::min<Index>(
+        context, config_.sink_tokens + std::max<Index>(config_.decode_interval,
+                                                       config_.tokens_per_cluster));
   }
   return static_cast<std::int64_t>(tokens) * session_token_bytes(session_config_) *
          session_config_.shape.total_heads();
@@ -123,30 +136,36 @@ void BatchScheduler::admit_arrivals() {
       }
     }
     auto session = std::make_unique<Session>(queue_.pop(), factory_, session_config_);
-    const std::int64_t ledger_before = ledger_.bytes();
     if (config_.tiered_residency) {
       session->attach_fast_tier_ledger(&ledger_);
     }
-    session->run_prefill(now_ms_);
-    // Config/factory mismatch guard: with tiered_residency, every
-    // selector must actually feed the ledger — an untiered factory would
-    // leave it at zero and void budget enforcement silently.
-    ensures(!config_.tiered_residency ||
-                ledger_.bytes() - ledger_before == session->fast_resident_bytes(),
-            "BatchScheduler: tiered_residency is set but the session's "
-            "selectors do not report through the fast-tier ledger (untiered "
-            "factory?)");
-    // Prefill executes inline on the virtual clock (chunked prefill that
-    // overlaps running decodes is future work, see ROADMAP).
-    double prefill_ms = latency_.prefill_ms(session->request().prompt_len);
-    if (config_.method == LatencyModel::Method::kClusterKV) {
-      prefill_ms +=
-          latency_.clustering_visible_overhead_ms(session->request().prompt_len);
-    }
-    now_ms_ += prefill_ms;
+    // Admission only reserves and changes state; the prompt is consumed
+    // chunk by chunk in subsequent ticks, interleaved with the running
+    // batch's decode steps (vLLM-style chunked prefill).
+    session->admit(now_ms_);
     running_.push_back(std::move(session));
-    enforce_budget(running_.back().get());
   }
+}
+
+Index BatchScheduler::next_chunk_tokens(const Session& session) const {
+  const Index remaining =
+      session.request().prompt_len - session.prefill_tokens_done();
+  return config_.prefill_chunk_tokens == 0
+             ? remaining
+             : std::min<Index>(remaining, config_.prefill_chunk_tokens);
+}
+
+double BatchScheduler::prefill_chunk_cost_ms(const Session& session,
+                                             Index chunk_tokens) const {
+  double cost_ms =
+      latency_.prefill_chunk_ms(session.prefill_tokens_done(), chunk_tokens);
+  if (config_.method == LatencyModel::Method::kClusterKV) {
+    // Per-chunk incremental clustering: the visible k-means tail of this
+    // chunk's centroids (chunk/tokens_per_cluster of them over chunk
+    // tokens), mirroring ClusterKVEngine::observe_prefill_chunk.
+    cost_ms += latency_.clustering_visible_overhead_ms(chunk_tokens);
+  }
+  return cost_ms;
 }
 
 void BatchScheduler::enforce_budget(Session* just_stepped) {
@@ -154,11 +173,11 @@ void BatchScheduler::enforce_budget(Session* just_stepped) {
     return;
   }
   if (fast_tier_bytes() > config_.fast_tier_budget_bytes) {
-    // Coldest first: sessions whose last decode step is oldest release
-    // before warmer ones (never-stepped sorts coldest of all; ties keep
-    // admission order). The session that just produced a token is the
-    // victim of last resort — evicting it only costs its next step a
-    // refetch, but fairness prefers idle state first.
+    // Coldest first: sessions whose last progress (decode step or prefill
+    // chunk) is oldest release before warmer ones (never-advanced sorts
+    // coldest of all; ties keep admission order). The session that just
+    // advanced is the victim of last resort — evicting it only costs its
+    // next step a refetch, but fairness prefers idle state first.
     std::vector<Session*> victims;
     victims.reserve(running_.size());
     for (const auto& session : running_) {
@@ -199,6 +218,7 @@ void BatchScheduler::retire_finished() {
     record.decode_len = session.request().decode_len;
     record.arrival_ms = session.arrival_ms();
     record.admit_ms = session.admit_ms();
+    record.prefill_done_ms = session.prefill_done_ms();
     record.first_token_ms = session.first_token_ms();
     record.finish_ms = session.finish_ms();
     record.mean_recall = session.mean_recall();
@@ -223,27 +243,65 @@ bool BatchScheduler::tick() {
   admit_arrivals();
   ++ticks_;
 
+  // Partition the batch: prefilling sessions each consume one prompt
+  // chunk this tick, decoding sessions each run one step (round-robin so
+  // retirement churn cannot starve anyone).
+  std::vector<Session*> prefillers;
+  std::vector<Session*> decoders;
   const Index batch = running_count();
-  if (batch > 0) {
-    // One shared weight pass + per-step overhead for the whole batch; each
-    // session adds its private KV/selection/transfer cost. This is the
-    // continuous-batching economy: more concurrent sessions amortize the
-    // dominant weight-streaming term.
-    std::vector<Session*> order;
-    order.reserve(static_cast<std::size_t>(batch));
-    for (Index i = 0; i < batch; ++i) {
-      order.push_back(running_[(round_robin_offset_ + i) % batch].get());
+  for (Index i = 0; i < batch; ++i) {
+    Session* session = running_[(round_robin_offset_ + i) % batch].get();
+    if (session->state() == SessionState::kPrefilling) {
+      prefillers.push_back(session);
+    } else {
+      decoders.push_back(session);
     }
+  }
+
+  if (batch > 0) {
+    // Mixed prefill+decode billing. Decoders share one weight pass and one
+    // framework overhead per tick — the continuous-batching economy — and
+    // each adds its private KV-read / selection / transfer cost. Prefill
+    // chunks are compute-bound GEMM + causal-prefix attention (their
+    // weight traffic rides the batch's shared pass), billed per chunk so a
+    // long prompt stalls the batch by at most one chunk per tick.
     double tick_ms = 0.0;
-    for (std::size_t i = 0; i < order.size(); ++i) {
-      const StepBreakdown b = step_cost(*order[i]);
+    for (std::size_t i = 0; i < decoders.size(); ++i) {
+      const StepBreakdown b = step_cost(*decoders[i]);
       if (i == 0) {
         tick_ms += b.weights_ms + b.overhead_ms;
       }
       tick_ms += b.total_ms() - b.weights_ms - b.overhead_ms;
     }
+    std::vector<Index> chunks(prefillers.size(), 0);
+    for (std::size_t i = 0; i < prefillers.size(); ++i) {
+      chunks[i] = next_chunk_tokens(*prefillers[i]);
+      tick_ms += prefill_chunk_cost_ms(*prefillers[i], chunks[i]);
+    }
+
     const double completed_ms = now_ms_ + tick_ms;
-    for (Session* session : order) {
+    for (std::size_t i = 0; i < prefillers.size(); ++i) {
+      Session* session = prefillers[i];
+      session->prefill_next(chunks[i], completed_ms);
+      // Config/factory mismatch guard: with tiered_residency, every
+      // selector must feed the shared ledger — an untiered factory would
+      // leave it at zero and silently void budget enforcement. Checked
+      // when a session finishes prefill, when chunk-oblivious selectors
+      // have materialized their whole-prompt state.
+      if (session->state() != SessionState::kPrefilling &&
+          config_.tiered_residency) {
+        std::int64_t summed = 0;
+        for (const auto& running : running_) {
+          summed += running->fast_resident_bytes();
+        }
+        ensures(ledger_.bytes() == summed,
+                "BatchScheduler: tiered_residency is set but the session's "
+                "selectors do not report through the fast-tier ledger "
+                "(untiered factory?)");
+      }
+      enforce_budget(session);
+    }
+    for (Session* session : decoders) {
       session->decode_next(completed_ms);
       enforce_budget(session);
     }

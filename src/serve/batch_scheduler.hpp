@@ -1,14 +1,22 @@
-// Continuous-batching scheduler over per-session ClusterKV engines. Each
-// tick:
+// Continuous-batching scheduler over per-session ClusterKV engines, with
+// vLLM-style chunked prefill. Each tick:
 //   1. admits queued sessions in FIFO order while their projected fast-tier
-//      footprint fits the global HBM byte budget (admission runs prefill
-//      inline and advances the virtual clock by its latency-model cost);
-//   2. round-robins one decode step per running session — the batch shares
-//      one weight pass and one framework overhead per tick, each session
-//      adds its own KV-read / selection / transfer cost;
+//      footprint fits the global HBM byte budget (admission only changes
+//      state — the prompt is consumed chunk by chunk in later ticks);
+//   2. advances every running session once: prefilling sessions consume one
+//      prompt chunk of prefill_chunk_tokens, decoding sessions run one
+//      decode step round-robin. The tick bills a mixed prefill+decode cost:
+//      decoders share one weight pass and one framework overhead, each adds
+//      its private KV-read / selection / transfer cost, and each prefill
+//      chunk adds its causal-prefix attention + GEMM compute (plus visible
+//      clustering overhead for ClusterKV);
 //   3. enforces the budget: while global residency exceeds it, the coldest
-//      session (least recently decoded) offloads its non-sink, non-pending
-//      clusters to the slow tier (sinks are never offloaded).
+//      session (least recent progress) offloads its non-sink, non-pending
+//      clusters to the slow tier (sinks are never offloaded). This holds
+//      mid-prefill too — already-clustered prompt chunks are reclaimable.
+//
+// The full scheduling model (tick lifecycle, cost accounting, knobs) is
+// documented in docs/ARCHITECTURE.md and docs/SCHEDULING.md.
 //
 // The virtual clock composes sim/latency_model step costs, so tick
 // durations reflect the full-size model the slice stands in for; residency
@@ -52,6 +60,11 @@ struct BatchSchedulerConfig {
   /// meaningful with tiered_residency — untiered sessions cannot release
   /// anything, so overcommitting them would make the budget unenforceable.
   double admission_overcommit = 1.0;
+  /// Prompt tokens a prefilling session consumes per tick. Small chunks
+  /// bound how long one admission can stall the running batch's decode
+  /// steps (TTFT of everyone else); 0 runs the whole prompt as a single
+  /// chunk in one tick (the inline-prefill baseline).
+  Index prefill_chunk_tokens = 256;
 };
 
 class BatchScheduler {
@@ -60,18 +73,26 @@ class BatchScheduler {
                  SessionConfig session_config, LatencyModel latency,
                  BatchSchedulerConfig config);
 
-  /// Runs one tick. Returns true while sessions remain (queued or running).
+  /// Runs one tick (admit, advance every session one chunk or step,
+  /// enforce the budget). Returns true while sessions remain (queued or
+  /// running). The budget invariant holds at every return, including while
+  /// sessions are mid-prefill.
   bool tick();
 
   /// Ticks until every request has finished.
   void run();
 
+  /// Current virtual time (ms) on the scheduler's clock.
   [[nodiscard]] double now_ms() const noexcept { return now_ms_; }
+  /// Admitted, unfinished sessions (prefilling + decoding).
   [[nodiscard]] Index running_count() const noexcept {
     return static_cast<Index>(running_.size());
   }
+  /// Requests still waiting for admission.
   [[nodiscard]] Index queued_count() const noexcept { return queue_.size(); }
+  /// Sessions retired so far.
   [[nodiscard]] Index finished_count() const noexcept { return finished_count_; }
+  /// Ticks executed so far.
   [[nodiscard]] Index ticks() const noexcept { return ticks_; }
 
   /// Global fast-tier residency right now, summed over running sessions.
@@ -103,6 +124,14 @@ class BatchScheduler {
   [[nodiscard]] std::int64_t residual_bytes(const ServeRequest& request) const;
   /// Latency-model step cost for one session at its current context.
   [[nodiscard]] StepBreakdown step_cost(const Session& session) const;
+  /// Latency-model cost of one `chunk_tokens` prefill chunk for a
+  /// prefilling session (causal-prefix attention + GEMM compute, plus
+  /// visible per-chunk clustering overhead for ClusterKV).
+  [[nodiscard]] double prefill_chunk_cost_ms(const Session& session,
+                                             Index chunk_tokens) const;
+  /// Chunk size a prefilling session consumes this tick (remaining prompt
+  /// capped by prefill_chunk_tokens; the whole remainder when 0).
+  [[nodiscard]] Index next_chunk_tokens(const Session& session) const;
 
   RequestQueue queue_;
   SelectorFactory factory_;

@@ -29,10 +29,15 @@ class RequestQueue {
   /// arrivals keep push order).
   void push(ServeRequest request);
 
+  /// True when no requests are waiting.
   [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
+  /// Requests currently waiting for admission.
   [[nodiscard]] Index size() const noexcept { return static_cast<Index>(queue_.size()); }
 
+  /// Earliest-arriving request (throws when empty). The scheduler projects
+  /// this request's residency before deciding to pop it.
   [[nodiscard]] const ServeRequest& front() const;
+  /// Removes and returns the head request (throws when empty).
   ServeRequest pop();
 
   /// True when the head request has arrived by `now_ms`.

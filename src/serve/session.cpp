@@ -26,14 +26,31 @@ Session::Session(const ServeRequest& request, const SelectorFactory& factory,
   engine_ = std::make_unique<DecodeEngine>(*model_, factory, config.engine);
 }
 
-void Session::run_prefill(double now_ms) {
-  expects(state_ == SessionState::kQueued, "Session::run_prefill: already admitted");
-  expects(now_ms >= request_.arrival_ms,
-          "Session::run_prefill: admitted before arrival");
+void Session::admit(double now_ms) {
+  expects(state_ == SessionState::kQueued, "Session::admit: already admitted");
+  expects(now_ms >= request_.arrival_ms, "Session::admit: admitted before arrival");
   state_ = SessionState::kPrefilling;
   admit_ms_ = now_ms;
-  engine_->run_prefill();
-  state_ = SessionState::kDecoding;
+}
+
+Index Session::prefill_next(Index chunk_tokens, double completed_ms) {
+  expects(state_ == SessionState::kPrefilling,
+          "Session::prefill_next: session is not prefilling");
+  expects(chunk_tokens >= 0, "Session::prefill_next: negative chunk");
+  const Index max_tokens =
+      chunk_tokens == 0 ? request_.prompt_len : chunk_tokens;
+  const Index consumed = engine_->prefill_chunk(max_tokens);
+  last_step_ms_ = completed_ms;
+  if (engine_->prefilled()) {
+    prefill_done_ms_ = completed_ms;
+    state_ = SessionState::kDecoding;
+  }
+  return consumed;
+}
+
+void Session::run_prefill(double now_ms) {
+  admit(now_ms);
+  prefill_next(0, now_ms);
 }
 
 StepResult Session::decode_next(double completed_ms) {

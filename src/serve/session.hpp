@@ -5,8 +5,11 @@
 // needs (sum over its per-head stores, release-on-preemption).
 //
 // Lifecycle: kQueued -> (admit) kPrefilling -> kDecoding -> kFinished.
-// Preemption does not change state: it only moves reclaimable KV to the
-// slow tier; the session keeps decoding and refetches on demand.
+// Prefill is chunked: admit() only transitions the state; prefill_next()
+// consumes one prompt chunk per call, so the scheduler can interleave a
+// long admission with other sessions' decode steps. Preemption does not
+// change state (and may land mid-prefill): it only moves reclaimable KV
+// to the slow tier; the session keeps going and refetches on demand.
 #pragma once
 
 #include <memory>
@@ -43,28 +46,50 @@ class Session {
  public:
   /// Builds the session's context model and engine (selector state per
   /// layer/head comes from the factory). Construction is cheap relative to
-  /// prefill; the heavy work happens in run_prefill.
+  /// prefill; the heavy work happens chunk by chunk in prefill_next.
   Session(const ServeRequest& request, const SelectorFactory& factory,
           const SessionConfig& config);
 
+  /// The request this session serves (lengths, arrival time, seed).
   [[nodiscard]] const ServeRequest& request() const noexcept { return request_; }
+  /// Current lifecycle state (see the diagram in docs/ARCHITECTURE.md).
   [[nodiscard]] SessionState state() const noexcept { return state_; }
+  /// Generated tokens so far (0 until the first decode step).
   [[nodiscard]] Index tokens_generated() const noexcept {
     return engine_->steps_completed();
   }
+  /// True once decode_len tokens have been generated.
   [[nodiscard]] bool finished() const noexcept {
     return state_ == SessionState::kFinished;
   }
 
-  /// Admits the session: feeds the prompt to every selector (ClusterKV
-  /// clusters and offloads here). `now_ms` is the admission timestamp on
-  /// the scheduler's clock (queue wait = now - arrival).
+  /// Admits the session (kQueued -> kPrefilling) without touching the
+  /// prompt. `now_ms` is the admission timestamp on the scheduler's clock
+  /// (queue wait = now - arrival); feeding the prompt is prefill_next's
+  /// job, one chunk per tick.
+  void admit(double now_ms);
+
+  /// Consumes the next prompt chunk of at most `chunk_tokens` tokens
+  /// (0 = the whole remaining prompt); `completed_ms` is when the chunk's
+  /// work lands on the virtual clock. Returns tokens consumed. The final
+  /// chunk transitions kPrefilling -> kDecoding and stamps
+  /// prefill_done_ms. Only valid while prefilling.
+  Index prefill_next(Index chunk_tokens, double completed_ms);
+
+  /// Convenience for single-shot admission (tests, non-serving drivers):
+  /// admit() + one whole-prompt chunk, both stamped `now_ms`.
   void run_prefill(double now_ms);
 
   /// Runs one decode step; `completed_ms` is when the token lands on the
   /// virtual clock (the scheduler knows the tick cost, the session does
-  /// not). Transitions to kFinished after decode_len steps.
+  /// not). Transitions to kFinished after decode_len steps. Only valid
+  /// once prefill completed.
   StepResult decode_next(double completed_ms);
+
+  /// Prompt tokens fed to the engine so far (== prompt_len once decoding).
+  [[nodiscard]] Index prefill_tokens_done() const noexcept {
+    return engine_->prefill_tokens_done();
+  }
 
   // ---- fast-tier residency ----
 
@@ -80,6 +105,7 @@ class Session {
   /// (sinks and pending tokens stay). Returns total tokens offloaded.
   Index release_fast_tier();
 
+  /// Times release_fast_tier actually moved tokens (preemption count).
   [[nodiscard]] Index preemptions() const noexcept { return preemptions_; }
 
   /// Bytes of `tokens` context tokens held fast across all heads/layers —
@@ -88,10 +114,18 @@ class Session {
 
   // ---- timing (scheduler-assigned virtual timestamps, ms) ----
 
+  /// When the request entered the queue (copied from the request).
   [[nodiscard]] double arrival_ms() const noexcept { return request_.arrival_ms; }
+  /// When the scheduler admitted the session (-1 while queued).
   [[nodiscard]] double admit_ms() const noexcept { return admit_ms_; }
+  /// When the final prefill chunk completed (-1 while prefilling).
+  [[nodiscard]] double prefill_done_ms() const noexcept { return prefill_done_ms_; }
+  /// When the first generated token landed (-1 before it).
   [[nodiscard]] double first_token_ms() const noexcept { return first_token_ms_; }
+  /// When the last generated token landed (-1 until finished).
   [[nodiscard]] double finish_ms() const noexcept { return finish_ms_; }
+  /// Last time this session made progress (decode step or prefill chunk);
+  /// the scheduler's coldness key for preemption victim choice.
   [[nodiscard]] double last_step_ms() const noexcept { return last_step_ms_; }
 
   // ---- quality / traffic ----
@@ -102,8 +136,10 @@ class Session {
   /// method never fetches).
   [[nodiscard]] double cache_hit_rate() const;
 
+  /// The per-session decode engine (selector state; testing/metrics hook).
   [[nodiscard]] DecodeEngine& engine() noexcept { return *engine_; }
   [[nodiscard]] const DecodeEngine& engine() const noexcept { return *engine_; }
+  /// The configuration this session was built with.
   [[nodiscard]] const SessionConfig& config() const noexcept { return config_; }
 
  private:
@@ -113,6 +149,7 @@ class Session {
   std::unique_ptr<DecodeEngine> engine_;
   SessionState state_ = SessionState::kQueued;
   double admit_ms_ = -1.0;
+  double prefill_done_ms_ = -1.0;
   double first_token_ms_ = -1.0;
   double finish_ms_ = -1.0;
   double last_step_ms_ = -1.0;

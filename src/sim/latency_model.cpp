@@ -35,6 +35,22 @@ double LatencyModel::prefill_ms(Index prompt_len) const {
   return (gemm_flops + attn_flops) / (tflops * 1e9);  // flops / (Tflop/s) -> ms
 }
 
+double LatencyModel::prefill_chunk_ms(Index chunk_begin, Index chunk_tokens) const {
+  expects(chunk_begin >= 0, "LatencyModel::prefill_chunk_ms: negative begin");
+  expects(chunk_tokens > 0, "LatencyModel::prefill_chunk_ms: chunk must be positive");
+  const double c = static_cast<double>(chunk_tokens);
+  const double b = static_cast<double>(chunk_begin);
+  const double gemm_flops = 2.0 * static_cast<double>(model_.param_count) * c;
+  // Causal attention of the chunk's queries: query i attends b + i keys,
+  // so the chunk totals c*b + c^2/2 score/value positions (same constant
+  // as prefill_ms; summing chunks of one prompt reproduces it exactly).
+  const double attn_flops = 4.0 * (c * b + 0.5 * c * c) *
+                            static_cast<double>(model_.hidden_dim) *
+                            static_cast<double>(model_.num_layers);
+  const double tflops = hw_.compute_tflops * hw_.prefill_flops_efficiency;
+  return (gemm_flops + attn_flops) / (tflops * 1e9);
+}
+
 double LatencyModel::clustering_cost_ms(Index prompt_len, Index iterations,
                                         Index tokens_per_cluster) const {
   const double clusters = std::max<double>(

@@ -53,6 +53,13 @@ class LatencyModel {
   /// Prefill compute time (GEMMs + quadratic attention).
   [[nodiscard]] double prefill_ms(Index prompt_len) const;
 
+  /// Compute time of prefilling `chunk_tokens` prompt tokens whose causal
+  /// prefix already holds `chunk_begin` tokens (chunked prefill): GEMM
+  /// flops are linear in the chunk, attention flops bill each chunk query
+  /// against its full prefix, so the chunks of one prompt sum exactly to
+  /// prefill_ms of the whole prompt.
+  [[nodiscard]] double prefill_chunk_ms(Index chunk_begin, Index chunk_tokens) const;
+
   /// Clustering cost during prefill before overlap (§IV-B): n_i k-means
   /// iterations over C0 = L/80 centroids for every KV head.
   [[nodiscard]] double clustering_cost_ms(Index prompt_len, Index iterations = 10,

@@ -1,5 +1,7 @@
 #include "util/args.hpp"
 
+#include <cstdlib>
+#include <iostream>
 #include <sstream>
 
 namespace ckv {
@@ -28,6 +30,12 @@ void ArgParser::parse(int argc, const char* const* argv) {
       continue;
     }
     const std::string name = token.substr(2);
+    if (name == "help") {
+      // Every command gets --help for free: print the generated text
+      // (options with their defaults) and exit successfully.
+      std::cout << help();
+      std::exit(0);
+    }
     const auto it = options_.find(name);
     if (it == options_.end()) {
       throw std::invalid_argument("unknown flag --" + name + "\n" + help());

@@ -24,6 +24,8 @@ class ArgParser {
 
   /// Parses argv; throws std::invalid_argument for unknown flags or
   /// missing values. Non-flag tokens are collected as positionals.
+  /// `--help` prints the generated help text (options with defaults) to
+  /// stdout and exits 0.
   void parse(int argc, const char* const* argv);
 
   [[nodiscard]] std::string get_string(const std::string& name) const;

@@ -198,6 +198,73 @@ TEST(ClusterKVEngine, ShortPromptAllSinks) {
   EXPECT_EQ(sel.indices.size(), 10u);
 }
 
+// Chunked prefill: slices arrive across ticks; clustering is incremental
+// (pending prompt tokens accumulate until a full tokens_per_cluster batch
+// or the final chunk) and the end state covers the whole prompt exactly
+// like the one-shot path: sinks + clustered tokens, nothing pending.
+TEST(ClusterKVEngine, ChunkedPrefillCoversPromptIncrementally) {
+  const auto config = small_config();  // 8 sinks, 40 tokens/cluster
+  const auto params = Fixture::make_params();
+  HeadStream stream(params, Rng(derive_seed(31, "head")), 200);
+  ClusterKVEngine engine(params.head_dim, config, Rng(derive_seed(31, "engine")));
+
+  // Chunk 1 (25 tokens): 8 sinks + 17 pending — fewer than a cluster
+  // batch, so nothing clusters yet and everything stays fast.
+  engine.observe_prefill_chunk(stream.keys().row_slice(0, 25),
+                               stream.values().row_slice(0, 25), false);
+  EXPECT_EQ(engine.sink_count(), 8);
+  EXPECT_EQ(engine.pending_count(), 17);
+  EXPECT_EQ(engine.centroid_store().cluster_count(), 0);
+  EXPECT_EQ(engine.fast_resident_tokens(), 25);
+
+  // Chunk 2 (+75 tokens): 92 pending >= 40 flushes them all into
+  // ceil-free 92/40 = 2 clusters and offloads them to the slow tier.
+  engine.observe_prefill_chunk(stream.keys().row_slice(25, 100),
+                               stream.values().row_slice(25, 100), false);
+  EXPECT_EQ(engine.pending_count(), 0);
+  EXPECT_EQ(engine.centroid_store().token_count(), 92);
+  EXPECT_EQ(engine.fast_resident_tokens(), 8);  // sinks only
+
+  // Final chunk (+100): the remainder flushes even though it is short.
+  engine.observe_prefill_chunk(stream.keys().row_slice(100, 200),
+                               stream.values().row_slice(100, 200), true);
+  EXPECT_EQ(engine.pending_count(), 0);
+  EXPECT_EQ(engine.context_size(), 200);
+  EXPECT_EQ(engine.centroid_store().token_count() + engine.sink_count(), 200);
+
+  // Whole-prompt one-shot prefill is now rejected (context exists).
+  EXPECT_THROW(engine.observe_prefill(stream.keys(), stream.values()),
+               std::invalid_argument);
+  // Selection still honors the invariants over the chunk-built state.
+  auto q = stream.query(0);
+  const auto sel = engine.select(q, 64);
+  EXPECT_LE(static_cast<Index>(sel.indices.size()), 64);
+  for (Index s = 0; s < engine.sink_count(); ++s) {
+    EXPECT_TRUE(engine.tiered_store().is_fast_resident(s));
+  }
+}
+
+// The sink prefix can span chunk boundaries when the first chunk is
+// smaller than sink_tokens.
+TEST(ClusterKVEngine, SinkPrefixSpansChunks) {
+  ClusterKVConfig config = small_config();
+  config.sink_tokens = 16;
+  const auto params = Fixture::make_params();
+  HeadStream stream(params, Rng(derive_seed(32, "head")), 120);
+  ClusterKVEngine engine(params.head_dim, config, Rng(derive_seed(32, "engine")));
+
+  engine.observe_prefill_chunk(stream.keys().row_slice(0, 6),
+                               stream.values().row_slice(0, 6), false);
+  EXPECT_EQ(engine.sink_count(), 6);  // all-sink so far
+  engine.observe_prefill_chunk(stream.keys().row_slice(6, 120),
+                               stream.values().row_slice(6, 120), true);
+  EXPECT_EQ(engine.sink_count(), 16);  // extended, never re-clustered
+  EXPECT_EQ(engine.centroid_store().token_count(), 120 - 16);
+  for (Index s = 0; s < 16; ++s) {
+    EXPECT_TRUE(engine.tiered_store().is_fast_resident(s));
+  }
+}
+
 TEST(ClusterKVEngine, PrefillTwiceRejected) {
   Fixture f(100, small_config());
   EXPECT_THROW(f.engine.observe_prefill(f.stream.keys(), f.stream.values()),

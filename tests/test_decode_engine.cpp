@@ -59,6 +59,72 @@ TEST(DecodeEngine, StepsMustBeSequential) {
   EXPECT_THROW(engine.run_prefill(), std::invalid_argument);
 }
 
+// prefill_chunk is the re-entrant mirror of decode_next: consuming the
+// prompt in slices must leave every selector with the same context, and
+// for chunk-oblivious methods (full KV defers to one whole-prompt
+// observe_prefill at the final chunk) the selection is bit-identical.
+TEST(DecodeEngine, ChunkedPrefillMatchesWholePromptForChunkObliviousMethods) {
+  const Index prompt = 250;
+  ProceduralContextModel whole_model(small_shape(), small_params(), 5, prompt);
+  ProceduralContextModel chunk_model(small_shape(), small_params(), 5, prompt);
+  DecodeEngineConfig config;
+  config.budget = 64;
+  config.full_attention_layers = 1;
+
+  DecodeEngine whole(whole_model, make_quest_factory(), config);
+  whole.run_prefill();
+
+  DecodeEngine chunked(chunk_model, make_quest_factory(), config);
+  EXPECT_FALSE(chunked.prefilled());
+  Index consumed = 0;
+  Index calls = 0;
+  while (!chunked.prefilled()) {
+    consumed += chunked.prefill_chunk(64);
+    ++calls;
+  }
+  EXPECT_EQ(consumed, prompt);
+  EXPECT_EQ(calls, 4);  // ceil(250 / 64)
+  EXPECT_EQ(chunked.prefill_tokens_done(), prompt);
+  EXPECT_EQ(chunked.prefill_chunk(64), 0);  // exhausted: consumes nothing
+
+  for (Index s = 0; s < 4; ++s) {
+    const auto a = whole.decode_step(s);
+    const auto b = chunked.decode_step(s);
+    EXPECT_EQ(a.tokens_selected, b.tokens_selected);
+    EXPECT_DOUBLE_EQ(a.mean_recall, b.mean_recall);
+    EXPECT_DOUBLE_EQ(a.mean_coverage, b.mean_coverage);
+  }
+}
+
+TEST(DecodeEngine, ChunkedPrefillDrivesClusterKVIncrementally) {
+  const Index prompt = 300;
+  ProceduralContextModel model(small_shape(), small_params(), 6, prompt);
+  DecodeEngineConfig config;
+  config.budget = 64;
+  config.full_attention_layers = 1;
+  DecodeEngine engine(model, make_clusterkv_factory(small_ckv(), 2), config);
+  while (!engine.prefilled()) {
+    engine.prefill_chunk(50);
+    // Mixing the one-shot path into an ongoing chunked prefill is a
+    // contract violation, not silent double feeding.
+    EXPECT_THROW(engine.run_prefill(), std::invalid_argument);
+  }
+  // Every selector saw the full prompt and clustered all non-sink tokens.
+  auto& bank = engine.selectors();
+  for (Index l = 0; l < small_shape().num_layers; ++l) {
+    for (Index h = 0; h < small_shape().num_heads; ++h) {
+      const auto* ckv = dynamic_cast<const ClusterKVEngine*>(&bank.at(l, h));
+      ASSERT_NE(ckv, nullptr);
+      EXPECT_EQ(ckv->context_size(), prompt);
+      EXPECT_EQ(ckv->pending_count(), 0);  // last chunk flushed the tail
+      EXPECT_EQ(ckv->centroid_store().token_count(),
+                prompt - small_ckv().sink_tokens);
+    }
+  }
+  const auto step = engine.decode_step(0);
+  EXPECT_GT(step.mean_recall, 0.0);
+}
+
 TEST(DecodeEngine, FeaturesHaveLastLayerWidth) {
   ProceduralContextModel model(small_shape(), small_params(), 3, 100);
   DecodeEngineConfig config;

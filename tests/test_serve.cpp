@@ -192,21 +192,31 @@ TEST(Session, FullKVPinsWholeContext) {
 // tokens of admitted sessions are never offloaded.
 TEST(BatchScheduler, BudgetAndSinkInvariantsHold) {
   const auto session_config = small_session_config();
-  const auto ckv = small_ckv_config();
+  auto ckv = small_ckv_config();
+  // Fine clusters keep the mid-prefill pending buffer (and thus the
+  // admission residual floor) small, so overcommit can actually pile
+  // sessions on and force preemption.
+  ckv.tokens_per_cluster = 16;
   auto config = tiered_scheduler_config(ckv, session_config);
   // Tight budget + overcommit so admission piles sessions on and
-  // enforcement has to preempt.
+  // enforcement has to preempt; small chunks so the invariants are
+  // exercised mid-prefill, not just between whole-prompt admissions.
   const Index per_token = session_token_bytes(session_config);
   const Index floor_tokens =
       ckv.sink_tokens + ckv.decode_interval + ckv.cache_depth * session_config.engine.budget;
   config.fast_tier_budget_bytes =
       2 * floor_tokens * per_token * session_config.shape.total_heads();
   config.admission_overcommit = 2.0;
+  config.prefill_chunk_tokens = 64;
 
   BatchScheduler scheduler(fixed_trace(6, 300, 6, 1.0),
                            make_clusterkv_factory(ckv, 5), session_config,
                            test_latency(), config);
+  bool saw_mid_prefill = false;
   while (scheduler.tick()) {
+    for (const auto& session : scheduler.running()) {
+      saw_mid_prefill |= session->state() == SessionState::kPrefilling;
+    }
     EXPECT_LE(scheduler.fast_tier_bytes(), config.fast_tier_budget_bytes);
     // The O(1) ledger (which fast_tier_bytes reads in tiered mode) must
     // agree with an independent re-sum over every running session.
@@ -229,6 +239,7 @@ TEST(BatchScheduler, BudgetAndSinkInvariantsHold) {
       }
     }
   }
+  EXPECT_TRUE(saw_mid_prefill);  // chunking actually spread prefill over ticks
   EXPECT_EQ(scheduler.finished_count(), 6);
   EXPECT_EQ(scheduler.metrics().sessions(), 6);
   EXPECT_EQ(scheduler.metrics().total_tokens(), 6 * 6);
@@ -310,6 +321,122 @@ TEST(BatchScheduler, OvercommitRequiresTieredResidency) {
                std::invalid_argument);
 }
 
+// The chunked-prefill payoff: a short request that arrives while a
+// long-prompt session is being admitted gets its first token without
+// waiting for the whole foreign prefill — its TTFT is bounded by chunk
+// ticks instead of the full prompt.
+TEST(BatchScheduler, ChunkedPrefillBoundsQueuedTTFT) {
+  const auto session_config = small_session_config();
+  const auto ckv = small_ckv_config();
+  // Request 0: long prompt, arrives first. Request 1: short, arrives just
+  // after — in inline mode its whole service waits behind 0's prefill.
+  std::vector<ServeRequest> trace;
+  trace.push_back({0, 0.0, 1200, 8, derive_seed(4, "long")});
+  trace.push_back({1, 1.0, 64, 4, derive_seed(4, "short")});
+
+  auto run = [&](Index chunk_tokens) {
+    auto config = tiered_scheduler_config(ckv, session_config);
+    config.prefill_chunk_tokens = chunk_tokens;
+    BatchScheduler scheduler(trace, make_clusterkv_factory(ckv, 11),
+                             session_config, test_latency(), config);
+    scheduler.run();
+    EXPECT_EQ(scheduler.finished_count(), 2);
+    double short_ttft = -1.0;
+    for (const auto& record : scheduler.metrics().records()) {
+      if (record.id == 1) {
+        short_ttft = record.ttft_ms();
+        // The TTFT split must tile the whole interval.
+        EXPECT_NEAR(record.ttft_ms(),
+                    record.queue_wait_ms() + record.prefill_ms() +
+                        record.first_decode_wait_ms(),
+                    1e-9);
+      }
+    }
+    return short_ttft;
+  };
+
+  const double inline_ttft = run(0);     // whole prompt in one tick
+  const double chunked_ttft = run(128);  // ten chunks, decode interleaved
+  ASSERT_GE(inline_ttft, 0.0);
+  ASSERT_GE(chunked_ttft, 0.0);
+  // The short session no longer pays for the long prompt's admission; at
+  // 128-token chunks it should see well under half the inline TTFT.
+  EXPECT_LT(chunked_ttft, 0.5 * inline_ttft);
+}
+
+// The budget invariant must hold on every tick *of a chunked prefill*,
+// with a session mid-prefill, not only between whole-prompt admissions.
+TEST(BatchScheduler, BudgetHoldsOnEveryChunkedPrefillTick) {
+  const auto session_config = small_session_config();
+  const auto ckv = small_ckv_config();
+  auto config = tiered_scheduler_config(ckv, session_config);
+  const Index per_token = session_token_bytes(session_config);
+  const Index floor_tokens =
+      ckv.sink_tokens + std::max(ckv.decode_interval, ckv.tokens_per_cluster) +
+      ckv.cache_depth * session_config.engine.budget;
+  config.fast_tier_budget_bytes =
+      floor_tokens * per_token * session_config.shape.total_heads() + 1;
+  config.prefill_chunk_tokens = 40;
+
+  BatchScheduler scheduler(fixed_trace(2, 600, 4, 0.0),
+                           make_clusterkv_factory(ckv, 12), session_config,
+                           test_latency(), config);
+  Index prefill_ticks = 0;
+  while (scheduler.tick()) {
+    for (const auto& session : scheduler.running()) {
+      if (session->state() == SessionState::kPrefilling) {
+        ++prefill_ticks;
+        // Mid-prefill residency stays at the irreducible floor: sinks +
+        // the pending (not yet clustered) prompt tail; clustered chunks
+        // are offloaded eagerly.
+        EXPECT_LE(session->fast_resident_bytes(),
+                  (ckv.sink_tokens + ckv.tokens_per_cluster) * per_token *
+                      session_config.shape.total_heads());
+      }
+    }
+    EXPECT_LE(scheduler.fast_tier_bytes(), config.fast_tier_budget_bytes);
+  }
+  EXPECT_GT(prefill_ticks, 5);  // 600 tokens / 40-token chunks, two sessions
+  EXPECT_EQ(scheduler.finished_count(), 2);
+}
+
+// Preemption landing mid-prefill is safe: clustered chunks are already on
+// the slow tier (nothing reclaimable beyond the cache window), sinks and
+// the pending tail stay fast, and the session resumes its remaining
+// chunks and decodes by refetching on demand.
+TEST(Session, ResumeAfterPreemptionMidPrefill) {
+  const auto config = small_session_config();
+  const auto ckv = small_ckv_config();
+  ServeRequest request{0, 0.0, 400, 4, 21};
+  Session session(request, make_clusterkv_factory(ckv, 13), config);
+  session.admit(0.0);
+  EXPECT_EQ(session.state(), SessionState::kPrefilling);
+  EXPECT_EQ(session.prefill_next(100, 1.0), 100);
+  EXPECT_EQ(session.state(), SessionState::kPrefilling);
+  EXPECT_EQ(session.prefill_tokens_done(), 100);
+
+  const Index per_token = session_token_bytes(config);
+  const std::int64_t resident_before = session.fast_resident_bytes();
+  // Eager per-chunk offload means the irreducible set is all that is
+  // fast; preemption finds nothing to move and does not count itself.
+  EXPECT_LE(resident_before, (ckv.sink_tokens + ckv.tokens_per_cluster) *
+                                 per_token * config.shape.total_heads());
+  EXPECT_EQ(session.release_fast_tier(), 0);
+  EXPECT_EQ(session.preemptions(), 0);
+  EXPECT_EQ(session.fast_resident_bytes(), resident_before);
+
+  // Resume: the remaining chunks complete prefill and decode refetches
+  // preempted clusters from the slow tier.
+  EXPECT_EQ(session.prefill_next(300, 2.0), 300);
+  EXPECT_EQ(session.state(), SessionState::kDecoding);
+  EXPECT_DOUBLE_EQ(session.prefill_done_ms(), 2.0);
+  // Prefill is over; further chunk calls are a state-machine violation.
+  EXPECT_THROW(session.prefill_next(1, 3.0), std::invalid_argument);
+  const auto step = session.decode_next(4.0);
+  EXPECT_GT(step.tokens_fetched, 0);
+  EXPECT_DOUBLE_EQ(session.first_token_ms(), 4.0);
+}
+
 TEST(BatchScheduler, ClusterKVOutservesFullKVAtEqualBudget) {
   const auto session_config = small_session_config();
   const auto ckv = small_ckv_config();
@@ -353,6 +480,7 @@ TEST(ServeMetrics, AggregatesAndValidates) {
   a.decode_len = 5;
   a.arrival_ms = 0.0;
   a.admit_ms = 10.0;
+  a.prefill_done_ms = 24.0;
   a.first_token_ms = 30.0;
   a.finish_ms = 70.0;
   a.mean_recall = 0.8;
@@ -363,6 +491,7 @@ TEST(ServeMetrics, AggregatesAndValidates) {
   b.id = 1;
   b.arrival_ms = 20.0;
   b.admit_ms = 20.0;
+  b.prefill_done_ms = 44.0;
   b.first_token_ms = 50.0;
   b.finish_ms = 90.0;
   b.mean_recall = 0.6;
@@ -377,10 +506,20 @@ TEST(ServeMetrics, AggregatesAndValidates) {
   EXPECT_DOUBLE_EQ(metrics.ttft_percentile(0.0), 30.0);
   EXPECT_DOUBLE_EQ(metrics.ttft_percentile(100.0), 30.0);  // both TTFT = 30
   EXPECT_DOUBLE_EQ(metrics.inter_token_percentile(100.0), 10.0);
+  // The TTFT split: queue + prefill + first-decode wait tile the TTFT.
+  EXPECT_DOUBLE_EQ(a.prefill_ms(), 14.0);
+  EXPECT_DOUBLE_EQ(a.first_decode_wait_ms(), 6.0);
+  EXPECT_DOUBLE_EQ(a.queue_wait_ms() + a.prefill_ms() + a.first_decode_wait_ms(),
+                   a.ttft_ms());
+  EXPECT_DOUBLE_EQ(metrics.prefill_percentile(100.0), 24.0);
+  EXPECT_DOUBLE_EQ(metrics.first_decode_wait_percentile(0.0), 6.0);
 
   SessionRecord bad = a;
   bad.first_token_ms = 5.0;  // before admission
   EXPECT_THROW(metrics.record_session(bad), std::invalid_argument);
+  SessionRecord unprefilled = a;
+  unprefilled.prefill_done_ms = 5.0;  // prefill "done" before admission
+  EXPECT_THROW(metrics.record_session(unprefilled), std::invalid_argument);
 }
 
 }  // namespace

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Fail on broken relative links in the repo's markdown docs.
+
+Scans README.md and docs/*.md for markdown links/images, resolves every
+relative target against the file that references it, and exits non-zero
+listing the ones that do not exist. External (http/https/mailto) links
+and pure in-page anchors are skipped; an anchor suffix on a relative
+link is stripped before the existence check (anchor validity is not
+checked).
+
+Usage: python3 tools/check_links.py [file-or-dir ...]
+       (defaults to README.md and docs/ at the repo root)
+"""
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+# Inline links/images: [text](target) — stops at the first unbalanced ')'.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^()\s]+(?:\([^()]*\))?)\)")
+SKIP_SCHEMES = ("http://", "https://", "mailto:")
+
+
+def collect_files(arguments: list[str], root: Path) -> list[Path]:
+    if not arguments:
+        candidates = [root / "README.md", *sorted((root / "docs").glob("*.md"))]
+        return [path for path in candidates if path.is_file()]
+    files: list[Path] = []
+    for argument in arguments:
+        path = Path(argument)
+        files.extend(sorted(path.glob("*.md")) if path.is_dir() else [path])
+    return files
+
+
+def broken_links(markdown_file: Path) -> list[str]:
+    broken: list[str] = []
+    text = markdown_file.read_text(encoding="utf-8")
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        if not (markdown_file.parent / relative).exists():
+            line = text.count("\n", 0, match.start()) + 1
+            broken.append(f"{markdown_file}:{line}: broken link -> {target}")
+    return broken
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    files = collect_files(sys.argv[1:], root)
+    if not files:
+        print("check_links: no markdown files found", file=sys.stderr)
+        return 2
+    failures: list[str] = []
+    for markdown_file in files:
+        failures.extend(broken_links(markdown_file))
+    for failure in failures:
+        print(failure, file=sys.stderr)
+    print(f"check_links: {len(files)} files, {len(failures)} broken links")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

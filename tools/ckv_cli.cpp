@@ -274,7 +274,14 @@ int run_serve(int argc, const char* const* argv) {
   args.add_option("budget-mult", "2.5",
                   "global fast-tier budget as a multiple of one mean full context");
   args.add_option("overcommit", "1",
-                  "admission overcommit factor (clusterkv only; >= 1)");
+                  "admission overcommit factor (clusterkv only; >= 1; "
+                  "reservations may sum to budget x overcommit, preemption "
+                  "keeps actual residency under budget)");
+  args.add_option("prefill-chunk", "256",
+                  "prompt tokens prefilled per tick (chunked prefill; 0 = "
+                  "whole prompt in one tick)");
+  args.add_option("max-running", "0",
+                  "hard cap on concurrently running sessions (0 = unlimited)");
   args.add_option("seed", "2025", "experiment seed");
   args.add_switch("csv", "emit CSV instead of an aligned table");
   args.parse(argc, argv);
@@ -336,6 +343,8 @@ int run_serve(int argc, const char* const* argv) {
       args.get_double("budget-mult") *
       static_cast<double>((prompt + decode) * session_token_bytes(session_config) *
                           session_config.shape.total_heads()));
+  scheduler_config.prefill_chunk_tokens = args.get_index("prefill-chunk");
+  scheduler_config.max_running = args.get_index("max-running");
 
   const LatencyModel latency(HardwareModel::ada6000(),
                              make_model("llama31-8b"));
@@ -345,13 +354,15 @@ int run_serve(int argc, const char* const* argv) {
 
   const auto& m = scheduler.metrics();
   TextTable table({"method", "sessions", "rps", "tok/s", "max batch",
-                   "p50 TTFT (s)", "p95 TTFT (s)", "p50 ITL (ms)", "p95 ITL (ms)",
+                   "p50 TTFT (s)", "p95 TTFT (s)", "p95 prefill (s)",
+                   "p50 ITL (ms)", "p95 ITL (ms)",
                    "wait (s)", "preempt", "hit rate", "recall@B"});
   table.add_row({method, std::to_string(m.sessions()), args.get_string("rps"),
                  format_double(m.throughput_tps(), 1),
                  format_double(m.concurrency().max(), 0),
                  format_double(m.ttft_percentile(50.0) / 1000.0, 2),
                  format_double(m.ttft_percentile(95.0) / 1000.0, 2),
+                 format_double(m.prefill_percentile(95.0) / 1000.0, 2),
                  format_double(m.inter_token_percentile(50.0), 1),
                  format_double(m.inter_token_percentile(95.0), 1),
                  format_double(m.mean_queue_wait_ms() / 1000.0, 2),
