@@ -39,7 +39,7 @@ RunStats run_method(const SelectorFactory& factory, Index budget, Index steps,
   for (Index s = 0; s < steps; ++s) {
     engine.decode_step(s);
   }
-  return {engine.recall_stat().mean(), engine.coverage_stat().mean()};
+  return {engine.mean_recall(), engine.mean_coverage()};
 }
 
 }  // namespace
@@ -118,8 +118,8 @@ int main() {
           dynamic_cast<const ClusterKVEngine&>(selector).clustering_flops();
     }
     schedule.add_row({std::to_string(m), std::to_string(cplus),
-                      format_double(engine.recall_stat().mean(), 3),
-                      format_double(engine.coverage_stat().mean(), 3),
+                      format_double(engine.mean_recall(), 3),
+                      format_double(engine.mean_coverage(), 3),
                       std::to_string(clustering_macs)});
   }
   std::cout << schedule.to_string();
@@ -147,8 +147,8 @@ int main() {
       engine.decode_step(s);
     }
     gqa.add_row({std::to_string(group),
-                 format_double(engine.recall_stat().mean(), 3),
-                 format_double(engine.coverage_stat().mean(), 3)});
+                 format_double(engine.mean_recall(), 3),
+                 format_double(engine.mean_coverage(), 3)});
   }
   std::cout << gqa.to_string();
   std::cout << "a selection shared by more query heads fits each one slightly "

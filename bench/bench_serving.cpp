@@ -9,11 +9,20 @@
 // weight-streaming cost of every decode tick. Full KV and Quest pin the
 // whole context and queue instead.
 //
-// The "ClusterKV (inline)" row re-runs the same method with whole-prompt
-// prefill per admission tick (prefill_chunk_tokens = 0) to isolate what
-// chunked prefill buys: p95 TTFT of queued sessions drops at equal
-// throughput because nobody waits out a full foreign prompt anymore (see
-// docs/SCHEDULING.md).
+// Three ClusterKV rows isolate the chunked-prefill trade-offs:
+//   "ClusterKV (repair)"  — chunked prefill + post-prefill cross-chunk
+//                           cluster repair (the serving default);
+//   "ClusterKV (chunked)" — chunked prefill, repair off: the recall
+//                           regression the repair pass exists to fix;
+//   "ClusterKV (inline)"  — whole-prompt prefill per admission tick
+//                           (prefill_chunk_tokens = 0): one-shot
+//                           clustering, the recall ceiling, at the price
+//                           of tail TTFT (see docs/SCHEDULING.md).
+//
+// `--check-recall` runs a reduced version of the comparison and exits
+// non-zero if chunked+repair recall@B falls below the committed floor or
+// costs more than the committed throughput margin — the CI guard against
+// the chunk-locality recall regression silently returning.
 #include <cstdint>
 #include <iostream>
 #include <string>
@@ -26,6 +35,7 @@
 #include "serve/batch_scheduler.hpp"
 #include "serve/trace.hpp"
 #include "sim/latency_model.hpp"
+#include "util/args.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -82,7 +92,8 @@ struct MethodRun {
   BatchSchedulerConfig scheduler;
 };
 
-std::vector<MethodRun> serving_methods(const ServingSetup& setup) {
+std::vector<MethodRun> serving_methods(const ServingSetup& setup,
+                                       bool clusterkv_only = false) {
   std::vector<MethodRun> methods;
 
   BatchSchedulerConfig ckv_config;
@@ -95,18 +106,35 @@ std::vector<MethodRun> serving_methods(const ServingSetup& setup) {
   ckv_config.admission_overcommit = 1.5;
   ckv_config.fast_tier_budget_bytes = setup.fast_budget_bytes;
   ckv_config.prefill_chunk_tokens = 256;  // ~3-7 chunks per long prompt
-  methods.push_back({"ClusterKV",
+  ckv_config.repair_refine_iterations = setup.clusterkv.repair_refine_iterations;
+  ckv_config.repair_decode_interval = setup.clusterkv.repair_decode_interval;
+  methods.push_back({"ClusterKV (repair)",
                      make_clusterkv_factory(setup.clusterkv, setup.seed),
                      ckv_config});
 
+  // Repair off: the chunk-local clustering recall regression, isolated.
+  ClusterKVConfig no_repair = setup.clusterkv;
+  no_repair.repair_refine_iterations = 0;
+  BatchSchedulerConfig chunked_config = ckv_config;
+  chunked_config.repair_refine_iterations = 0;
+  chunked_config.repair_decode_interval = 0;
+  methods.push_back({"ClusterKV (chunked)",
+                     make_clusterkv_factory(no_repair, setup.seed),
+                     chunked_config});
+
   // Same method, inline (whole-prompt-per-tick) prefill: isolates what
   // chunking buys — queued/running sessions stop paying a full foreign
-  // prefill per admission, so tail TTFT drops at equal throughput.
-  BatchSchedulerConfig inline_config = ckv_config;
+  // prefill per admission, so tail TTFT drops at equal throughput. One
+  // clustering batch per prompt also makes repair a no-op, so this row is
+  // the one-shot recall ceiling.
+  BatchSchedulerConfig inline_config = chunked_config;
   inline_config.prefill_chunk_tokens = 0;
   methods.push_back({"ClusterKV (inline)",
-                     make_clusterkv_factory(setup.clusterkv, setup.seed),
+                     make_clusterkv_factory(no_repair, setup.seed),
                      inline_config});
+  if (clusterkv_only) {
+    return methods;
+  }
 
   BatchSchedulerConfig quest_config;
   quest_config.method = LatencyModel::Method::kQuest;
@@ -133,14 +161,91 @@ double short_session_ttft_p95(const ServeMetrics& metrics, Index threshold) {
   return values.empty() ? 0.0 : percentile(values, 95.0);
 }
 
+/// Committed floors for the --check-recall CI guard: chunked+repair must
+/// hold this much recall@B on the bench mix, at no more than this relative
+/// throughput cost vs. chunked-without-repair.
+constexpr double kRepairRecallFloor = 0.45;
+constexpr double kRepairThroughputMargin = 0.05;
+
+/// CI smoke: one mid load, the ClusterKV rows only. Exits non-zero when
+/// the repair row breaks either committed floor, so the chunk-locality
+/// recall regression cannot silently return. The inline row does not feed
+/// the pass/fail logic but is printed on purpose: when the guard trips,
+/// the log must show whether repair drifted or the one-shot ceiling moved.
+int check_recall(const ServingSetup& setup, const LatencyModel& latency) {
+  TraceConfig trace_config = setup.trace;
+  trace_config.offered_rps = 6.0;
+  const auto trace = make_poisson_trace(trace_config, setup.seed);
+
+  double repair_recall = 0.0;
+  double repair_tps = 0.0;
+  double chunked_recall = 0.0;
+  double chunked_tps = 0.0;
+  for (const auto& method : serving_methods(setup, /*clusterkv_only=*/true)) {
+    BatchScheduler scheduler(trace, method.factory, setup.session, latency,
+                             method.scheduler);
+    scheduler.run();
+    const auto& m = scheduler.metrics();
+    std::cout << method.name << ": recall@B " << format_double(m.mean_recall(), 3)
+              << ", tok/s " << format_double(m.throughput_tps(), 1)
+              << ", repair cost " << format_double(m.repair_ms_total(), 1)
+              << " ms over " << m.recall_steps_total() << " scored steps\n";
+    if (method.name == "ClusterKV (repair)") {
+      repair_recall = m.mean_recall();
+      repair_tps = m.throughput_tps();
+    } else if (method.name == "ClusterKV (chunked)") {
+      chunked_recall = m.mean_recall();
+      chunked_tps = m.throughput_tps();
+    }
+  }
+
+  bool ok = true;
+  if (repair_recall < kRepairRecallFloor) {
+    std::cout << "FAIL: chunked+repair recall@B " << format_double(repair_recall, 3)
+              << " < committed floor " << format_double(kRepairRecallFloor, 2) << "\n";
+    ok = false;
+  }
+  if (repair_tps < chunked_tps * (1.0 - kRepairThroughputMargin)) {
+    std::cout << "FAIL: repair costs more than "
+              << format_double(kRepairThroughputMargin * 100.0, 0)
+              << "% throughput (" << format_double(repair_tps, 1) << " vs "
+              << format_double(chunked_tps, 1) << " tok/s)\n";
+    ok = false;
+  }
+  if (ok) {
+    std::cout << "OK: repair holds recall@B >= "
+              << format_double(kRepairRecallFloor, 2) << " (chunked baseline "
+              << format_double(chunked_recall, 3) << ") within the throughput "
+              << "margin\n";
+  }
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ArgParser args(
+      "bench_serving — multi-tenant throughput/latency/recall comparison");
+  args.add_switch("check-recall",
+                  "CI smoke: fail if chunked+repair recall@B drops below the "
+                  "committed floor or exceeds the throughput margin");
+  try {
+    args.parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n" << args.help();
+    return 2;
+  }
+
+  const auto setup = make_setup();
+  const LatencyModel latency(HardwareModel::ada6000(), ModelConfig::llama31_8b());
+  if (args.get_switch("check-recall")) {
+    return check_recall(setup, latency);
+  }
+
   bench::print_header("Serving: throughput & latency vs offered load",
                       "multi-tenant extension of Fig. 12/13 (§V-C) under a "
                       "shared fast-tier budget");
 
-  const auto setup = make_setup();
   std::cout << "sessions: " << setup.trace.num_requests
             << ", fast-tier budget: " << setup.fast_budget_bytes / 1024
             << " KiB (slice scale), per-session KV budget: "
@@ -148,9 +253,8 @@ int main() {
 
   TextTable table({"method", "load (req/s)", "tok/s", "max batch", "p50 TTFT (s)",
                    "p95 TTFT (s)", "p95 TTFT short (s)", "p50 ITL (ms)",
-                   "p95 ITL (ms)", "queue wait (s)", "preempt", "hit rate",
-                   "recall@B"});
-  const LatencyModel latency(HardwareModel::ada6000(), ModelConfig::llama31_8b());
+                   "p95 ITL (ms)", "queue wait (s)", "preempt", "repair (ms)",
+                   "hit rate", "recall@B"});
 
   for (const double load : {2.0, 6.0, 12.0}) {
     TraceConfig trace_config = setup.trace;
@@ -172,6 +276,7 @@ int main() {
                      format_double(m.inter_token_percentile(95.0), 1),
                      format_double(m.mean_queue_wait_ms() / 1000.0, 2),
                      std::to_string(m.total_preemptions()),
+                     format_double(m.repair_ms_total(), 1),
                      format_double(m.mean_cache_hit_rate(), 2),
                      format_double(m.mean_recall(), 3)});
       std::cerr << "  [" << method.name << " @ " << load << " req/s] "

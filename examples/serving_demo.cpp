@@ -69,6 +69,11 @@ int main() {
   scheduler_config.admission_overcommit = 1.5;
   scheduler_config.prefill_chunk_tokens = 128;
   scheduler_config.max_running = 0;  // unlimited; the byte budget gates
+  // Cross-chunk cluster repair runs inside the engines by default (the
+  // ClusterKVConfig repair_* knobs); the scheduler mirror makes its cost
+  // land on the virtual clock at the final prefill chunk.
+  scheduler_config.repair_refine_iterations = ckv.repair_refine_iterations;
+  scheduler_config.repair_decode_interval = ckv.repair_decode_interval;
 
   const LatencyModel latency(HardwareModel::ada6000(), ModelConfig::llama31_8b());
   BatchScheduler scheduler(trace, make_clusterkv_factory(ckv, 2025),

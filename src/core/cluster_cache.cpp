@@ -1,6 +1,7 @@
 #include "core/cluster_cache.hpp"
 
 #include <algorithm>
+#include <map>
 
 namespace ckv {
 
@@ -55,6 +56,26 @@ ClusterCache::StepResult ClusterCache::step(
   total_misses_ += result.misses;
   ++steps_;
   return result;
+}
+
+void ClusterCache::remap_window(std::span<const Index> token_to_cluster) {
+  for (auto& step_entry : window_) {
+    std::map<Index, std::vector<Index>> regrouped;
+    for (const auto& [cluster, tokens] : step_entry) {
+      for (const Index token : tokens) {
+        expects(token >= 0 && token < static_cast<Index>(token_to_cluster.size()) &&
+                    token_to_cluster[static_cast<std::size_t>(token)] >= 0,
+                "ClusterCache::remap_window: cached token lost its cluster");
+        regrouped[token_to_cluster[static_cast<std::size_t>(token)]].push_back(token);
+      }
+    }
+    step_entry.clear();
+    for (auto& [cluster, tokens] : regrouped) {
+      std::sort(tokens.begin(), tokens.end());
+      tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+      step_entry.emplace_back(cluster, std::move(tokens));
+    }
+  }
 }
 
 double ClusterCache::hit_rate() const noexcept {

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <deque>
+#include <span>
 #include <unordered_set>
 #include <utility>
 #include <vector>
@@ -50,6 +51,14 @@ class ClusterCache {
   /// when a scheduler offloads the cached tokens behind the cache's back
   /// (preemption): the next step then misses and refetches honestly.
   void clear_window() noexcept { window_.clear(); }
+
+  /// Relabels the window after a cluster-repair rebuild: every cached
+  /// token keeps its residency (the resident token set is unchanged, so
+  /// repair never moves KV) but is regrouped under the cluster that
+  /// `token_to_cluster[position]` now assigns it. Every window token must
+  /// map to a valid cluster — repair rebuilds all clustered tokens and
+  /// sinks/pending never enter the window. Counters are untouched.
+  void remap_window(std::span<const Index> token_to_cluster);
 
  private:
   Index depth_;

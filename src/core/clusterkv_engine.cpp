@@ -37,41 +37,40 @@ void ClusterKVEngine::cluster_range(Index begin, Index end, Index cluster_count)
                        assignment_flops(end - begin, kconfig.num_clusters,
                                         tiered_.store().head_dim());
 
-  // k-means can leave clusters empty on degenerate inputs (duplicate keys
-  // in a partial decode flush with as many clusters as tokens). Zero-size
-  // clusters must not reach the centroid store: they would waste selection
-  // budget and break the size/offset indexing invariants, so compact them
-  // out and remap labels before registering.
-  std::vector<Index> counts(static_cast<std::size_t>(result.centroids.rows()), 0);
-  for (const Index label : result.labels) {
-    ++counts[static_cast<std::size_t>(label)];
-  }
-  std::vector<Index> remap(counts.size(), -1);
-  Index kept = 0;
-  for (std::size_t c = 0; c < counts.size(); ++c) {
-    if (counts[c] > 0) {
-      remap[c] = kept++;
-    }
-  }
-  if (kept == result.centroids.rows()) {
-    centroids_.add_clusters(result.centroids, result.labels, begin);
-  } else {
-    Matrix compact(kept, result.centroids.cols());
-    for (std::size_t c = 0; c < remap.size(); ++c) {
-      if (remap[c] >= 0) {
-        std::ranges::copy(result.centroids.row(static_cast<Index>(c)),
-                          compact.row(remap[c]).begin());
-      }
-    }
-    std::vector<Index> labels(result.labels.size());
-    for (std::size_t i = 0; i < labels.size(); ++i) {
-      labels[i] = remap[static_cast<std::size_t>(result.labels[i])];
-    }
-    centroids_.add_clusters(compact, labels, begin);
-  }
+  // kmeans_cluster compacts degenerate empty clusters away itself, so the
+  // result registers directly: every cluster is non-empty and the
+  // size/offset indexing invariants hold.
+  batches_.push_back({centroids_.cluster_count(), begin});
+  centroids_.add_clusters(result.centroids, result.labels, begin);
   // Clustered tokens move to the slow tier (Fig. 5: offload K & V); they
   // come back through the cluster cache on demand.
   tiered_.offload_to_slow(begin, end);
+}
+
+RepairOutcome ClusterKVEngine::repair_now() {
+  ClusterRepairConfig repair;
+  repair.merge_threshold = config_.repair_merge_threshold;
+  repair.refine_iterations = std::max<Index>(1, config_.repair_refine_iterations);
+  repair.tokens_per_cluster = config_.tokens_per_cluster;
+  repair.metric = config_.cluster_metric;
+  repair.channel_partitions = config_.channel_partitions;
+
+  std::vector<Index> batch_firsts;
+  batch_firsts.reserve(batches_.size());
+  for (const ClusterBatch& batch : batches_) {
+    batch_firsts.push_back(batch.first_cluster);
+  }
+  const auto outcome = repair_clusters(centroids_, tiered_.store().keys(),
+                                       batch_firsts, sink_count_, &cache_, repair);
+  repair_flops_ += outcome.scoring_flops + outcome.refine_flops;
+  if (outcome.changed) {
+    ++repair_passes_;
+    // The repaired clusters form one joint batch: a later pass (periodic
+    // decode repair) merges new decode batches against it, never re-pairs
+    // inside it.
+    batches_.assign(1, {0, sink_count_});
+  }
+  return outcome;
 }
 
 void ClusterKVEngine::observe_prefill(const Matrix& keys, const Matrix& values) {
@@ -103,8 +102,31 @@ void ClusterKVEngine::observe_prefill_chunk(const Matrix& keys, const Matrix& va
   }
   const Index pending = pending_count();
   if (pending > 0 && (last_chunk || pending >= config_.tokens_per_cluster)) {
-    flush_pending_clusters(
-        default_cluster_count(pending, config_.tokens_per_cluster));
+    if (last_chunk && pending < config_.tokens_per_cluster && !batches_.empty()) {
+      // End-of-prompt tail fold: a remainder shorter than a clustering
+      // window would become a degenerate tail cluster that repair then has
+      // to clean up. Re-cluster the preceding batch together with the tail
+      // instead — the batch's clusters are the most recently registered,
+      // so the store can simply pop them before the joint pass.
+      const ClusterBatch tail_into = batches_.back();
+      centroids_.truncate(tail_into.first_cluster);
+      batches_.pop_back();
+      // Selections between chunks may have cached the popped cluster ids;
+      // forgetting the window keeps it honest (prefill-time windows are
+      // empty in serving, where selection starts after the final chunk).
+      cache_.clear_window();
+      pending_positions_.clear();
+      const Index prompt_end = end;
+      cluster_range(tail_into.begin_pos, prompt_end,
+                    default_cluster_count(prompt_end - tail_into.begin_pos,
+                                          config_.tokens_per_cluster));
+    } else {
+      flush_pending_clusters(
+          default_cluster_count(pending, config_.tokens_per_cluster));
+    }
+  }
+  if (last_chunk && repair_enabled()) {
+    repair_now();
   }
 }
 
@@ -114,6 +136,14 @@ void ClusterKVEngine::observe_decode(std::span<const float> key,
   pending_positions_.push_back(tiered_.size() - 1);
   if (static_cast<Index>(pending_positions_.size()) >= config_.decode_interval) {
     flush_pending();
+  }
+  ++decode_steps_;
+  if (repair_enabled() && config_.repair_decode_interval > 0 &&
+      decode_steps_ % config_.repair_decode_interval == 0) {
+    // Periodic repair folds decode-side cluster batches back into the
+    // prompt's semantic groups (metadata only; the pending tail and
+    // residency are untouched, so this is preemption-safe mid-decode).
+    repair_now();
   }
 }
 

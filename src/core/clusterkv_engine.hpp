@@ -9,6 +9,7 @@
 
 #include "core/cluster_cache.hpp"
 #include "core/centroid_store.hpp"
+#include "core/cluster_repair.hpp"
 #include "core/distance.hpp"
 #include "core/kmeans.hpp"
 #include "core/kv_selector.hpp"
@@ -33,6 +34,22 @@ struct ClusterKVConfig {
   Index element_bytes = 2;         ///< fp16-equivalent byte accounting
   /// Overrides C0 when positive (Fig. 11b ablation); 0 uses L / 80.
   Index fixed_cluster_count = 0;
+
+  // ---- cross-chunk cluster repair (chunked-prefill recall recovery) ----
+  // Chunked prefill clusters each prompt chunk locally, which costs
+  // selection recall vs. one-shot clustering (docs/SCHEDULING.md). A
+  // bounded repair pass after the final prompt chunk merges adjacent-batch
+  // clusters whose centroids agree and re-clusters the merged groups —
+  // metadata only, never touching KV placement, sinks or pending tokens.
+  /// Minimum centroid similarity (cluster_metric) for an adjacent-batch
+  /// merge; -1 merges every adjacent pair (exhaustive repair).
+  double repair_merge_threshold = 0.8;
+  /// Refinement iterations per merged group; 0 disables repair entirely.
+  Index repair_refine_iterations = 4;
+  /// Also repair every this many generated tokens, folding decode-side
+  /// cluster batches back into the prompt's semantic groups (0 = repair
+  /// after prefill only).
+  Index repair_decode_interval = 0;
 };
 
 class ClusterKVEngine : public KVSelector {
@@ -50,9 +67,12 @@ class ClusterKVEngine : public KVSelector {
   /// as pending tokens that cluster at prompt granularity whenever at
   /// least tokens_per_cluster of them are buffered (the last chunk flushes
   /// the remainder, so decode starts fully clustered). Chunk boundaries
-  /// are scheduler artifacts and never force undersized clusters. The
-  /// fixed_cluster_count ablation knob applies only to the whole-prompt
-  /// observe_prefill path.
+  /// are scheduler artifacts and never force undersized clusters: an
+  /// end-of-prompt tail shorter than tokens_per_cluster folds into the
+  /// preceding batch's clustering window instead of becoming a degenerate
+  /// cluster of its own, and when repair is enabled the final chunk runs
+  /// one cross-chunk repair pass. The fixed_cluster_count ablation knob
+  /// applies only to the whole-prompt observe_prefill path.
   void observe_prefill_chunk(const Matrix& keys, const Matrix& values,
                              bool last_chunk) override;
 
@@ -101,12 +121,41 @@ class ClusterKVEngine : public KVSelector {
     return clustering_flops_;
   }
 
+  // ---- cross-chunk cluster repair ----
+
+  /// True when the config enables the repair pass at all.
+  [[nodiscard]] bool repair_enabled() const noexcept {
+    return config_.repair_refine_iterations > 0;
+  }
+
+  /// Runs one repair pass right now (the engine also triggers this itself
+  /// after the final prompt chunk and every repair_decode_interval decode
+  /// tokens). Rewrites centroid/label metadata only: fast-tier residency,
+  /// sinks and pending tokens are untouched, so scheduler invariants hold
+  /// mid-repair. A no-op with fewer than two clustering batches.
+  RepairOutcome repair_now();
+
+  /// Repair passes that actually changed the clustering.
+  [[nodiscard]] Index repair_passes() const noexcept { return repair_passes_; }
+
+  /// Total repair work so far (pair scoring + refinement MACs), mirrored
+  /// analytically by LatencyModel::repair_ms.
+  [[nodiscard]] std::int64_t repair_flops() const noexcept { return repair_flops_; }
+
  private:
   void cluster_range(Index begin, Index end, Index cluster_count);
   /// Clusters the pending positions into at most `cluster_count` clusters
   /// and clears them (shared by the decode-interval flush and the chunked
   /// prefill path, which differ only in the cluster count they request).
   void flush_pending_clusters(Index cluster_count);
+
+  /// One registered clustering batch (a flushed pending window): repair
+  /// treats consecutive batches as adjacent chunks, and the end-of-prompt
+  /// tail fold re-clusters the last batch together with a short tail.
+  struct ClusterBatch {
+    Index first_cluster = 0;  ///< id of the batch's first cluster
+    Index begin_pos = 0;      ///< first token position of the batch
+  };
 
   ClusterKVConfig config_;
   Rng rng_;
@@ -115,7 +164,11 @@ class ClusterKVEngine : public KVSelector {
   ClusterCache cache_;
   Index sink_count_ = 0;
   std::vector<Index> pending_positions_;  ///< generated, not yet clustered
+  std::vector<ClusterBatch> batches_;     ///< registration-order flush batches
+  Index decode_steps_ = 0;                ///< observe_decode calls so far
+  Index repair_passes_ = 0;
   std::int64_t clustering_flops_ = 0;
+  std::int64_t repair_flops_ = 0;
 };
 
 /// Factory adapter for the decode engine.

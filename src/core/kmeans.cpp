@@ -11,7 +11,11 @@ namespace ckv {
 namespace {
 
 /// Re-seeds empty clusters with the keys that are worst-served by their
-/// current assignment (deterministic: lowest similarity first).
+/// current assignment (deterministic: lowest similarity first). With the
+/// effective cluster count clamped to keys.rows() there are always at
+/// least as many keys as empty clusters, so every empty cluster gets a
+/// fresh seed; the final compaction pass still catches anything left
+/// hollow by a degenerate last iteration.
 void reseed_empty_clusters(const Matrix& keys, const KMeansConfig& config,
                            std::vector<Index>& labels, Matrix& centroids,
                            const std::vector<Index>& counts) {
@@ -96,23 +100,11 @@ Matrix plus_plus_seeds(const Matrix& keys, Index c, DistanceMetric metric, Rng& 
 
 }  // namespace
 
-KMeansResult kmeans_cluster(const Matrix& keys, const KMeansConfig& config, Rng& rng) {
-  expects(keys.rows() > 0, "kmeans_cluster: need at least one key");
-  expects(config.num_clusters >= 1, "kmeans_cluster: num_clusters must be >= 1");
-  const Index c = std::min<Index>(config.num_clusters, keys.rows());
+namespace {
 
-  KMeansResult result;
-  if (config.init == KMeansInit::kPlusPlus) {
-    result.centroids = plus_plus_seeds(keys, c, config.metric, rng);
-  } else {
-    // Initial centroids: randomly sampled key vectors (paper §III-B).
-    result.centroids = Matrix(c, keys.cols());
-    const auto seeds = rng.sample_without_replacement(keys.rows(), c);
-    for (Index i = 0; i < c; ++i) {
-      copy_to(keys.row(seeds[static_cast<std::size_t>(i)]), result.centroids.row(i));
-    }
-  }
-
+/// Shared Lloyd iteration: alternates assignment/update on result.centroids
+/// until labels stop changing or the cap, then compacts hollow clusters.
+void run_lloyd(const Matrix& keys, const KMeansConfig& config, KMeansResult& result) {
   result.labels.assign(static_cast<std::size_t>(keys.rows()), -1);
   std::vector<Index> counts;
   for (Index iter = 0; iter < config.max_iterations; ++iter) {
@@ -129,6 +121,79 @@ KMeansResult kmeans_cluster(const Matrix& keys, const KMeansConfig& config, Rng&
     result.centroids = std::move(updated);
     reseed_empty_clusters(keys, config, result.labels, result.centroids, counts);
   }
+  if (result.labels.front() < 0) {
+    // max_iterations == 0: no assignment ran yet; label once so callers
+    // always get a full (and compactable) assignment.
+    result.labels = assign_labels(keys, result.centroids, config.metric);
+  }
+  compact_empty_clusters(result.centroids, result.labels);
+}
+
+}  // namespace
+
+Index compact_empty_clusters(Matrix& centroids, std::vector<Index>& labels) {
+  std::vector<Index> counts(static_cast<std::size_t>(centroids.rows()), 0);
+  for (const Index label : labels) {
+    expects(label >= 0 && label < centroids.rows(),
+            "compact_empty_clusters: label out of range");
+    ++counts[static_cast<std::size_t>(label)];
+  }
+  std::vector<Index> remap(counts.size(), -1);
+  Index kept = 0;
+  for (std::size_t c = 0; c < counts.size(); ++c) {
+    if (counts[c] > 0) {
+      remap[c] = kept++;
+    }
+  }
+  if (kept == centroids.rows()) {
+    return kept;
+  }
+  Matrix compact(kept, centroids.cols());
+  for (std::size_t c = 0; c < remap.size(); ++c) {
+    if (remap[c] >= 0) {
+      std::ranges::copy(centroids.row(static_cast<Index>(c)),
+                        compact.row(remap[c]).begin());
+    }
+  }
+  centroids = std::move(compact);
+  for (Index& label : labels) {
+    label = remap[static_cast<std::size_t>(label)];
+  }
+  return kept;
+}
+
+KMeansResult kmeans_cluster(const Matrix& keys, const KMeansConfig& config, Rng& rng) {
+  expects(keys.rows() > 0, "kmeans_cluster: need at least one key");
+  expects(config.num_clusters >= 1, "kmeans_cluster: num_clusters must be >= 1");
+  const Index c = std::min<Index>(config.num_clusters, keys.rows());
+
+  KMeansResult result;
+  if (config.init == KMeansInit::kPlusPlus) {
+    result.centroids = plus_plus_seeds(keys, c, config.metric, rng);
+  } else {
+    // Initial centroids: randomly sampled key vectors (paper §III-B).
+    result.centroids = Matrix(c, keys.cols());
+    const auto seeds = rng.sample_without_replacement(keys.rows(), c);
+    for (Index i = 0; i < c; ++i) {
+      copy_to(keys.row(seeds[static_cast<std::size_t>(i)]), result.centroids.row(i));
+    }
+  }
+  run_lloyd(keys, config, result);
+  return result;
+}
+
+KMeansResult kmeans_refine(const Matrix& keys, const Matrix& seeds,
+                           const KMeansConfig& config) {
+  expects(keys.rows() > 0, "kmeans_refine: need at least one key");
+  expects(seeds.rows() > 0, "kmeans_refine: need at least one seed centroid");
+  expects(seeds.cols() == keys.cols(), "kmeans_refine: seed width mismatch");
+  // Clamp the effective k: more seeds than keys would leave clusters that
+  // can never be filled (the reseed path would then run out of keys and
+  // silently keep stale duplicate centroids).
+  const Index c = std::min<Index>(seeds.rows(), keys.rows());
+  KMeansResult result;
+  result.centroids = seeds.row_slice(0, c);
+  run_lloyd(keys, config, result);
   return result;
 }
 

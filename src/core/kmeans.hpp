@@ -36,9 +36,28 @@ struct KMeansResult {
 };
 
 /// Clusters the rows of `keys`. num_clusters is clamped to the number of
-/// keys. Empty clusters are re-seeded with the worst-assigned key so every
-/// returned cluster is non-empty whenever keys.rows() >= num_clusters.
+/// keys. Empty clusters are re-seeded with the worst-assigned key during
+/// the iteration, and any cluster still empty on return (degenerate
+/// inputs: duplicate keys collapsing seeds) is compacted away, so every
+/// returned cluster is non-empty — the result may hold fewer than
+/// num_clusters clusters, never hollow ones.
 KMeansResult kmeans_cluster(const Matrix& keys, const KMeansConfig& config, Rng& rng);
+
+/// Warm-start refinement: runs assignment/update from the given seed
+/// centroids for at most config.max_iterations (config.num_clusters is
+/// ignored — the seed matrix defines k, clamped to keys.rows() so tiny
+/// inputs can never end up with more clusters than keys). Deterministic
+/// (no sampling); same empty-cluster guarantees as kmeans_cluster. This is
+/// the cluster-repair entry point: merged groups re-cluster seeded from
+/// their surviving centroids instead of from scratch.
+KMeansResult kmeans_refine(const Matrix& keys, const Matrix& seeds,
+                           const KMeansConfig& config);
+
+/// Removes empty clusters in place: centroids loses the hollow rows,
+/// labels are remapped onto the surviving ids (relative order preserved).
+/// Returns the surviving cluster count. Labels must be a full assignment
+/// (every key labeled in [0, centroids.rows())).
+Index compact_empty_clusters(Matrix& centroids, std::vector<Index>& labels);
 
 /// The paper's cluster-count rule C0 = L / tokens_per_cluster (default 80),
 /// with a floor of 1. `length` counts the keys actually clustered (prompt

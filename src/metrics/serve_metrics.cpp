@@ -32,6 +32,14 @@ void ServeMetrics::record_tick(double tick_ms, Index running_sessions) {
   concurrency_.add(static_cast<double>(running_sessions));
 }
 
+void ServeMetrics::record_repair(double repair_ms) {
+  expects(repair_ms >= 0.0, "ServeMetrics::record_repair: negative cost");
+  if (repair_ms > 0.0) {
+    repair_ms_total_ += repair_ms;
+    ++repair_ticks_;
+  }
+}
+
 double ServeMetrics::makespan_ms() const noexcept {
   return any_session_ ? last_finish_ms_ - first_arrival_ms_ : 0.0;
 }
@@ -91,22 +99,48 @@ double ServeMetrics::mean_recall() const noexcept {
   if (records_.empty()) {
     return 0.0;
   }
-  double total = 0.0;
+  // Weight each session by its selection-forced step count so the fleet
+  // aggregate has one step-level denominator: runs over the same trace
+  // (chunked vs inline, repair on/off) then average over the exact same
+  // steps, and sessions that never dropped a token cannot dilute it.
+  double weighted = 0.0;
+  std::int64_t steps = 0;
   for (const auto& record : records_) {
-    total += record.mean_recall;
+    weighted += record.mean_recall * static_cast<double>(record.recall_steps);
+    steps += record.recall_steps;
   }
-  return total / static_cast<double>(records_.size());
+  if (steps > 0) {
+    return weighted / static_cast<double>(steps);
+  }
+  // No session ever had to drop a token (every context fit its budget):
+  // recall is vacuously perfect. Reporting the empty-stat 0.0 placeholders
+  // here would make a lossless run indistinguishable from catastrophic
+  // recall.
+  return 1.0;
+}
+
+std::int64_t ServeMetrics::recall_steps_total() const noexcept {
+  std::int64_t steps = 0;
+  for (const auto& record : records_) {
+    steps += record.recall_steps;
+  }
+  return steps;
 }
 
 double ServeMetrics::mean_coverage() const noexcept {
   if (records_.empty()) {
     return 0.0;
   }
-  double total = 0.0;
+  // Coverage samples come from the same selection-forced steps as recall,
+  // so the aggregate shares recall's step weighting (and its vacuous-1.0
+  // convention when nothing was ever dropped).
+  double weighted = 0.0;
+  std::int64_t steps = 0;
   for (const auto& record : records_) {
-    total += record.mean_coverage;
+    weighted += record.mean_coverage * static_cast<double>(record.recall_steps);
+    steps += record.recall_steps;
   }
-  return total / static_cast<double>(records_.size());
+  return steps > 0 ? weighted / static_cast<double>(steps) : 1.0;
 }
 
 double ServeMetrics::mean_cache_hit_rate() const noexcept {

@@ -25,6 +25,12 @@ struct SessionRecord {
   double first_token_ms = 0.0;
   double finish_ms = 0.0;
   double mean_recall = 0.0;
+  /// Meaningful (selection-forced) decode steps behind mean_recall. The
+  /// fleet recall aggregate weights sessions by this count, so runs over
+  /// the same trace share one denominator regardless of scheduling mode
+  /// (chunked vs inline, repair on or off) and sessions with no
+  /// selection-forced steps cannot dilute the comparison.
+  Index recall_steps = 0;
   double mean_coverage = 0.0;
   double cache_hit_rate = 0.0;
   Index preemptions = 0;
@@ -70,6 +76,9 @@ class ServeMetrics {
   /// sessions that made progress (prefill chunks + decode steps).
   void record_tick(double tick_ms, Index running_sessions);
 
+  /// Records cluster-repair work billed this tick (virtual ms).
+  void record_repair(double repair_ms);
+
   /// All retired sessions, retirement order.
   [[nodiscard]] const std::vector<SessionRecord>& records() const noexcept {
     return records_;
@@ -99,11 +108,24 @@ class ServeMetrics {
   [[nodiscard]] double first_decode_wait_percentile(double p) const;
   [[nodiscard]] double mean_queue_wait_ms() const noexcept;
 
-  /// Session means weighted equally (the Fig. 11-style recall signal, now
-  /// per tenant).
+  /// Fleet recall@B: session means weighted by their recall_steps count
+  /// (the Fig. 11-style recall signal over every selection-forced decode
+  /// step). Sessions that never had to drop a token carry zero weight;
+  /// when *no* session ever dropped one the metric is vacuously 1.0 (a
+  /// lossless run must not read as zero recall). 0.0 with no sessions.
   [[nodiscard]] double mean_recall() const noexcept;
+  /// Total selection-forced steps across retired sessions — the recall
+  /// denominator, identical across runs of the same trace.
+  [[nodiscard]] std::int64_t recall_steps_total() const noexcept;
+  /// Step-weighted like mean_recall (coverage is sampled on the same
+  /// selection-forced steps); vacuously 1.0 when nothing was dropped.
   [[nodiscard]] double mean_coverage() const noexcept;
   [[nodiscard]] double mean_cache_hit_rate() const noexcept;
+
+  /// Cluster-repair cost billed so far (virtual ms) and the tick count
+  /// that carried any (bench_serving's repair-cost column).
+  [[nodiscard]] double repair_ms_total() const noexcept { return repair_ms_total_; }
+  [[nodiscard]] Index repair_ticks() const noexcept { return repair_ticks_; }
 
   /// Per-tick samples of global fast-tier occupancy (bytes).
   [[nodiscard]] const RunningStat& occupancy_bytes() const noexcept {
@@ -125,6 +147,8 @@ class ServeMetrics {
   RunningStat concurrency_;
   std::int64_t total_tokens_ = 0;
   Index total_preemptions_ = 0;
+  double repair_ms_total_ = 0.0;
+  Index repair_ticks_ = 0;
   double first_arrival_ms_ = 0.0;
   double last_finish_ms_ = 0.0;
   bool any_session_ = false;

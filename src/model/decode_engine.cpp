@@ -147,7 +147,11 @@ StepResult DecodeEngine::decode_step(Index step) {
           bank_.at(l, h).observe_attention(selected, probs);
         }
 
-        if (selection_active) {
+        // Recall/coverage are only measured on meaningful steps (context
+        // larger than the budget): when everything fits, every method
+        // trivially recalls 1.0 and the sample only dilutes comparisons
+        // (see recall_stat's contract in the header).
+        if (selection_active && n > config_.budget) {
           // Recall of important tokens (Fig. 11): both sets sized by budget.
           const Index b = std::min<Index>(config_.budget, n);
           const auto truth = top_k_indices(full_scores, b);
@@ -186,12 +190,25 @@ StepResult DecodeEngine::decode_step(Index step) {
     }
   }
 
-  result.mean_recall = step_recall.mean();
-  result.mean_coverage = step_coverage.mean();
-  result.mean_output_error = step_error.mean();
-  recall_.add(result.mean_recall);
-  coverage_.add(result.mean_coverage);
-  output_error_.add(result.mean_output_error);
+  if (step_recall.count() > 0) {
+    result.mean_recall = step_recall.mean();
+    result.mean_coverage = step_coverage.mean();
+    result.mean_output_error = step_error.mean();
+    recall_.add(result.mean_recall);
+    coverage_.add(result.mean_coverage);
+    output_error_.add(result.mean_output_error);
+  } else {
+    // No selection was forced anywhere this step (every context fit its
+    // budget, or every layer ran full attention): attention was computed
+    // exactly, so the step is vacuously lossless. Reporting it as 1.0
+    // recall / 1.0 coverage / 0.0 error keeps per-step consumers
+    // (workloads blending quality) honest, while the engine aggregates
+    // skip it entirely — a lossless step must neither read as catastrophic
+    // nor dilute the selection-forced average.
+    result.mean_recall = 1.0;
+    result.mean_coverage = 1.0;
+    result.mean_output_error = 0.0;
+  }
   total_fetched_ += result.tokens_fetched;
   total_cache_hits_ += result.tokens_cache_hit;
   return result;

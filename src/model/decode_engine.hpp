@@ -73,7 +73,25 @@ class DecodeEngine {
   [[nodiscard]] bool prefilled() const noexcept { return prefilled_; }
   [[nodiscard]] Index steps_completed() const noexcept { return next_step_; }
 
+  /// Recall/coverage statistics aggregate only *meaningful* steps — steps
+  /// where the context exceeded the budget, so the selector actually had
+  /// to drop tokens. Steps whose whole context fits the budget recall 1.0
+  /// trivially and would dilute any cross-method or cross-schedule
+  /// comparison; they are excluded, and recall_steps() exposes the shared
+  /// denominator so aggregations can weight sessions comparably.
   [[nodiscard]] const RunningStat& recall_stat() const noexcept { return recall_; }
+  /// Number of meaningful (selection-forced) steps recall_stat covers.
+  [[nodiscard]] Index recall_steps() const noexcept { return recall_.count(); }
+  /// Recall/coverage with vacuous semantics: when no step ever forced the
+  /// selector to drop a token there is nothing to miss, so both are 1.0 —
+  /// not the empty-stat 0.0, which would make a lossless run read as
+  /// catastrophic. Reporting surfaces should use these over the raw stats.
+  [[nodiscard]] double mean_recall() const noexcept {
+    return recall_.count() > 0 ? recall_.mean() : 1.0;
+  }
+  [[nodiscard]] double mean_coverage() const noexcept {
+    return coverage_.count() > 0 ? coverage_.mean() : 1.0;
+  }
   [[nodiscard]] const RunningStat& coverage_stat() const noexcept { return coverage_; }
   [[nodiscard]] const RunningStat& output_error_stat() const noexcept {
     return output_error_;

@@ -147,6 +147,37 @@ void BatchScheduler::admit_arrivals() {
   }
 }
 
+BatchScheduler::PrefillFlushPlan BatchScheduler::prefill_flush_plan(
+    Index prompt_len) const {
+  PrefillFlushPlan plan;
+  const Index chunk = config_.prefill_chunk_tokens;
+  const Index tpc = std::max<Index>(1, config_.tokens_per_cluster);
+  if (chunk <= 0) {
+    // Inline prefill: one whole-prompt flush (if anything clusters at all).
+    plan.batches = prompt_len > config_.sink_tokens ? 1 : 0;
+    return plan;
+  }
+  Index pending = 0;
+  Index done = 0;
+  while (done < prompt_len) {
+    const Index take = std::min<Index>(chunk, prompt_len - done);
+    const Index sink_part =
+        std::clamp<Index>(config_.sink_tokens - done, 0, take);
+    pending += take - sink_part;
+    done += take;
+    const bool last = done == prompt_len;
+    if (pending > 0 && (last || pending >= tpc)) {
+      if (last && pending < tpc && plan.batches > 0) {
+        plan.tail_folds = true;  // merges into the preceding batch
+      } else {
+        ++plan.batches;
+      }
+      pending = 0;
+    }
+  }
+  return plan;
+}
+
 Index BatchScheduler::next_chunk_tokens(const Session& session) const {
   const Index remaining =
       session.request().prompt_len - session.prefill_tokens_done();
@@ -222,6 +253,7 @@ void BatchScheduler::retire_finished() {
     record.first_token_ms = session.first_token_ms();
     record.finish_ms = session.finish_ms();
     record.mean_recall = session.mean_recall();
+    record.recall_steps = session.recall_steps();
     record.mean_coverage = session.mean_coverage();
     record.cache_hit_rate = session.cache_hit_rate();
     record.preemptions = session.preemptions();
@@ -266,18 +298,67 @@ bool BatchScheduler::tick() {
     // weight traffic rides the batch's shared pass), billed per chunk so a
     // long prompt stalls the batch by at most one chunk per tick.
     double tick_ms = 0.0;
+    double repair_ms = 0.0;
+    const bool repair_billed = config_.method == LatencyModel::Method::kClusterKV &&
+                               config_.repair_refine_iterations > 0;
     for (std::size_t i = 0; i < decoders.size(); ++i) {
       const StepBreakdown b = step_cost(*decoders[i]);
       if (i == 0) {
         tick_ms += b.weights_ms + b.overhead_ms;
       }
       tick_ms += b.total_ms() - b.weights_ms - b.overhead_ms;
+      if (repair_billed && config_.repair_decode_interval > 0 &&
+          (decoders[i]->tokens_generated() + 1) % config_.repair_decode_interval == 0) {
+        // Periodic decode-side repair pass (mirrors the engine's trigger in
+        // observe_decode); overlappable compute like prefill clustering. A
+        // pass can only do work once a decode flush has registered a new
+        // clustering batch since the last pass (repair collapses batches
+        // to one), so billing is capped at one pass per decode-interval
+        // flush — a repair interval finer than the flush cadence must not
+        // charge phantom passes for the engine's immediate no-op returns.
+        const Index generated = decoders[i]->tokens_generated() + 1;
+        const Index flush_every = std::max<Index>(1, config_.decode_interval);
+        const bool flushed_since_last_pass =
+            generated / flush_every >
+            (generated - config_.repair_decode_interval) / flush_every;
+        if (flushed_since_last_pass) {
+          const Index context = decoders[i]->request().prompt_len + generated;
+          repair_ms += latency_.repair_ms(context, config_.repair_refine_iterations,
+                                          config_.tokens_per_cluster);
+        }
+      }
     }
     std::vector<Index> chunks(prefillers.size(), 0);
     for (std::size_t i = 0; i < prefillers.size(); ++i) {
       chunks[i] = next_chunk_tokens(*prefillers[i]);
       tick_ms += prefill_chunk_cost_ms(*prefillers[i], chunks[i]);
+      const Index prompt_len = prefillers[i]->request().prompt_len;
+      const bool final_chunk =
+          prefillers[i]->prefill_tokens_done() + chunks[i] == prompt_len;
+      if (config_.method == LatencyModel::Method::kClusterKV && final_chunk) {
+        const PrefillFlushPlan plan = prefill_flush_plan(prompt_len);
+        if (plan.tail_folds) {
+          // End-of-prompt tail fold: the engine re-clusters the preceding
+          // batch together with the short tail; bill that window's k-means
+          // again (the per-chunk clustering bill above only covered the
+          // tail's own tokens).
+          tick_ms += latency_.clustering_visible_overhead_ms(std::min<Index>(
+              prompt_len,
+              std::max(config_.prefill_chunk_tokens, config_.tokens_per_cluster) +
+                  chunks[i]));
+        }
+        if (repair_billed && plan.batches >= 2) {
+          // The post-prefill repair pass only does work when prefill
+          // registered at least two clustering batches (a single batch —
+          // inline prefill, short prompts, or a folded tail — makes the
+          // engine's pass a no-op; bill nothing then).
+          repair_ms += latency_.repair_ms(prompt_len, config_.repair_refine_iterations,
+                                          config_.tokens_per_cluster);
+        }
+      }
     }
+    tick_ms += repair_ms;
+    metrics_.record_repair(repair_ms);
 
     const double completed_ms = now_ms_ + tick_ms;
     for (std::size_t i = 0; i < prefillers.size(); ++i) {

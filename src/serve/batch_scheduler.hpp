@@ -9,7 +9,9 @@
 //      decoders share one weight pass and one framework overhead, each adds
 //      its private KV-read / selection / transfer cost, and each prefill
 //      chunk adds its causal-prefix attention + GEMM compute (plus visible
-//      clustering overhead for ClusterKV);
+//      clustering overhead for ClusterKV; the final chunk of a multi-chunk
+//      prompt also bills one cross-chunk cluster-repair pass, as does every
+//      repair_decode_interval-th decode step when periodic repair is on);
 //   3. enforces the budget: while global residency exceeds it, the coldest
 //      session (least recent progress) offloads its non-sink, non-pending
 //      clusters to the slow tier (sinks are never offloaded). This holds
@@ -65,6 +67,14 @@ struct BatchSchedulerConfig {
   /// steps (TTFT of everyone else); 0 runs the whole prompt as a single
   /// chunk in one tick (the inline-prefill baseline).
   Index prefill_chunk_tokens = 256;
+  /// Cross-chunk cluster-repair billing (match the engine's
+  /// ClusterKVConfig): the tick that lands a session's final prompt chunk
+  /// bills one LatencyModel::repair_ms pass when the prompt actually
+  /// spanned multiple chunks, and decoding sessions bill one pass every
+  /// repair_decode_interval generated tokens. 0 refine iterations = repair
+  /// off, nothing billed.
+  Index repair_refine_iterations = 4;
+  Index repair_decode_interval = 0;
 };
 
 class BatchScheduler {
@@ -110,6 +120,18 @@ class BatchScheduler {
   [[nodiscard]] const std::vector<std::unique_ptr<Session>>& running() const noexcept {
     return running_;
   }
+
+  /// Replay of ClusterKVEngine's chunked-prefill flush policy for one
+  /// prompt (sinks don't pend; pending flushes at chunk boundaries once
+  /// tokens_per_cluster accumulated; a final tail below that folds into
+  /// the preceding batch). The repair and tail-fold bills key off this so
+  /// the virtual clock only charges work the engine actually performs;
+  /// public so tests can pin it to the engine's batch registration.
+  struct PrefillFlushPlan {
+    Index batches = 0;        ///< clustering batches registered by prefill
+    bool tail_folds = false;  ///< final tail re-clusters with the last batch
+  };
+  [[nodiscard]] PrefillFlushPlan prefill_flush_plan(Index prompt_len) const;
 
  private:
   void admit_arrivals();

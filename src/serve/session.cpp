@@ -108,9 +108,11 @@ std::int64_t Session::context_bytes(Index tokens) const noexcept {
          config_.shape.total_heads();
 }
 
-double Session::mean_recall() const { return engine_->recall_stat().mean(); }
+double Session::mean_recall() const { return engine_->mean_recall(); }
 
-double Session::mean_coverage() const { return engine_->coverage_stat().mean(); }
+Index Session::recall_steps() const { return engine_->recall_steps(); }
+
+double Session::mean_coverage() const { return engine_->mean_coverage(); }
 
 double Session::cache_hit_rate() const {
   const double total = static_cast<double>(engine_->total_cache_hits()) +

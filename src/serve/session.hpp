@@ -131,6 +131,10 @@ class Session {
   // ---- quality / traffic ----
 
   [[nodiscard]] double mean_recall() const;
+  /// Meaningful (selection-forced) decode steps behind mean_recall — the
+  /// aggregation weight that keeps cross-run recall comparisons on an
+  /// identical denominator (see DecodeEngine::recall_stat).
+  [[nodiscard]] Index recall_steps() const;
   [[nodiscard]] double mean_coverage() const;
   /// Lifetime cluster-cache hit rate (hits / (hits + fetches); 0 when the
   /// method never fetches).

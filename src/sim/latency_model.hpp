@@ -69,6 +69,18 @@ class LatencyModel {
   /// the same and next layer (Fig. 6); the paper measures 6-8% of prefill.
   [[nodiscard]] double clustering_visible_overhead_ms(Index prompt_len) const;
 
+  /// Cost of one cross-chunk cluster-repair pass over a `context_len`
+  /// context: adjacent-batch centroid-pair scoring plus per-group k-means
+  /// refinement (each refine iteration re-assigns at most every clustered
+  /// token against its merged group's centroids, whose average width a
+  /// small constant bounds). Like §IV-B clustering it is overlappable
+  /// compute, billed at the clustering efficiency. An analytic upper
+  /// bound: it bills the refinement term even when the merge threshold
+  /// finds no pairs (ClusterKVEngine::repair_flops exposes the measured
+  /// work for calibration). 0 when repair is off (refine_iterations <= 0).
+  [[nodiscard]] double repair_ms(Index context_len, Index refine_iterations,
+                                 Index tokens_per_cluster = 80) const;
+
   // ---- per-step decode costs ----
 
   [[nodiscard]] StepBreakdown full_kv_step(Index context_len) const;

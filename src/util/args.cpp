@@ -83,6 +83,16 @@ double ArgParser::get_double(const std::string& name) const {
   }
 }
 
+double ArgParser::get_double_in(const std::string& name, double lo, double hi) const {
+  const double v = get_double(name);
+  if (v < lo || v > hi) {
+    throw std::invalid_argument("flag --" + name + " expects a value in [" +
+                                std::to_string(lo) + ", " + std::to_string(hi) +
+                                "], got " + std::to_string(v));
+  }
+  return v;
+}
+
 bool ArgParser::get_switch(const std::string& name) const {
   const auto it = switches_.find(name);
   expects(it != switches_.end(), "ArgParser: unregistered switch " + name);

@@ -31,6 +31,12 @@ class ArgParser {
   [[nodiscard]] std::string get_string(const std::string& name) const;
   [[nodiscard]] Index get_index(const std::string& name) const;
   [[nodiscard]] double get_double(const std::string& name) const;
+  /// get_double with range validation: throws std::invalid_argument naming
+  /// the flag when the value falls outside [lo, hi]. For knobs with hard
+  /// domains (thresholds, factors >= 1) where a bare atof would let
+  /// nonsense flow into expects() failures deep in the stack.
+  [[nodiscard]] double get_double_in(const std::string& name, double lo,
+                                     double hi) const;
   [[nodiscard]] bool get_switch(const std::string& name) const;
 
   [[nodiscard]] const std::vector<std::string>& positionals() const noexcept {

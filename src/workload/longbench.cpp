@@ -85,8 +85,8 @@ TaskRunResult run_longbench_task(const LongBenchTask& task,
 
   TaskRunResult result;
   result.quality = quality.mean();
-  result.mean_recall = engine.recall_stat().mean();
-  result.mean_coverage = engine.coverage_stat().mean();
+  result.mean_recall = engine.mean_recall();
+  result.mean_coverage = engine.mean_coverage();
   result.score = quality_to_score(result.quality, task.full_kv_score, task.difficulty);
   result.tokens_fetched = engine.total_fetched();
   result.tokens_cache_hit = engine.total_cache_hits();

@@ -114,6 +114,33 @@ TEST(ClusterCache, NegativeDepthRejected) {
   EXPECT_THROW(ClusterCache(-1), std::invalid_argument);
 }
 
+TEST(ClusterCache, RemapWindowPreservesResidencyUnderNewLabels) {
+  ClusterCache cache(2);
+  cache.step(Selected{{0, {1, 2}}, {1, {5}}});
+  cache.step(Selected{{2, {7, 8}}});
+  const auto resident_before = cache.resident_tokens();
+
+  // Cluster repair relabeled: tokens 1,2,7 now live in cluster 4; 5 and 8
+  // in cluster 0 (position-indexed map; unclustered positions are -1).
+  const std::vector<Index> token_to_cluster{-1, 4, 4, -1, -1, 0, -1, 4, 0};
+  cache.remap_window(token_to_cluster);
+
+  EXPECT_EQ(cache.resident_tokens(), resident_before);
+  // Selecting under the *new* labels hits; the old labels are gone.
+  const auto r = cache.step(Selected{{4, {1, 2, 7}}, {0, {5, 8}}});
+  EXPECT_EQ(r.hits, 5);
+  EXPECT_EQ(r.misses, 0);
+}
+
+TEST(ClusterCache, RemapWindowRejectsUnmappedCachedToken) {
+  ClusterCache cache(1);
+  cache.step(Selected{{0, {3}}});
+  EXPECT_THROW(cache.remap_window(std::vector<Index>{0, 0, 0, -1}),
+               std::invalid_argument);
+  EXPECT_THROW(cache.remap_window(std::vector<Index>{0, 0}),  // too short
+               std::invalid_argument);
+}
+
 TEST(ClusterCache, HigherDepthNeverLowersHitRate) {
   // Property: for the same access trace, a deeper window can only hit more.
   const std::vector<Selected> trace{

@@ -165,9 +165,14 @@ TEST(DecodeEngine, FullAttentionLayersBypassSelection) {
   DecodeEngine engine(model, make_quest_factory(), config);
   engine.run_prefill();
   const auto step = engine.decode_step(0);
-  // No selection-active layer contributes, stats stay at defaults.
-  EXPECT_DOUBLE_EQ(step.mean_recall, 0.0);
+  // No selection-active layer contributes: attention was exact everywhere,
+  // so the step reports vacuously lossless quality and the engine
+  // aggregates collect no sample (recall_steps stays 0).
+  EXPECT_DOUBLE_EQ(step.mean_recall, 1.0);
+  EXPECT_DOUBLE_EQ(step.mean_coverage, 1.0);
+  EXPECT_DOUBLE_EQ(step.mean_output_error, 0.0);
   EXPECT_EQ(step.tokens_selected, 0);
+  EXPECT_EQ(engine.recall_steps(), 0);
 }
 
 TEST(DecodeEngine, CacheCountersFlowThrough) {

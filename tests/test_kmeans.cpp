@@ -127,6 +127,92 @@ TEST(KMeans, ClusterCountClampedToKeys) {
   EXPECT_EQ(result.centroids.rows(), 3);
 }
 
+TEST(KMeans, DuplicateKeysWithExcessClustersNeverReturnHollowClusters) {
+  // Regression: identical keys collapse the sampled seeds, assignment
+  // piles everything on one cluster, and reseeding cannot fill the rest —
+  // the result used to carry duplicate/stale centroids with no members.
+  // The compaction contract guarantees every returned cluster is lived-in.
+  Matrix keys(3, 4);
+  keys.fill(0.25f);
+  KMeansConfig config;
+  config.num_clusters = 10;
+  Rng rng(16);
+  const auto result = kmeans_cluster(keys, config, rng);
+  ASSERT_EQ(result.labels.size(), 3u);
+  std::vector<Index> counts(static_cast<std::size_t>(result.centroids.rows()), 0);
+  for (const Index label : result.labels) {
+    ASSERT_GE(label, 0);
+    ASSERT_LT(label, result.centroids.rows());
+    ++counts[static_cast<std::size_t>(label)];
+  }
+  for (const Index c : counts) {
+    EXPECT_GT(c, 0);
+  }
+}
+
+TEST(KMeansRefine, ClampsEffectiveKToKeyCount) {
+  // Regression for the repair path: a tiny merged group can be handed more
+  // seed centroids than it has keys; the effective k must clamp so the
+  // reseed path never runs out of keys and leaves stale duplicates behind.
+  Rng rng(17);
+  Matrix keys(3, 8);
+  rng.fill_normal(keys.flat(), 0.0, 1.0);
+  Matrix seeds(7, 8);
+  rng.fill_normal(seeds.flat(), 0.0, 1.0);
+  KMeansConfig config;
+  config.max_iterations = 20;
+  const auto result = kmeans_refine(keys, seeds, config);
+  ASSERT_LE(result.centroids.rows(), 3);
+  std::vector<Index> counts(static_cast<std::size_t>(result.centroids.rows()), 0);
+  for (const Index label : result.labels) {
+    ASSERT_GE(label, 0);
+    ASSERT_LT(label, result.centroids.rows());
+    ++counts[static_cast<std::size_t>(label)];
+  }
+  for (const Index c : counts) {
+    EXPECT_GT(c, 0);
+  }
+}
+
+TEST(KMeansRefine, WarmStartRecoversPlantedClusters) {
+  std::vector<Index> truth;
+  const auto keys = clustered_keys(300, 16, 4, 18, &truth);
+  // Seed from noisy per-cluster means (a stand-in for surviving centroids).
+  Matrix seeds(4, 16);
+  std::vector<Index> counts(4, 0);
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const auto row = keys.row(static_cast<Index>(i));
+    auto seed = seeds.row(truth[i]);
+    for (Index d = 0; d < 16; ++d) {
+      seed[static_cast<std::size_t>(d)] += row[static_cast<std::size_t>(d)];
+    }
+    ++counts[static_cast<std::size_t>(truth[i])];
+  }
+  KMeansConfig config;
+  config.max_iterations = 30;
+  const auto result = kmeans_refine(keys, seeds, config);
+  EXPECT_TRUE(result.converged);
+  // Warm-started refinement lands on the planted partition.
+  Index agree = 0;
+  Index total = 0;
+  for (std::size_t i = 0; i < truth.size(); i += 3) {
+    for (std::size_t j = i + 1; j < truth.size(); j += 13) {
+      agree += (truth[i] == truth[j]) == (result.labels[i] == result.labels[j]) ? 1 : 0;
+      ++total;
+    }
+  }
+  EXPECT_GT(static_cast<double>(agree) / static_cast<double>(total), 0.95);
+}
+
+TEST(KMeansRefine, RejectsBadInputs) {
+  Matrix keys(2, 2);
+  Matrix empty;
+  KMeansConfig config;
+  EXPECT_THROW(kmeans_refine(keys, empty, config), std::invalid_argument);
+  Matrix wrong_width(1, 3);
+  EXPECT_THROW(kmeans_refine(keys, wrong_width, config), std::invalid_argument);
+}
+
 TEST(KMeans, DeterministicGivenSeed) {
   const auto keys = clustered_keys(100, 16, 3, 16);
   KMeansConfig config;

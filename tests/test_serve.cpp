@@ -44,6 +44,8 @@ BatchSchedulerConfig tiered_scheduler_config(const ClusterKVConfig& ckv,
   config.decode_interval = ckv.decode_interval;
   config.cache_depth = ckv.cache_depth;
   config.tokens_per_cluster = ckv.tokens_per_cluster;
+  config.repair_refine_iterations = ckv.repair_refine_iterations;
+  config.repair_decode_interval = ckv.repair_decode_interval;
   (void)session;
   return config;
 }
@@ -197,6 +199,10 @@ TEST(BatchScheduler, BudgetAndSinkInvariantsHold) {
   // admission residual floor) small, so overcommit can actually pile
   // sessions on and force preemption.
   ckv.tokens_per_cluster = 16;
+  // Aggressive periodic repair so passes land *between* the invariant
+  // checks below: budget and sink invariants must hold mid-repair too.
+  ckv.repair_merge_threshold = 0.3;
+  ckv.repair_decode_interval = 2;
   auto config = tiered_scheduler_config(ckv, session_config);
   // Tight budget + overcommit so admission piles sessions on and
   // enforcement has to preempt; small chunks so the invariants are
@@ -245,6 +251,9 @@ TEST(BatchScheduler, BudgetAndSinkInvariantsHold) {
   EXPECT_EQ(scheduler.metrics().total_tokens(), 6 * 6);
   EXPECT_GT(scheduler.metrics().total_preemptions(), 0);
   EXPECT_EQ(scheduler.ledger().bytes(), 0);  // all sessions retired
+  // Periodic repair actually ran and was billed on the virtual clock.
+  EXPECT_GT(scheduler.metrics().repair_ms_total(), 0.0);
+  EXPECT_GT(scheduler.metrics().repair_ticks(), 0);
 }
 
 TEST(BatchScheduler, ConstrainedBudgetForcesQueueing) {
@@ -473,6 +482,120 @@ TEST(BatchScheduler, ClusterKVOutservesFullKVAtEqualBudget) {
   EXPECT_NEAR(full.metrics().mean_recall(), 1.0, 1e-9);
 }
 
+// The repair/tail-fold bills key off a replay of the engine's flush
+// policy; it must agree with ClusterKVEngine batch registration in the
+// corner cases (short prompts, folded tails, chunks smaller than the
+// clustering window) or the virtual clock charges work that never ran.
+TEST(BatchScheduler, PrefillFlushPlanMirrorsEngineBatches) {
+  const auto session_config = small_session_config();
+  auto ckv = small_ckv_config();  // 8 sinks, 40 tokens/cluster
+  ckv.tokens_per_cluster = 20;
+  ckv.sink_tokens = 16;
+  auto config = tiered_scheduler_config(ckv, session_config);
+  config.prefill_chunk_tokens = 256;
+  BatchScheduler scheduler({}, make_clusterkv_factory(ckv, 41), session_config,
+                           test_latency(), config);
+
+  // Single-batch prompts: no fold (nothing precedes the tail), no repair.
+  auto plan = scheduler.prefill_flush_plan(18);
+  EXPECT_EQ(plan.batches, 1);
+  EXPECT_FALSE(plan.tail_folds);
+  // Multi-chunk prompt whose tail folds: still one batch — repair no-op.
+  plan = scheduler.prefill_flush_plan(270);
+  EXPECT_EQ(plan.batches, 1);
+  EXPECT_TRUE(plan.tail_folds);
+  // Tail long enough to flush: two batches, repair does real work.
+  plan = scheduler.prefill_flush_plan(276 + 16);
+  EXPECT_EQ(plan.batches, 2);
+  EXPECT_FALSE(plan.tail_folds);
+
+  // Chunks smaller than the clustering window: pending accumulates across
+  // chunks, so a short *final chunk* is not a fold when the accumulated
+  // pending still reaches tokens_per_cluster (56 = 16+16+16+8 with no
+  // sinks pending after the first boundary... the last 8 join 16 pending).
+  auto small_chunks = config;
+  small_chunks.prefill_chunk_tokens = 16;
+  small_chunks.sink_tokens = 0;
+  BatchScheduler fine({}, make_clusterkv_factory(ckv, 42), session_config,
+                      test_latency(), small_chunks);
+  plan = fine.prefill_flush_plan(56);
+  EXPECT_EQ(plan.batches, 2);
+  EXPECT_FALSE(plan.tail_folds);
+}
+
+// The recall@B comparison between scheduling modes is only meaningful on
+// one shared denominator: the same trace decodes the same tokens at the
+// same contexts, so the selection-forced step count feeding the aggregate
+// must be identical whether prefill was chunked or inline, repaired or
+// not. This is the audit that keeps chunked-vs-inline recall rows
+// apples-to-apples in bench_serving.
+TEST(ServeMetrics, RecallDenominatorIdenticalAcrossSchedulerModes) {
+  const auto session_config = small_session_config();
+  const auto ckv = small_ckv_config();
+  const auto trace = fixed_trace(4, 300, 6, 1.0);
+
+  auto run = [&](Index chunk_tokens, Index refine_iterations) {
+    auto no_repair = ckv;
+    no_repair.repair_refine_iterations = refine_iterations;
+    auto config = tiered_scheduler_config(no_repair, session_config);
+    config.prefill_chunk_tokens = chunk_tokens;
+    BatchScheduler scheduler(trace, make_clusterkv_factory(no_repair, 31),
+                             session_config, test_latency(), config);
+    scheduler.run();
+    return scheduler;
+  };
+
+  const auto chunked = run(128, 4).metrics().recall_steps_total();
+  const auto chunked_no_repair = run(128, 0).metrics().recall_steps_total();
+  const auto inline_prefill = run(0, 0).metrics().recall_steps_total();
+  // Prompt 300 > budget 48: every decode step is selection-forced, so the
+  // denominator is exactly sessions x decode_len in every mode.
+  EXPECT_EQ(chunked, 4 * 6);
+  EXPECT_EQ(chunked, chunked_no_repair);
+  EXPECT_EQ(chunked, inline_prefill);
+}
+
+TEST(ServeMetrics, MeanRecallWeightsByRecallSteps) {
+  ServeMetrics metrics;
+  SessionRecord a;
+  a.decode_len = 1;
+  a.first_token_ms = a.finish_ms = 1.0;
+  a.mean_recall = 1.0;
+  a.recall_steps = 1;
+  metrics.record_session(a);
+  SessionRecord b = a;
+  b.id = 1;
+  b.mean_recall = 0.5;
+  b.recall_steps = 3;
+  metrics.record_session(b);
+  // Step-weighted: (1.0*1 + 0.5*3) / 4, not the per-session mean 0.75.
+  EXPECT_NEAR(metrics.mean_recall(), 0.625, 1e-12);
+  EXPECT_EQ(metrics.recall_steps_total(), 4);
+  // A session with no selection-forced steps carries no weight at all.
+  SessionRecord trivial = a;
+  trivial.id = 2;
+  trivial.mean_recall = 0.0;
+  trivial.recall_steps = 0;
+  metrics.record_session(trivial);
+  EXPECT_NEAR(metrics.mean_recall(), 0.625, 1e-12);
+  // And a fleet where *nothing* was ever dropped is vacuously lossless —
+  // its empty-stat 0.0 placeholders must not read as zero recall.
+  ServeMetrics lossless;
+  lossless.record_session(trivial);
+  EXPECT_DOUBLE_EQ(lossless.mean_recall(), 1.0);
+  EXPECT_DOUBLE_EQ(ServeMetrics{}.mean_recall(), 0.0);
+}
+
+TEST(ServeMetrics, RepairCostAccumulates) {
+  ServeMetrics metrics;
+  metrics.record_repair(0.0);  // nothing billed: not a repair tick
+  metrics.record_repair(1.5);
+  metrics.record_repair(0.5);
+  EXPECT_DOUBLE_EQ(metrics.repair_ms_total(), 2.0);
+  EXPECT_EQ(metrics.repair_ticks(), 2);
+  EXPECT_THROW(metrics.record_repair(-1.0), std::invalid_argument);
+}
+
 TEST(ServeMetrics, AggregatesAndValidates) {
   ServeMetrics metrics;
   SessionRecord a;
@@ -484,6 +607,7 @@ TEST(ServeMetrics, AggregatesAndValidates) {
   a.first_token_ms = 30.0;
   a.finish_ms = 70.0;
   a.mean_recall = 0.8;
+  a.recall_steps = 5;
   a.cache_hit_rate = 0.5;
   metrics.record_session(a);
 

@@ -111,8 +111,8 @@ int run_recall(int argc, const char* const* argv) {
                    "cache hits", "fetched"});
   table.add_row({args.get_string("method"), args.get_string("context"),
                  args.get_string("budget"),
-                 format_double(engine.recall_stat().mean(), 3),
-                 format_double(engine.coverage_stat().mean(), 3),
+                 format_double(engine.mean_recall(), 3),
+                 format_double(engine.mean_coverage(), 3),
                  std::to_string(engine.total_cache_hits()),
                  std::to_string(engine.total_fetched())});
   emit(table, args.get_switch("csv"));
@@ -280,6 +280,16 @@ int run_serve(int argc, const char* const* argv) {
   args.add_option("prefill-chunk", "256",
                   "prompt tokens prefilled per tick (chunked prefill; 0 = "
                   "whole prompt in one tick)");
+  args.add_option("repair-threshold", "0.8",
+                  "cross-chunk repair: min centroid similarity for an "
+                  "adjacent-batch merge (clusterkv only; -1 merges every "
+                  "adjacent pair)");
+  args.add_option("repair-refine", "4",
+                  "cross-chunk repair: k-means refinement iterations per "
+                  "merged group (0 disables repair)");
+  args.add_option("repair-interval", "0",
+                  "also repair every N generated tokens (0 = post-prefill "
+                  "repair only)");
   args.add_option("max-running", "0",
                   "hard cap on concurrently running sessions (0 = unlimited)");
   args.add_option("seed", "2025", "experiment seed");
@@ -312,6 +322,9 @@ int run_serve(int argc, const char* const* argv) {
   ckv.tokens_per_cluster = 20;
   ckv.decode_interval = 32;
   ckv.decode_clusters = 2;
+  ckv.repair_merge_threshold = args.get_double_in("repair-threshold", -1.0, 1.0);
+  ckv.repair_refine_iterations = args.get_index("repair-refine");
+  ckv.repair_decode_interval = args.get_index("repair-interval");
 
   BatchSchedulerConfig scheduler_config;
   SelectorFactory factory;
@@ -323,6 +336,8 @@ int run_serve(int argc, const char* const* argv) {
     scheduler_config.cache_depth = ckv.cache_depth;
     scheduler_config.tokens_per_cluster = ckv.tokens_per_cluster;
     scheduler_config.admission_overcommit = args.get_double("overcommit");
+    scheduler_config.repair_refine_iterations = ckv.repair_refine_iterations;
+    scheduler_config.repair_decode_interval = ckv.repair_decode_interval;
     factory = make_clusterkv_factory(ckv, seed);
   } else if (method == "quest") {
     scheduler_config.method = LatencyModel::Method::kQuest;
@@ -356,7 +371,7 @@ int run_serve(int argc, const char* const* argv) {
   TextTable table({"method", "sessions", "rps", "tok/s", "max batch",
                    "p50 TTFT (s)", "p95 TTFT (s)", "p95 prefill (s)",
                    "p50 ITL (ms)", "p95 ITL (ms)",
-                   "wait (s)", "preempt", "hit rate", "recall@B"});
+                   "wait (s)", "preempt", "repair (ms)", "hit rate", "recall@B"});
   table.add_row({method, std::to_string(m.sessions()), args.get_string("rps"),
                  format_double(m.throughput_tps(), 1),
                  format_double(m.concurrency().max(), 0),
@@ -367,6 +382,7 @@ int run_serve(int argc, const char* const* argv) {
                  format_double(m.inter_token_percentile(95.0), 1),
                  format_double(m.mean_queue_wait_ms() / 1000.0, 2),
                  std::to_string(m.total_preemptions()),
+                 format_double(m.repair_ms_total(), 1),
                  format_double(m.mean_cache_hit_rate(), 2),
                  format_double(m.mean_recall(), 3)});
   emit(table, args.get_switch("csv"));
