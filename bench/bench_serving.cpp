@@ -9,20 +9,37 @@
 // weight-streaming cost of every decode tick. Full KV and Quest pin the
 // whole context and queue instead.
 //
-// Three ClusterKV rows isolate the chunked-prefill trade-offs:
-//   "ClusterKV (repair)"  — chunked prefill + post-prefill cross-chunk
-//                           cluster repair (the serving default);
-//   "ClusterKV (chunked)" — chunked prefill, repair off: the recall
-//                           regression the repair pass exists to fix;
-//   "ClusterKV (inline)"  — whole-prompt prefill per admission tick
-//                           (prefill_chunk_tokens = 0): one-shot
-//                           clustering, the recall ceiling, at the price
-//                           of tail TTFT (see docs/SCHEDULING.md).
+// Four ClusterKV rows isolate the chunked-prefill and fetch-overlap
+// trade-offs:
+//   "ClusterKV (prefetch)" — chunked prefill + repair + async cluster
+//                            prefetch: predicted next-step clusters fetch
+//                            slow->fast overlapped with the current
+//                            step's attention (the serving default);
+//   "ClusterKV (repair)"   — same, but every cache miss fetches
+//                            synchronously inside select();
+//   "ClusterKV (chunked)"  — chunked prefill, repair off: the recall
+//                            regression the repair pass exists to fix;
+//   "ClusterKV (inline)"   — whole-prompt prefill per admission tick
+//                            (prefill_chunk_tokens = 0): one-shot
+//                            clustering, the recall ceiling, at the price
+//                            of tail TTFT (see docs/SCHEDULING.md).
 //
 // `--check-recall` runs a reduced version of the comparison and exits
 // non-zero if chunked+repair recall@B falls below the committed floor or
 // costs more than the committed throughput margin — the CI guard against
 // the chunk-locality recall regression silently returning.
+//
+// `--check-prefetch` guards the prefetch row the same way: prefetch hit
+// rate must hold the committed floor, throughput must be no worse than
+// the sync-fetch row, and selection must be bit-identical to sync
+// (prefetch is latency-only — equal recall@B on the same denominator and
+// an equal cache hit rate, since it moves *when* bytes cross, not
+// whether).
+//
+// Every random stream in this bench derives from one `--seed` (trace
+// arrivals/lengths, per-request procedural contexts, per-head k-means
+// sampling), so the CI guards are exactly reproducible and cannot flake.
+#include <cmath>
 #include <cstdint>
 #include <iostream>
 #include <string>
@@ -50,8 +67,19 @@ struct ServingSetup {
   std::uint64_t seed = 2025;
 };
 
-ServingSetup make_setup() {
+/// Prefetch depth of the serving default: the budget selects ~6 clusters
+/// per step at 20-token granularity, so covering the ~10 clusters at and
+/// just below the selection cutoff catches most step-to-step rotation
+/// (the trimmed cluster's tail and jitter flip-flops; focus drift to a
+/// brand-new topic is inherently unpredictable). Waste is cheap — issued
+/// bytes hide under the step's compute — so depth errs generous.
+constexpr Index kPrefetchClusters = 10;
+constexpr double kPrefetchPriorWeight = 1.0;
+constexpr double kPrefetchPriorDecay = 0.8;
+
+ServingSetup make_setup(std::uint64_t seed) {
   ServingSetup setup;
+  setup.seed = seed;
   setup.session.shape.num_layers = 1;
   setup.session.shape.num_heads = 2;
   setup.session.shape.head_dim = 64;
@@ -108,6 +136,20 @@ std::vector<MethodRun> serving_methods(const ServingSetup& setup,
   ckv_config.prefill_chunk_tokens = 256;  // ~3-7 chunks per long prompt
   ckv_config.repair_refine_iterations = setup.clusterkv.repair_refine_iterations;
   ckv_config.repair_decode_interval = setup.clusterkv.repair_decode_interval;
+
+  // Serving default: repair + async cluster prefetch. Same engine seed
+  // and clustering knobs as the sync row — selection is bit-identical,
+  // only fetch latency moves (the --check-prefetch guard pins this).
+  ClusterKVConfig prefetch_ckv = setup.clusterkv;
+  prefetch_ckv.prefetch_clusters = kPrefetchClusters;
+  prefetch_ckv.prefetch_prior_weight = kPrefetchPriorWeight;
+  prefetch_ckv.prefetch_prior_decay = kPrefetchPriorDecay;
+  BatchSchedulerConfig prefetch_config = ckv_config;
+  prefetch_config.prefetch_clusters = kPrefetchClusters;
+  methods.push_back({"ClusterKV (prefetch)",
+                     make_clusterkv_factory(prefetch_ckv, setup.seed),
+                     prefetch_config});
+
   methods.push_back({"ClusterKV (repair)",
                      make_clusterkv_factory(setup.clusterkv, setup.seed),
                      ckv_config});
@@ -167,6 +209,21 @@ double short_session_ttft_p95(const ServeMetrics& metrics, Index threshold) {
 constexpr double kRepairRecallFloor = 0.45;
 constexpr double kRepairThroughputMargin = 0.05;
 
+/// Committed floor for the --check-prefetch CI guard: the share of fetch
+/// traffic the predictor covers in flight on the serving mix.
+constexpr double kPrefetchHitFloor = 0.6;
+
+/// Budget scale of the prefetch guard relative to the main table's 2.2x
+/// mean-context budget. Speculation needs HBM headroom: at the pinned
+/// 2.2x budget the fleet working set sits exactly at the cap, so
+/// enforcement (correctly) cancels most in-flight fetches before touching
+/// resident KV, and the hit rate measures budget starvation rather than
+/// the predictor (the main table's "pf hit" column shows that regime).
+/// The guard scales the shared budget up so in-flight transfer buffers
+/// fit — both rows run at the same scaled budget, keeping the
+/// prefetch-vs-sync comparison apples-to-apples.
+constexpr double kPrefetchGuardBudgetScale = 2.0;
+
 /// CI smoke: one mid load, the ClusterKV rows only. Exits non-zero when
 /// the repair row breaks either committed floor, so the chunk-locality
 /// recall regression cannot silently return. The inline row does not feed
@@ -221,6 +278,92 @@ int check_recall(const ServingSetup& setup, const LatencyModel& latency) {
   return ok ? 0 : 1;
 }
 
+/// CI smoke for async prefetch: one mid load, prefetch row vs the
+/// sync-fetch repair row. Exits non-zero when the predictor misses the
+/// committed hit-rate floor, when overlapping fetches somehow costs
+/// throughput, or when selection quality moved at all — prefetch is
+/// latency-only by construction, so recall@B, its step denominator and
+/// the cache hit rate must match the sync row exactly.
+int check_prefetch(const ServingSetup& base_setup, const LatencyModel& latency) {
+  ServingSetup setup = base_setup;
+  setup.fast_budget_bytes = static_cast<std::int64_t>(
+      kPrefetchGuardBudgetScale * static_cast<double>(setup.fast_budget_bytes));
+  TraceConfig trace_config = setup.trace;
+  trace_config.offered_rps = 6.0;
+  const auto trace = make_poisson_trace(trace_config, setup.seed);
+
+  struct RowStats {
+    double recall = 0.0;
+    std::int64_t recall_steps = 0;
+    double hit_rate = 0.0;
+    double tps = 0.0;
+    double prefetch_hit_rate = 0.0;
+    double prefetch_waste = 0.0;
+  };
+  RowStats prefetch;
+  RowStats sync;
+  for (const auto& method : serving_methods(setup, /*clusterkv_only=*/true)) {
+    if (method.name != "ClusterKV (prefetch)" && method.name != "ClusterKV (repair)") {
+      continue;
+    }
+    BatchScheduler scheduler(trace, method.factory, setup.session, latency,
+                             method.scheduler);
+    scheduler.run();
+    const auto& m = scheduler.metrics();
+    RowStats row;
+    row.recall = m.mean_recall();
+    row.recall_steps = m.recall_steps_total();
+    row.hit_rate = m.mean_cache_hit_rate();
+    row.tps = m.throughput_tps();
+    row.prefetch_hit_rate = m.prefetch_hit_rate();
+    row.prefetch_waste = m.prefetch_waste_rate();
+    std::cout << method.name << ": prefetch hit rate "
+              << format_double(row.prefetch_hit_rate, 3) << ", waste "
+              << format_double(row.prefetch_waste, 3) << ", tok/s "
+              << format_double(row.tps, 1) << ", recall@B "
+              << format_double(row.recall, 3) << " over " << row.recall_steps
+              << " scored steps, cache hit rate " << format_double(row.hit_rate, 3)
+              << "\n";
+    (method.name == "ClusterKV (prefetch)" ? prefetch : sync) = row;
+  }
+
+  bool ok = true;
+  if (prefetch.prefetch_hit_rate < kPrefetchHitFloor) {
+    std::cout << "FAIL: prefetch hit rate "
+              << format_double(prefetch.prefetch_hit_rate, 3)
+              << " < committed floor " << format_double(kPrefetchHitFloor, 2) << "\n";
+    ok = false;
+  }
+  if (prefetch.tps < sync.tps) {
+    std::cout << "FAIL: prefetch throughput " << format_double(prefetch.tps, 1)
+              << " tok/s below the sync-fetch baseline " << format_double(sync.tps, 1)
+              << " tok/s (overlapped fetches must never cost time)\n";
+    ok = false;
+  }
+  if (std::abs(prefetch.recall - sync.recall) > 1e-12 ||
+      prefetch.recall_steps != sync.recall_steps ||
+      std::abs(prefetch.hit_rate - sync.hit_rate) > 1e-12) {
+    std::cout << "FAIL: prefetch changed selection behavior (recall@B "
+              << format_double(prefetch.recall, 6) << " vs "
+              << format_double(sync.recall, 6) << ", steps " << prefetch.recall_steps
+              << " vs " << sync.recall_steps << ", cache hit rate "
+              << format_double(prefetch.hit_rate, 6) << " vs "
+              << format_double(sync.hit_rate, 6)
+              << ") — it must be latency-only\n";
+    ok = false;
+  }
+  if (ok) {
+    std::cout << "OK: prefetch covers "
+              << format_double(prefetch.prefetch_hit_rate, 3)
+              << " of fetch traffic in flight (floor "
+              << format_double(kPrefetchHitFloor, 2) << ") at no throughput cost ("
+              << format_double(prefetch.tps, 1) << " vs "
+              << format_double(sync.tps, 1)
+              << " tok/s sync) with selection bit-identical to sync\n";
+  }
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -229,6 +372,13 @@ int main(int argc, char** argv) {
   args.add_switch("check-recall",
                   "CI smoke: fail if chunked+repair recall@B drops below the "
                   "committed floor or exceeds the throughput margin");
+  args.add_switch("check-prefetch",
+                  "CI smoke: fail if the async-prefetch hit rate drops below "
+                  "the committed floor, throughput falls below sync fetch, or "
+                  "selection is not bit-identical to sync");
+  args.add_option("seed", "2025",
+                  "experiment seed; every RNG in this bench (trace, contexts, "
+                  "clustering) derives from it");
   try {
     args.parse(argc, argv);
   } catch (const std::exception& e) {
@@ -236,10 +386,13 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const auto setup = make_setup();
+  const auto setup = make_setup(static_cast<std::uint64_t>(args.get_index("seed")));
   const LatencyModel latency(HardwareModel::ada6000(), ModelConfig::llama31_8b());
   if (args.get_switch("check-recall")) {
     return check_recall(setup, latency);
+  }
+  if (args.get_switch("check-prefetch")) {
+    return check_prefetch(setup, latency);
   }
 
   bench::print_header("Serving: throughput & latency vs offered load",
@@ -254,7 +407,7 @@ int main(int argc, char** argv) {
   TextTable table({"method", "load (req/s)", "tok/s", "max batch", "p50 TTFT (s)",
                    "p95 TTFT (s)", "p95 TTFT short (s)", "p50 ITL (ms)",
                    "p95 ITL (ms)", "queue wait (s)", "preempt", "repair (ms)",
-                   "hit rate", "recall@B"});
+                   "hit rate", "pf hit", "pf waste", "recall@B"});
 
   for (const double load : {2.0, 6.0, 12.0}) {
     TraceConfig trace_config = setup.trace;
@@ -278,6 +431,12 @@ int main(int argc, char** argv) {
                      std::to_string(m.total_preemptions()),
                      format_double(m.repair_ms_total(), 1),
                      format_double(m.mean_cache_hit_rate(), 2),
+                     m.prefetch_issued_total() > 0
+                         ? format_double(m.prefetch_hit_rate(), 2)
+                         : "-",
+                     m.prefetch_issued_total() > 0
+                         ? format_double(m.prefetch_waste_rate(), 2)
+                         : "-",
                      format_double(m.mean_recall(), 3)});
       std::cerr << "  [" << method.name << " @ " << load << " req/s] "
                 << format_double(watch.seconds(), 1) << "s wall\n";

@@ -1,7 +1,6 @@
 #include "core/cluster_cache.hpp"
 
 #include <algorithm>
-#include <map>
 
 namespace ckv {
 
@@ -23,17 +22,34 @@ ClusterCache::StepResult ClusterCache::step(
     const std::vector<std::pair<Index, std::vector<Index>>>& selected) {
   StepResult result;
   const auto resident_before = resident_tokens();
+  std::unordered_set<Index> in_flight_tokens;
+  for (const auto& [cluster, tokens] : in_flight_) {
+    in_flight_tokens.insert(tokens.begin(), tokens.end());
+  }
 
   for (const auto& [cluster, tokens] : selected) {
     for (const Index token : tokens) {
       if (resident_before.contains(token)) {
         ++result.hits;
+      } else if (in_flight_tokens.contains(token)) {
+        // Covered by a speculative fetch issued after the previous step:
+        // the bytes cross PCIe either way (it is a miss), but the copy
+        // overlapped the intervening compute instead of stalling now.
+        ++result.misses;
+        ++result.prefetch_hits;
+        result.prefetched_tokens.push_back(token);
+        in_flight_tokens.erase(token);
       } else {
         ++result.misses;
         result.missing_tokens.push_back(token);
       }
     }
   }
+  // In-flight entries live exactly one step: whatever this selection did
+  // not claim was a prediction miss.
+  result.wasted_tokens.assign(in_flight_tokens.begin(), in_flight_tokens.end());
+  std::sort(result.wasted_tokens.begin(), result.wasted_tokens.end());
+  in_flight_.clear();
 
   window_.push_front(selected);
   while (static_cast<Index>(window_.size()) > std::max<Index>(depth_, 0)) {
@@ -51,17 +67,81 @@ ClusterCache::StepResult ClusterCache::step(
   result.missing_tokens.erase(
       std::unique(result.missing_tokens.begin(), result.missing_tokens.end()),
       result.missing_tokens.end());
+  std::sort(result.prefetched_tokens.begin(), result.prefetched_tokens.end());
+  result.prefetched_tokens.erase(
+      std::unique(result.prefetched_tokens.begin(), result.prefetched_tokens.end()),
+      result.prefetched_tokens.end());
 
   total_hits_ += result.hits;
   total_misses_ += result.misses;
+  total_prefetch_hits_ += result.prefetch_hits;
+  total_prefetch_wasted_ += static_cast<std::int64_t>(result.wasted_tokens.size());
   ++steps_;
   return result;
 }
 
+std::vector<Index> ClusterCache::issue_fetches(
+    std::span<const std::pair<Index, std::span<const Index>>> candidates) {
+  // One reconstruction of the filter sets for the whole batch: the engine
+  // issues up to prefetch_clusters candidates per step per head.
+  auto seen = resident_tokens();
+  for (const auto& [c, in_flight_tokens] : in_flight_) {
+    seen.insert(in_flight_tokens.begin(), in_flight_tokens.end());
+  }
+  std::vector<Index> all_issued;
+  for (const auto& [cluster, tokens] : candidates) {
+    expects(cluster >= 0, "ClusterCache::issue_fetches: negative cluster id");
+    std::vector<Index> issued;
+    for (const Index token : tokens) {
+      if (seen.insert(token).second) {
+        issued.push_back(token);
+      }
+    }
+    if (issued.empty()) {
+      continue;
+    }
+    auto& entry = in_flight_[cluster];
+    entry.insert(entry.end(), issued.begin(), issued.end());
+    std::sort(entry.begin(), entry.end());
+    entry.erase(std::unique(entry.begin(), entry.end()), entry.end());
+    total_prefetch_issued_ += static_cast<std::int64_t>(issued.size());
+    all_issued.insert(all_issued.end(), issued.begin(), issued.end());
+  }
+  std::sort(all_issued.begin(), all_issued.end());
+  return all_issued;
+}
+
+std::vector<Index> ClusterCache::issue_fetch(Index cluster,
+                                             std::span<const Index> tokens) {
+  const std::pair<Index, std::span<const Index>> candidate{cluster, tokens};
+  return issue_fetches(std::span{&candidate, 1});
+}
+
+std::vector<Index> ClusterCache::cancel_fetches() {
+  std::vector<Index> canceled;
+  for (const auto& [cluster, tokens] : in_flight_) {
+    canceled.insert(canceled.end(), tokens.begin(), tokens.end());
+  }
+  in_flight_.clear();
+  std::sort(canceled.begin(), canceled.end());
+  total_prefetch_wasted_ += static_cast<std::int64_t>(canceled.size());
+  return canceled;
+}
+
+Index ClusterCache::in_flight_tokens() const noexcept {
+  Index count = 0;
+  for (const auto& [cluster, tokens] : in_flight_) {
+    count += static_cast<Index>(tokens.size());
+  }
+  return count;
+}
+
 void ClusterCache::remap_window(std::span<const Index> token_to_cluster) {
-  for (auto& step_entry : window_) {
+  const auto relabel = [&token_to_cluster](
+                           const std::vector<std::pair<Index, std::vector<Index>>>&
+                               groups) {
     std::map<Index, std::vector<Index>> regrouped;
-    for (const auto& [cluster, tokens] : step_entry) {
+    for (const auto& [cluster, tokens] : groups) {
       for (const Index token : tokens) {
         expects(token >= 0 && token < static_cast<Index>(token_to_cluster.size()) &&
                     token_to_cluster[static_cast<std::size_t>(token)] >= 0,
@@ -69,12 +149,28 @@ void ClusterCache::remap_window(std::span<const Index> token_to_cluster) {
         regrouped[token_to_cluster[static_cast<std::size_t>(token)]].push_back(token);
       }
     }
-    step_entry.clear();
     for (auto& [cluster, tokens] : regrouped) {
       std::sort(tokens.begin(), tokens.end());
       tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+    }
+    return regrouped;
+  };
+
+  for (auto& step_entry : window_) {
+    auto regrouped = relabel(step_entry);
+    step_entry.clear();
+    for (auto& [cluster, tokens] : regrouped) {
       step_entry.emplace_back(cluster, std::move(tokens));
     }
+  }
+  // In-flight prefetches survive a repair rebuild under their new labels:
+  // the issued copies are position-addressed, so only the grouping key
+  // changes. Leaving them under the old ids would strand their store-side
+  // reservations and turn covered tokens into demand misses.
+  if (!in_flight_.empty()) {
+    std::vector<std::pair<Index, std::vector<Index>>> flat(in_flight_.begin(),
+                                                           in_flight_.end());
+    in_flight_ = relabel(flat);
   }
 }
 
@@ -86,6 +182,9 @@ double ClusterCache::hit_rate() const noexcept {
 void ClusterCache::reset_counters() noexcept {
   total_hits_ = 0;
   total_misses_ = 0;
+  total_prefetch_hits_ = 0;
+  total_prefetch_issued_ = 0;
+  total_prefetch_wasted_ = 0;
   steps_ = 0;
 }
 

@@ -1,10 +1,15 @@
 // Cluster-granularity cache of selected KV (§IV-D). The fast tier retains
 // the tokens selected during the last R decoding steps, keyed by cluster
 // label; at each step, only tokens of clusters absent from the window are
-// fetched from the slow tier.
+// fetched from the slow tier. On top of the window the cache tracks
+// *in-flight prefetches*: tokens whose slow->fast copy was issued
+// speculatively after the previous step (core/cluster_prefetch) and
+// resolves at the next step — selected in-flight tokens land as prefetch
+// hits, the rest are wasted and canceled.
 #pragma once
 
 #include <deque>
+#include <map>
 #include <span>
 #include <unordered_set>
 #include <utility>
@@ -20,17 +25,54 @@ class ClusterCache {
   explicit ClusterCache(Index depth);
 
   struct StepResult {
-    std::vector<Index> missing_tokens;  ///< must be fetched from the slow tier
+    /// Demand fetches: selected tokens neither window-resident nor covered
+    /// by an in-flight prefetch; must be fetched synchronously.
+    std::vector<Index> missing_tokens;
+    /// Selected tokens whose prefetch was in flight: their copy lands now
+    /// (TieredKVStore::complete_fetch) with the latency already overlapped.
+    std::vector<Index> prefetched_tokens;
+    /// In-flight tokens the step did *not* select: the prediction missed;
+    /// cancel their fetches (TieredKVStore::cancel_fetch).
+    std::vector<Index> wasted_tokens;
     std::vector<Index> evicted_tokens;  ///< left the R-step window; drop from fast
-    Index hits = 0;                     ///< tokens served from cache
-    Index misses = 0;                   ///< tokens fetched
+    Index hits = 0;    ///< tokens served from the window
+    /// Tokens fetched from the slow tier this step (demand + prefetch
+    /// hits). Identical to the no-prefetch run on the same selection
+    /// stream: prefetch moves *when* bytes cross, never whether.
+    Index misses = 0;
+    Index prefetch_hits = 0;  ///< the subset of misses covered in flight
   };
 
   /// Processes one decoding step's selection: `selected` lists each chosen
   /// cluster with the token positions taken from it (trimmed last cluster
-  /// included as its partial list). Returns hit/miss breakdown and updates
-  /// the window.
+  /// included as its partial list). Returns hit/miss breakdown (resolving
+  /// every in-flight prefetch as hit or waste) and updates the window.
   StepResult step(const std::vector<std::pair<Index, std::vector<Index>>>& selected);
+
+  /// Records one step's issued prefetches: each candidate lists a cluster
+  /// and the tokens to fetch from it; tokens already window-resident or
+  /// in flight are skipped (the resident/in-flight sets are built once
+  /// for the whole batch — this sits on the per-step hot path). Returns
+  /// the flat token list actually recorded, ascending (the exact set to
+  /// hand TieredKVStore::begin_fetch, so cache- and store-side in-flight
+  /// state never diverge).
+  std::vector<Index> issue_fetches(
+      std::span<const std::pair<Index, std::span<const Index>>> candidates);
+
+  /// Single-cluster convenience wrapper over issue_fetches.
+  std::vector<Index> issue_fetch(Index cluster, std::span<const Index> tokens);
+
+  /// Drops every in-flight entry (preemption / teardown; the prediction
+  /// never resolves) and returns the affected tokens so the caller can
+  /// cancel the store-side fetches. Counts them as wasted.
+  std::vector<Index> cancel_fetches();
+
+  /// In-flight tokens grouped by cluster id (deterministic order).
+  [[nodiscard]] const std::map<Index, std::vector<Index>>& in_flight()
+      const noexcept {
+    return in_flight_;
+  }
+  [[nodiscard]] Index in_flight_tokens() const noexcept;
 
   [[nodiscard]] Index depth() const noexcept { return depth_; }
 
@@ -40,6 +82,15 @@ class ClusterCache {
 
   [[nodiscard]] std::int64_t total_hits() const noexcept { return total_hits_; }
   [[nodiscard]] std::int64_t total_misses() const noexcept { return total_misses_; }
+  [[nodiscard]] std::int64_t total_prefetch_hits() const noexcept {
+    return total_prefetch_hits_;
+  }
+  [[nodiscard]] std::int64_t total_prefetch_issued() const noexcept {
+    return total_prefetch_issued_;
+  }
+  [[nodiscard]] std::int64_t total_prefetch_wasted() const noexcept {
+    return total_prefetch_wasted_;
+  }
   [[nodiscard]] Index steps() const noexcept { return steps_; }
 
   /// Tokens currently resident by virtue of the window (testing hook).
@@ -50,21 +101,31 @@ class ClusterCache {
   /// Forgets the R-step window without touching lifetime counters. Used
   /// when a scheduler offloads the cached tokens behind the cache's back
   /// (preemption): the next step then misses and refetches honestly.
+  /// In-flight prefetches are *not* dropped here — callers that also tear
+  /// down store-side fetches drain cancel_fetches() explicitly.
   void clear_window() noexcept { window_.clear(); }
 
   /// Relabels the window after a cluster-repair rebuild: every cached
   /// token keeps its residency (the resident token set is unchanged, so
   /// repair never moves KV) but is regrouped under the cluster that
-  /// `token_to_cluster[position]` now assigns it. Every window token must
-  /// map to a valid cluster — repair rebuilds all clustered tokens and
-  /// sinks/pending never enter the window. Counters are untouched.
+  /// `token_to_cluster[position]` now assigns it. In-flight prefetch
+  /// entries are relabeled the same way — a repair landing between fetch
+  /// issue and completion must not strand them under dead cluster ids
+  /// (their store-side reservation would leak and the next step would
+  /// treat covered tokens as demand misses). Every window or in-flight
+  /// token must map to a valid cluster — repair rebuilds all clustered
+  /// tokens and sinks/pending never enter the window. Counters untouched.
   void remap_window(std::span<const Index> token_to_cluster);
 
  private:
   Index depth_;
   std::deque<std::vector<std::pair<Index, std::vector<Index>>>> window_;
+  std::map<Index, std::vector<Index>> in_flight_;  ///< cluster -> tokens
   std::int64_t total_hits_ = 0;
   std::int64_t total_misses_ = 0;
+  std::int64_t total_prefetch_hits_ = 0;
+  std::int64_t total_prefetch_issued_ = 0;
+  std::int64_t total_prefetch_wasted_ = 0;
   Index steps_ = 0;
 };
 

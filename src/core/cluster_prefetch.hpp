@@ -1,0 +1,72 @@
+// Async cluster prefetch (§IV-B system design): predicts the clusters the
+// *next* decoding step will select and issues their slow->fast fetches
+// right after the current selection, so the copies overlap the current
+// step's attention/FFN instead of stalling the next step inside select().
+//
+// Prediction is deterministic and purely metadata-driven: a blend of the
+// current query's centroid scores (consecutive decode queries drift
+// slowly, so the clusters just below this step's selection cutoff are the
+// likeliest to rotate in) and a per-cluster recency/frequency prior (an
+// EMA of past selections — clusters a session keeps returning to stay
+// warm even when one query wanders). Prefetch never alters selection:
+// the same clusters are chosen with or without it, only the latency of
+// their fetches changes (the prefetch-equivalence tests pin this down).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace ckv {
+
+struct ClusterPrefetchConfig {
+  /// Clusters prefetched per decode step; 0 disables prefetch entirely
+  /// (every cache miss is fetched synchronously inside select()).
+  Index max_clusters = 0;
+  /// Weight of the recency/frequency prior against the (min-max
+  /// normalized) centroid similarity in the blended prediction score.
+  double prior_weight = 0.5;
+  /// Per-step EMA decay of the prior: prior = decay * prior +
+  /// (1 - decay) * [cluster selected this step]. Smaller = more recency.
+  double prior_decay = 0.5;
+};
+
+class ClusterPrefetcher {
+ public:
+  explicit ClusterPrefetcher(const ClusterPrefetchConfig& config);
+
+  [[nodiscard]] bool enabled() const noexcept { return config_.max_clusters > 0; }
+  [[nodiscard]] const ClusterPrefetchConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Folds one step's actual selection into the per-cluster prior.
+  /// `cluster_count` is the current number of live clusters (grows with
+  /// decode-side clustering; new clusters start with a zero prior).
+  void observe_selection(std::span<const Index> selected_clusters,
+                         Index cluster_count);
+
+  /// Predicts up to max_clusters cluster ids for the next step, best
+  /// first, from this step's centroid scores (`centroid_scores[c]` is the
+  /// current query's score of cluster c) blended with the prior.
+  /// `exclude` lists clusters to skip — the ones this step selected,
+  /// whose tokens enter the cache window and need no fetch. Deterministic:
+  /// equal inputs and prior state give equal output (ties break on the
+  /// lower cluster id).
+  [[nodiscard]] std::vector<Index> predict(std::span<const float> centroid_scores,
+                                           std::span<const Index> exclude) const;
+
+  /// A cluster-repair rebuild invalidates cluster ids; the prior keyed by
+  /// the old ids is reset (it re-warms within ~1/(1-decay) steps).
+  void on_rebuild(Index cluster_count);
+
+  /// Per-cluster prior values (testing hook; index = cluster id).
+  [[nodiscard]] std::span<const double> prior() const noexcept { return prior_; }
+
+ private:
+  ClusterPrefetchConfig config_;
+  std::vector<double> prior_;
+};
+
+}  // namespace ckv

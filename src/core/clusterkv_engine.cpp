@@ -15,7 +15,10 @@ ClusterKVEngine::ClusterKVEngine(Index head_dim, const ClusterKVConfig& config,
       rng_(std::move(rng)),
       tiered_(head_dim, config.element_bytes),
       centroids_(head_dim),
-      cache_(config.cache_depth) {
+      cache_(config.cache_depth),
+      prefetcher_(ClusterPrefetchConfig{config.prefetch_clusters,
+                                        config.prefetch_prior_weight,
+                                        config.prefetch_prior_decay}) {
   expects(config.sink_tokens >= 0, "ClusterKVEngine: sink_tokens must be >= 0");
   expects(config.decode_interval > 0, "ClusterKVEngine: decode_interval must be > 0");
   expects(config.decode_clusters > 0, "ClusterKVEngine: decode_clusters must be > 0");
@@ -65,6 +68,9 @@ RepairOutcome ClusterKVEngine::repair_now() {
   repair_flops_ += outcome.scoring_flops + outcome.refine_flops;
   if (outcome.changed) {
     ++repair_passes_;
+    // In-flight prefetches survive the rebuild (remap_window relabels
+    // them), but the prediction prior is keyed by the dead cluster ids.
+    prefetcher_.on_rebuild(centroids_.cluster_count());
     // The repaired clusters form one joint batch: a later pass (periodic
     // decode repair) merges new decode batches against it, never re-pairs
     // inside it.
@@ -112,14 +118,20 @@ void ClusterKVEngine::observe_prefill_chunk(const Matrix& keys, const Matrix& va
       centroids_.truncate(tail_into.first_cluster);
       batches_.pop_back();
       // Selections between chunks may have cached the popped cluster ids;
-      // forgetting the window keeps it honest (prefill-time windows are
-      // empty in serving, where selection starts after the final chunk).
+      // forgetting the window (and any prefetches issued against those
+      // ids) keeps it honest (prefill-time windows are empty in serving,
+      // where selection starts after the final chunk).
+      cancel_prefetches();
       cache_.clear_window();
       pending_positions_.clear();
       const Index prompt_end = end;
       cluster_range(tail_into.begin_pos, prompt_end,
                     default_cluster_count(prompt_end - tail_into.begin_pos,
                                           config_.tokens_per_cluster));
+      // Like a repair rebuild, the fold reassigned cluster ids from
+      // tail_into.first_cluster on; a prior warmed by inter-chunk
+      // selections would now boost unrelated clusters.
+      prefetcher_.on_rebuild(centroids_.cluster_count());
     } else {
       flush_pending_clusters(
           default_cluster_count(pending, config_.tokens_per_cluster));
@@ -162,9 +174,19 @@ void ClusterKVEngine::flush_pending_clusters(Index cluster_count) {
   pending_positions_.clear();
 }
 
+Index ClusterKVEngine::cancel_prefetches() {
+  const auto in_flight = cache_.cancel_fetches();
+  return tiered_.cancel_fetch(in_flight);
+}
+
 Index ClusterKVEngine::release_fast_tier() {
   // Pending decode tokens are the contiguous tail past the last flush;
-  // everything clustered and non-sink is reclaimable.
+  // everything clustered and non-sink is reclaimable. In-flight prefetches
+  // are dropped first: a preemption landing mid-fetch frees the reserved
+  // bytes along with the resident ones. Only *moved* tokens are returned —
+  // dropping speculation alone is not a preemption (callers count
+  // preemptions off this value, and a sync-fetch run must count the same).
+  cancel_prefetches();
   const Index pending_begin =
       pending_positions_.empty() ? tiered_.size() : pending_positions_.front();
   std::vector<Index> victims;
@@ -200,7 +222,13 @@ SelectionResult ClusterKVEngine::select(std::span<const float> query, Index budg
         select_clusters(scores, centroids_.cluster_sizes(), cluster_budget);
     const auto indexed = gather_selected_tokens(centroids_, selection, cluster_budget);
 
+    // Resolve the prefetches issued after the previous step: selected
+    // in-flight tokens land (their copy overlapped the intervening
+    // compute), unselected ones were mispredictions and cancel. Only the
+    // remaining demand misses stall this step.
     const auto cache_step = cache_.step(indexed.per_cluster);
+    tiered_.complete_fetch(cache_step.prefetched_tokens);
+    tiered_.cancel_fetch(cache_step.wasted_tokens);
     tiered_.ensure_resident(cache_step.missing_tokens);
     tiered_.drop_from_fast(cache_step.evicted_tokens);
 
@@ -209,6 +237,52 @@ SelectionResult ClusterKVEngine::select(std::span<const float> query, Index budg
     result.representations_scored = centroids_.cluster_count();
     result.tokens_fetched = cache_step.misses;
     result.tokens_cache_hit = cache_step.hits;
+    result.tokens_prefetch_hit = cache_step.prefetch_hits;
+
+    if (prefetcher_.enabled()) {
+      // Predict the next step's clusters from this query's scores plus
+      // the recency/frequency prior, and issue their fetches so the
+      // copies overlap this step's attention. Pure metadata: neither the
+      // prediction nor the issued fetches influence any future selection.
+      // Only clusters whose every token is already window-resident are
+      // excluded as candidates — the *trimmed* last cluster stays in,
+      // because the next step's shifted trim boundary over the same
+      // cluster is one of the likeliest miss sources (issue_fetch drops
+      // the resident prefix, so only its tail is actually fetched).
+      prefetcher_.observe_selection(selection.clusters, centroids_.cluster_count());
+      std::vector<Index> fully_resident;
+      for (const auto& [cluster, taken] : indexed.per_cluster) {
+        if (static_cast<Index>(taken.size()) == centroids_.size_of(cluster)) {
+          fully_resident.push_back(cluster);
+        }
+      }
+      const auto predicted = prefetcher_.predict(scores, fully_resident);
+      // Candidate tokens are pre-filtered by *store* residency: the window
+      // usually equals fast residency for clustered tokens, but a cleared
+      // window (tail fold, preemption) can leave tokens fast-resident yet
+      // window-absent — recording those cache-side while begin_fetch skips
+      // them store-side would let the two in-flight views diverge.
+      std::vector<std::vector<Index>> candidate_tokens;
+      std::vector<std::pair<Index, std::span<const Index>>> candidates;
+      // The reserve is load-bearing: candidates holds spans into
+      // candidate_tokens, which therefore must never reallocate.
+      candidate_tokens.reserve(predicted.size());
+      candidates.reserve(predicted.size());
+      for (const Index cluster : predicted) {
+        std::vector<Index> tokens;
+        for (const Index token : centroids_.tokens_of(cluster)) {
+          if (!tiered_.is_fast_resident(token)) {
+            tokens.push_back(token);
+          }
+        }
+        if (!tokens.empty()) {
+          candidate_tokens.push_back(std::move(tokens));
+          candidates.emplace_back(cluster, candidate_tokens.back());
+        }
+      }
+      const auto issued = cache_.issue_fetches(candidates);
+      result.tokens_prefetch_issued += tiered_.begin_fetch(issued);
+    }
   }
 
   std::sort(indices.begin(), indices.end());

@@ -9,6 +9,7 @@
 
 #include "core/cluster_cache.hpp"
 #include "core/centroid_store.hpp"
+#include "core/cluster_prefetch.hpp"
 #include "core/cluster_repair.hpp"
 #include "core/distance.hpp"
 #include "core/kmeans.hpp"
@@ -50,6 +51,19 @@ struct ClusterKVConfig {
   /// cluster batches back into the prompt's semantic groups (0 = repair
   /// after prefill only).
   Index repair_decode_interval = 0;
+
+  // ---- async cluster prefetch (§IV-B overlap of slow->fast fetches) ----
+  // After each selection the engine predicts the clusters the next step
+  // will select (core/cluster_prefetch) and issues their fetches so the
+  // copies overlap the current step's attention instead of stalling the
+  // next select(). Latency-only: selection results are bit-identical to
+  // synchronous fetching.
+  /// Clusters prefetched per decode step (0 = synchronous fetches only).
+  Index prefetch_clusters = 0;
+  /// Weight of the recency/frequency prior in the prediction blend.
+  double prefetch_prior_weight = 0.5;
+  /// Per-step EMA decay of the prior.
+  double prefetch_prior_decay = 0.5;
 };
 
 class ClusterKVEngine : public KVSelector {
@@ -95,12 +109,32 @@ class ClusterKVEngine : public KVSelector {
 
   /// Offloads every fast-resident token except the attention sinks and the
   /// not-yet-clustered pending tokens (both are irreducible: select()
-  /// assumes they are fast-resident), and forgets the cluster-cache window
-  /// so later steps refetch honestly. Returns tokens moved.
+  /// assumes they are fast-resident), cancels any in-flight prefetches
+  /// (their reserved bytes are freed too), and forgets the cluster-cache
+  /// window so later steps refetch honestly. Returns tokens *moved* only:
+  /// canceled speculation is excluded, so a cancel-only release does not
+  /// read as a preemption and the count matches a sync-fetch run exactly.
   Index release_fast_tier() override;
 
   void attach_fast_tier_ledger(FastTierLedger* ledger) override {
     tiered_.attach_ledger(ledger);
+  }
+
+  /// True when the config enables async cluster prefetch.
+  [[nodiscard]] bool prefetch_enabled() const noexcept {
+    return prefetcher_.enabled();
+  }
+
+  /// Drops every in-flight prefetch (cache- and store-side) and frees its
+  /// reserved bytes; the issued traffic counts as wasted. Called by budget
+  /// enforcement before any real preemption, by release_fast_tier itself,
+  /// and on metadata rebuilds that discard cluster ids outright
+  /// (end-of-prompt tail fold) — a *repair* rebuild instead relabels
+  /// in-flight entries in place. Returns fetches dropped.
+  Index cancel_prefetches() override;
+
+  [[nodiscard]] const ClusterPrefetcher& prefetcher() const noexcept {
+    return prefetcher_;
   }
 
   [[nodiscard]] const CentroidStore& centroid_store() const noexcept {
@@ -162,6 +196,7 @@ class ClusterKVEngine : public KVSelector {
   TieredKVStore tiered_;
   CentroidStore centroids_;
   ClusterCache cache_;
+  ClusterPrefetcher prefetcher_;
   Index sink_count_ = 0;
   std::vector<Index> pending_positions_;  ///< generated, not yet clustered
   std::vector<ClusterBatch> batches_;     ///< registration-order flush batches

@@ -32,11 +32,21 @@ struct SelectionResult {
   /// InfiniGen scores in its partial dimension).
   Index scoring_dim = 0;
 
-  /// Tokens whose KV had to be fetched from the slow tier this step.
+  /// Tokens whose KV had to be fetched from the slow tier this step
+  /// (demand fetches plus prefetch hits — identical with prefetch on or
+  /// off, since prefetch only changes when bytes cross, never whether).
   Index tokens_fetched = 0;
 
   /// Tokens served from the fast-tier cache this step.
   Index tokens_cache_hit = 0;
+
+  /// The subset of tokens_fetched whose copy was already in flight from a
+  /// speculative prefetch (latency overlapped the previous step's compute).
+  Index tokens_prefetch_hit = 0;
+
+  /// Speculative fetches issued this step for the *next* step's predicted
+  /// selection (0 for methods without async prefetch).
+  Index tokens_prefetch_issued = 0;
 };
 
 /// Per-head selection policy. Lifecycle: one observe_prefill, then an
@@ -106,6 +116,13 @@ class KVSelector {
   /// working set: sinks, pending decode tokens) to the slow tier. Returns
   /// tokens moved; methods without a tiered store have nothing to release.
   virtual Index release_fast_tier() { return 0; }
+
+  /// Drops in-flight speculative fetches only (their reserved bytes are
+  /// freed; resident KV and the cache window are untouched). Budget
+  /// enforcement tries this before any real preemption — speculation is
+  /// the cheapest thing to take back. Returns fetches canceled; 0 for
+  /// methods without async prefetch.
+  virtual Index cancel_prefetches() { return 0; }
 
   /// Registers a shared fast-tier byte ledger (nullptr detaches). No-op
   /// for methods without tiered placement.

@@ -12,6 +12,8 @@ void TransferStats::merge(const TransferStats& other) noexcept {
   fetch_events += other.fetch_events;
   tokens_fetched += other.tokens_fetched;
   tokens_offloaded += other.tokens_offloaded;
+  tokens_prefetch_issued += other.tokens_prefetch_issued;
+  tokens_prefetch_canceled += other.tokens_prefetch_canceled;
 }
 
 TieredKVStore::TieredKVStore(Index head_dim, Index element_bytes)
@@ -20,6 +22,9 @@ TieredKVStore::TieredKVStore(Index head_dim, Index element_bytes)
 }
 
 bool TieredKVStore::mark_fast(Index position) {
+  expects(!in_flight_.contains(position),
+          "TieredKVStore: position is in flight; complete or cancel the "
+          "fetch before marking it resident");
   if (!fast_resident_.insert(position).second) {
     return false;
   }
@@ -82,6 +87,13 @@ Index TieredKVStore::ensure_resident(std::span<const Index> positions) {
   for (const Index p : positions) {
     expects(p >= 0 && p < store_.size(),
             "TieredKVStore::ensure_resident: position out of range");
+    if (in_flight_.contains(p)) {
+      // The demand path caught up with an issued copy: land it. Its PCIe
+      // bytes were counted at issue, so only placement changes here.
+      const Index one[] = {p};
+      complete_fetch(one);
+      continue;
+    }
     if (mark_fast(p)) {
       stats_.bytes_to_fast += token_bytes();
       ++stats_.tokens_fetched;
@@ -92,6 +104,71 @@ Index TieredKVStore::ensure_resident(std::span<const Index> positions) {
     ++stats_.fetch_events;
   }
   return moved;
+}
+
+Index TieredKVStore::begin_fetch(std::span<const Index> positions) {
+  Index issued = 0;
+  for (const Index p : positions) {
+    expects(p >= 0 && p < store_.size(),
+            "TieredKVStore::begin_fetch: position out of range");
+    if (fast_resident_.contains(p) || !in_flight_.insert(p).second) {
+      continue;
+    }
+    if (ledger_ != nullptr) {
+      ledger_->add_reserved(token_bytes());
+    }
+    stats_.bytes_to_fast += token_bytes();
+    ++stats_.tokens_prefetch_issued;
+    ++issued;
+  }
+  return issued;
+}
+
+Index TieredKVStore::complete_fetch(std::span<const Index> positions) {
+  Index landed = 0;
+  for (const Index p : positions) {
+    if (in_flight_.erase(p) == 0) {
+      continue;
+    }
+    if (ledger_ != nullptr) {
+      ledger_->add_reserved(-token_bytes());
+    }
+    mark_fast(p);
+    ++landed;
+  }
+  return landed;
+}
+
+Index TieredKVStore::cancel_fetch(std::span<const Index> positions) {
+  Index canceled = 0;
+  for (const Index p : positions) {
+    if (in_flight_.erase(p) == 0) {
+      continue;
+    }
+    if (ledger_ != nullptr) {
+      ledger_->add_reserved(-token_bytes());
+    }
+    ++stats_.tokens_prefetch_canceled;
+    ++canceled;
+  }
+  return canceled;
+}
+
+Index TieredKVStore::cancel_all_fetches() {
+  std::vector<Index> positions(in_flight_.begin(), in_flight_.end());
+  return cancel_fetch(positions);
+}
+
+bool TieredKVStore::is_in_flight(Index position) const {
+  return in_flight_.contains(position);
+}
+
+Index TieredKVStore::in_flight_count() const noexcept {
+  return static_cast<Index>(in_flight_.size());
+}
+
+std::int64_t TieredKVStore::in_flight_bytes() const noexcept {
+  return static_cast<std::int64_t>(in_flight_count()) * token_bytes();
 }
 
 void TieredKVStore::drop_from_fast(std::span<const Index> positions) {
@@ -125,10 +202,12 @@ std::int64_t TieredKVStore::fast_resident_bytes() const noexcept {
 void TieredKVStore::attach_ledger(FastTierLedger* ledger) noexcept {
   if (ledger_ != nullptr) {
     ledger_->add(-fast_resident_bytes());
+    ledger_->add_reserved(-in_flight_bytes());
   }
   ledger_ = ledger;
   if (ledger_ != nullptr) {
     ledger_->add(fast_resident_bytes());
+    ledger_->add_reserved(in_flight_bytes());
   }
 }
 

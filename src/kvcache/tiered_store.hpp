@@ -19,8 +19,14 @@ struct TransferStats {
   std::int64_t bytes_to_fast = 0;    ///< slow -> fast (PCIe H2D in the paper)
   std::int64_t bytes_to_slow = 0;    ///< fast -> slow (offload after prefill/decode)
   std::int64_t fetch_events = 0;     ///< number of ensure_resident calls that moved data
-  std::int64_t tokens_fetched = 0;   ///< tokens moved slow -> fast
+  std::int64_t tokens_fetched = 0;   ///< tokens demand-moved slow -> fast
   std::int64_t tokens_offloaded = 0; ///< tokens moved fast -> slow
+  /// Async prefetch traffic (begin_fetch/cancel_fetch). Issued fetches
+  /// count their PCIe bytes in bytes_to_fast at issue time — the copy
+  /// occupies the wire whether or not the data ends up used — so canceled
+  /// fetches are wasted traffic, not refunded traffic.
+  std::int64_t tokens_prefetch_issued = 0;
+  std::int64_t tokens_prefetch_canceled = 0;
 
   void merge(const TransferStats& other) noexcept;
 };
@@ -28,13 +34,25 @@ struct TransferStats {
 /// Shared fast-tier byte counter. Serving attaches one ledger to every
 /// TieredKVStore of every admitted session so the scheduler reads global
 /// HBM residency in O(1) instead of re-summing per-head sets each tick.
+/// Resident bytes and reserved (in-flight fetch) bytes are tracked
+/// separately: an async slow->fast copy holds its destination bytes from
+/// issue to completion/cancel, so the global budget invariant must cover
+/// `total_bytes()`, not just what already landed.
 class FastTierLedger {
  public:
   void add(std::int64_t bytes) noexcept { bytes_ += bytes; }
+  void add_reserved(std::int64_t bytes) noexcept { reserved_ += bytes; }
   [[nodiscard]] std::int64_t bytes() const noexcept { return bytes_; }
+  /// Bytes reserved by in-flight slow->fast fetches (not yet resident).
+  [[nodiscard]] std::int64_t reserved_bytes() const noexcept { return reserved_; }
+  /// Resident + reserved: what budget enforcement must bound.
+  [[nodiscard]] std::int64_t total_bytes() const noexcept {
+    return bytes_ + reserved_;
+  }
 
  private:
   std::int64_t bytes_ = 0;
+  std::int64_t reserved_ = 0;
 };
 
 /// Placement tracker. Token KV entries live on the slow tier by default;
@@ -64,7 +82,38 @@ class TieredKVStore {
 
   /// Ensures the given tokens are fast-resident; counts transfer bytes for
   /// the ones that were not. Returns the number of tokens actually moved.
+  /// A position with an in-flight fetch is completed instead (the demand
+  /// path waits for the issued copy; no bytes are re-counted).
   Index ensure_resident(std::span<const Index> positions);
+
+  // ---- asynchronous slow -> fast fetches (cluster prefetch) ----
+  //
+  // An in-flight position is neither slow-only nor fast-resident: its copy
+  // was issued and its destination bytes are reserved (ledger
+  // reserved_bytes) until complete_fetch lands it or cancel_fetch drops
+  // it. PCIe traffic is accounted at issue time.
+
+  /// Issues an async fetch for each position that is neither fast-resident
+  /// nor already in flight. Returns the number of fetches issued.
+  Index begin_fetch(std::span<const Index> positions);
+
+  /// Lands in-flight fetches: the positions become fast-resident (bytes
+  /// move reserved -> resident on the ledger). Positions with no in-flight
+  /// fetch are ignored. Returns the number landed.
+  Index complete_fetch(std::span<const Index> positions);
+
+  /// Drops in-flight fetches without landing them (prediction miss or
+  /// preemption mid-fetch); their reserved bytes are freed and the issued
+  /// traffic is counted as wasted. Returns the number canceled.
+  Index cancel_fetch(std::span<const Index> positions);
+
+  /// Cancels every in-flight fetch (preemption / teardown path).
+  Index cancel_all_fetches();
+
+  [[nodiscard]] bool is_in_flight(Index position) const;
+  [[nodiscard]] Index in_flight_count() const noexcept;
+  /// Bytes reserved by in-flight fetches.
+  [[nodiscard]] std::int64_t in_flight_bytes() const noexcept;
 
   /// Drops the given tokens from the fast tier (no byte traffic: the slow
   /// tier always holds the authoritative copy in this model).
@@ -84,8 +133,10 @@ class TieredKVStore {
   [[nodiscard]] std::int64_t fast_resident_bytes() const noexcept;
 
   /// Attaches (or detaches, with nullptr) a shared residency ledger. The
-  /// current residency is credited on attach and debited on detach, so the
-  /// ledger stays equal to the sum of its attached stores' fast bytes.
+  /// current residency *and* in-flight reservation are credited on attach
+  /// and debited on detach, so the ledger stays equal to the sum of its
+  /// attached stores' fast + reserved bytes (detaching a store with live
+  /// fetches — session release — implicitly cancels their reservation).
   void attach_ledger(FastTierLedger* ledger) noexcept;
 
   [[nodiscard]] const KVStore& store() const noexcept { return store_; }
@@ -102,6 +153,7 @@ class TieredKVStore {
   KVStore store_;
   Index element_bytes_;
   std::unordered_set<Index> fast_resident_;
+  std::unordered_set<Index> in_flight_;  ///< issued, not yet landed/canceled
   TransferStats stats_;
   FastTierLedger* ledger_ = nullptr;
 };

@@ -143,6 +143,49 @@ double ServeMetrics::mean_coverage() const noexcept {
   return steps > 0 ? weighted / static_cast<double>(steps) : 1.0;
 }
 
+double ServeMetrics::prefetch_hit_rate() const noexcept {
+  if (records_.empty()) {
+    return 0.0;
+  }
+  std::int64_t hits = 0;
+  std::int64_t demand = 0;
+  for (const auto& record : records_) {
+    hits += record.prefetch_hit_tokens;
+    demand += record.demand_fetched_tokens;
+  }
+  const std::int64_t fetched = hits + demand;
+  // No fetch traffic at all: nothing to overlap, vacuously perfect (the
+  // same convention as mean_recall's lossless case).
+  return fetched > 0 ? static_cast<double>(hits) / static_cast<double>(fetched) : 1.0;
+}
+
+double ServeMetrics::prefetch_waste_rate() const noexcept {
+  std::int64_t issued = 0;
+  std::int64_t hits = 0;
+  for (const auto& record : records_) {
+    issued += record.prefetch_issued_tokens;
+    hits += record.prefetch_hit_tokens;
+  }
+  return issued > 0 ? static_cast<double>(issued - hits) / static_cast<double>(issued)
+                    : 0.0;
+}
+
+std::int64_t ServeMetrics::prefetch_issued_total() const noexcept {
+  std::int64_t issued = 0;
+  for (const auto& record : records_) {
+    issued += record.prefetch_issued_tokens;
+  }
+  return issued;
+}
+
+std::int64_t ServeMetrics::prefetch_hits_total() const noexcept {
+  std::int64_t hits = 0;
+  for (const auto& record : records_) {
+    hits += record.prefetch_hit_tokens;
+  }
+  return hits;
+}
+
 double ServeMetrics::mean_cache_hit_rate() const noexcept {
   if (records_.empty()) {
     return 0.0;

@@ -34,6 +34,13 @@ struct SessionRecord {
   double mean_coverage = 0.0;
   double cache_hit_rate = 0.0;
   Index preemptions = 0;
+  /// Async-prefetch traffic split (all zero when prefetch is off):
+  /// fetched = prefetch_hit_tokens + demand_fetched_tokens; issued counts
+  /// speculative fetches (hits + waste). Fleet rates weight sessions by
+  /// these token counts, not per-session averages.
+  std::int64_t prefetch_hit_tokens = 0;
+  std::int64_t prefetch_issued_tokens = 0;
+  std::int64_t demand_fetched_tokens = 0;
 
   /// Time spent queued before admission.
   [[nodiscard]] double queue_wait_ms() const noexcept {
@@ -121,6 +128,19 @@ class ServeMetrics {
   /// selection-forced steps); vacuously 1.0 when nothing was dropped.
   [[nodiscard]] double mean_coverage() const noexcept;
   [[nodiscard]] double mean_cache_hit_rate() const noexcept;
+
+  // ---- async-prefetch rates (token-weighted over retired sessions) ----
+
+  /// Share of slow-tier fetch traffic covered in flight by prefetch:
+  /// Σ prefetch hits / (Σ prefetch hits + Σ demand fetches). Vacuously
+  /// 1.0 when sessions exist but nothing was ever fetched (a fleet with
+  /// no fetch traffic has nothing to overlap); 0.0 with no sessions.
+  [[nodiscard]] double prefetch_hit_rate() const noexcept;
+  /// Share of issued speculative fetches the next selection did not use:
+  /// (Σ issued - Σ hits) / Σ issued; 0 when nothing was issued.
+  [[nodiscard]] double prefetch_waste_rate() const noexcept;
+  [[nodiscard]] std::int64_t prefetch_issued_total() const noexcept;
+  [[nodiscard]] std::int64_t prefetch_hits_total() const noexcept;
 
   /// Cluster-repair cost billed so far (virtual ms) and the tick count
   /// that carried any (bench_serving's repair-cost column).

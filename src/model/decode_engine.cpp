@@ -119,6 +119,8 @@ StepResult DecodeEngine::decode_step(Index step) {
         result.tokens_selected += static_cast<Index>(selected.size());
         result.tokens_fetched += sel.tokens_fetched;
         result.tokens_cache_hit += sel.tokens_cache_hit;
+        result.tokens_prefetch_hit += sel.tokens_prefetch_hit;
+        result.tokens_prefetch_issued += sel.tokens_prefetch_issued;
       } else {
         selected.resize(static_cast<std::size_t>(n));
         std::iota(selected.begin(), selected.end(), Index{0});
@@ -211,6 +213,8 @@ StepResult DecodeEngine::decode_step(Index step) {
   }
   total_fetched_ += result.tokens_fetched;
   total_cache_hits_ += result.tokens_cache_hit;
+  total_prefetch_hits_ += result.tokens_prefetch_hit;
+  total_prefetch_issued_ += result.tokens_prefetch_issued;
   return result;
 }
 

@@ -33,6 +33,8 @@ struct StepResult {
   Index tokens_selected = 0;
   Index tokens_fetched = 0;        ///< slow-tier fetches (cache misses)
   Index tokens_cache_hit = 0;
+  Index tokens_prefetch_hit = 0;     ///< fetches covered by async prefetch
+  Index tokens_prefetch_issued = 0;  ///< speculative fetches issued this step
   std::vector<float> features;     ///< last-layer concat of attention outputs
 };
 
@@ -100,6 +102,15 @@ class DecodeEngine {
   [[nodiscard]] std::int64_t total_cache_hits() const noexcept {
     return total_cache_hits_;
   }
+  /// Fetches whose latency async prefetch overlapped (subset of
+  /// total_fetched; 0 for methods without prefetch).
+  [[nodiscard]] std::int64_t total_prefetch_hits() const noexcept {
+    return total_prefetch_hits_;
+  }
+  /// Speculative fetches issued in total (hits + waste).
+  [[nodiscard]] std::int64_t total_prefetch_issued() const noexcept {
+    return total_prefetch_issued_;
+  }
   [[nodiscard]] SelectorBank& selectors() noexcept { return bank_; }
   [[nodiscard]] const DecodeEngineConfig& config() const noexcept { return config_; }
 
@@ -115,6 +126,8 @@ class DecodeEngine {
   RunningStat output_error_;
   std::int64_t total_fetched_ = 0;
   std::int64_t total_cache_hits_ = 0;
+  std::int64_t total_prefetch_hits_ = 0;
+  std::int64_t total_prefetch_issued_ = 0;
 };
 
 }  // namespace ckv

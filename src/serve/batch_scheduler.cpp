@@ -24,6 +24,10 @@ BatchScheduler::BatchScheduler(std::vector<ServeRequest> trace,
   expects(config.tiered_residency || config.admission_overcommit == 1.0,
           "BatchScheduler: overcommit requires tiered residency (untiered "
           "sessions cannot be preempted back under budget)");
+  expects(config.tiered_residency || config.prefetch_clusters == 0,
+          "BatchScheduler: prefetch requires tiered residency (the untiered "
+          "residency sum cannot see in-flight reserved bytes, so the budget "
+          "invariant would not cover transfers on the wire)");
   const double budget_cap = static_cast<double>(config_.fast_tier_budget_bytes) *
                             config_.admission_overcommit;
   for (auto& request : trace) {
@@ -85,6 +89,15 @@ StepBreakdown BatchScheduler::step_cost(const Session& session) const {
       const double miss_rate = 1.0 - session.cache_hit_rate();
       const Index clusters =
           std::max<Index>(1, context / std::max<Index>(1, config_.tokens_per_cluster));
+      if (config_.prefetch_clusters > 0) {
+        // Overlap-aware split: only the misses the prediction failed to
+        // cover stall; issued speculative traffic (hits + waste) hides
+        // under the step's own compute.
+        return latency_.clusterkv_prefetch_step(context, budget,
+                                                session.demand_miss_rate(),
+                                                session.prefetch_issue_rate(),
+                                                clusters);
+      }
       return latency_.clusterkv_step(context, budget, miss_rate, clusters);
     }
     case LatencyModel::Method::kQuest:
@@ -102,7 +115,9 @@ std::int64_t BatchScheduler::fast_tier_bytes() const {
     // Every running session's per-head stores feed the shared ledger, so
     // global residency is a single read — enforcement calls this in a
     // loop, which would otherwise be O(sessions x heads) per victim.
-    return ledger_.bytes();
+    // Reserved (in-flight prefetch) bytes count: the budget must cover
+    // copies already on the wire, and preemption can cancel them.
+    return ledger_.total_bytes();
   }
   std::int64_t bytes = 0;
   for (const auto& session : running_) {
@@ -223,6 +238,18 @@ void BatchScheduler::enforce_budget(Session* just_stepped) {
     if (just_stepped != nullptr) {
       victims.push_back(just_stepped);
     }
+    // Phase 1 — take back speculation before touching anyone's resident
+    // state: in-flight prefetch bytes are the cheapest to reclaim (the
+    // data never landed), and canceling them keeps the *resident* byte
+    // trajectory — and therefore cache windows, hit rates and preemption
+    // counts — exactly what a synchronous-fetch run would produce.
+    for (Session* victim : victims) {
+      if (fast_tier_bytes() <= config_.fast_tier_budget_bytes) {
+        break;
+      }
+      victim->cancel_prefetches();
+    }
+    // Phase 2 — real preemption of the coldest sessions' resident KV.
     for (Session* victim : victims) {
       if (fast_tier_bytes() <= config_.fast_tier_budget_bytes) {
         break;
@@ -257,6 +284,9 @@ void BatchScheduler::retire_finished() {
     record.mean_coverage = session.mean_coverage();
     record.cache_hit_rate = session.cache_hit_rate();
     record.preemptions = session.preemptions();
+    record.prefetch_hit_tokens = session.prefetch_hit_tokens();
+    record.prefetch_issued_tokens = session.prefetch_issued_tokens();
+    record.demand_fetched_tokens = session.demand_fetched_tokens();
     metrics_.record_session(std::move(record));
     // Teardown frees the session's fast-tier residency (ledger included).
     session.attach_fast_tier_ledger(nullptr);

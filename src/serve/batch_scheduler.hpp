@@ -75,6 +75,14 @@ struct BatchSchedulerConfig {
   /// off, nothing billed.
   Index repair_refine_iterations = 4;
   Index repair_decode_interval = 0;
+  /// Async cluster-prefetch billing mirror (match the engine's
+  /// ClusterKVConfig::prefetch_clusters): > 0 bills ClusterKV decode steps
+  /// with the overlap-aware transfer split — demand misses stall as
+  /// before, speculatively issued fetches hide under the step's compute
+  /// via LatencyModel::overlapped_fetch_ms. 0 = sync-fetch billing.
+  /// Residency-wise nothing changes here: in-flight fetch bytes reach the
+  /// budget through the ledger's reserved counter regardless.
+  Index prefetch_clusters = 0;
 };
 
 class BatchScheduler {
@@ -105,7 +113,10 @@ class BatchScheduler {
   /// Ticks executed so far.
   [[nodiscard]] Index ticks() const noexcept { return ticks_; }
 
-  /// Global fast-tier residency right now, summed over running sessions.
+  /// Global fast-tier footprint right now, summed over running sessions:
+  /// resident bytes plus bytes reserved by in-flight prefetches — an
+  /// async copy owns its destination from issue to completion, so the
+  /// budget invariant covers transfers in flight.
   [[nodiscard]] std::int64_t fast_tier_bytes() const;
 
   /// O(1) residency of the tiered per-head stores (cross-check for the

@@ -103,6 +103,17 @@ Index Session::release_fast_tier() {
   return moved;
 }
 
+Index Session::cancel_prefetches() {
+  Index canceled = 0;
+  auto& bank = engine_->selectors();
+  for (Index l = 0; l < bank.num_layers(); ++l) {
+    for (Index h = 0; h < bank.num_heads(); ++h) {
+      canceled += bank.at(l, h).cancel_prefetches();
+    }
+  }
+  return canceled;
+}
+
 std::int64_t Session::context_bytes(Index tokens) const noexcept {
   return static_cast<std::int64_t>(tokens) * session_token_bytes(config_) *
          config_.shape.total_heads();
@@ -119,6 +130,32 @@ double Session::cache_hit_rate() const {
                        static_cast<double>(engine_->total_fetched());
   return total <= 0.0 ? 0.0
                       : static_cast<double>(engine_->total_cache_hits()) / total;
+}
+
+std::int64_t Session::prefetch_hit_tokens() const {
+  return engine_->total_prefetch_hits();
+}
+
+std::int64_t Session::prefetch_issued_tokens() const {
+  return engine_->total_prefetch_issued();
+}
+
+std::int64_t Session::demand_fetched_tokens() const {
+  return engine_->total_fetched() - engine_->total_prefetch_hits();
+}
+
+double Session::demand_miss_rate() const {
+  const double total = static_cast<double>(engine_->total_cache_hits()) +
+                       static_cast<double>(engine_->total_fetched());
+  return total <= 0.0 ? 1.0 : static_cast<double>(demand_fetched_tokens()) / total;
+}
+
+double Session::prefetch_issue_rate() const {
+  const double total = static_cast<double>(engine_->total_cache_hits()) +
+                       static_cast<double>(engine_->total_fetched());
+  return total <= 0.0
+             ? 0.0
+             : static_cast<double>(engine_->total_prefetch_issued()) / total;
 }
 
 }  // namespace ckv

@@ -105,6 +105,12 @@ class Session {
   /// (sinks and pending tokens stay). Returns total tokens offloaded.
   Index release_fast_tier();
 
+  /// Drops every per-head selector's in-flight speculative fetches
+  /// (reserved bytes free, resident KV and cache windows untouched) — the
+  /// scheduler's first, cheapest enforcement lever. Not counted as a
+  /// preemption. Returns fetches canceled.
+  Index cancel_prefetches();
+
   /// Times release_fast_tier actually moved tokens (preemption count).
   [[nodiscard]] Index preemptions() const noexcept { return preemptions_; }
 
@@ -139,6 +145,22 @@ class Session {
   /// Lifetime cluster-cache hit rate (hits / (hits + fetches); 0 when the
   /// method never fetches).
   [[nodiscard]] double cache_hit_rate() const;
+
+  // ---- async prefetch traffic (0 everywhere when prefetch is off) ----
+
+  /// Fetched tokens whose copy was issued speculatively (prefetch hits).
+  [[nodiscard]] std::int64_t prefetch_hit_tokens() const;
+  /// Speculative fetches issued in total (hits + waste).
+  [[nodiscard]] std::int64_t prefetch_issued_tokens() const;
+  /// Fetched tokens the prediction missed (fetched - prefetch hits).
+  [[nodiscard]] std::int64_t demand_fetched_tokens() const;
+  /// Share of selected-token traffic fetched synchronously: the billing
+  /// split's demand term (equals 1 - cache_hit_rate with prefetch off).
+  /// 1.0 before any selection, mirroring cache_hit_rate's pessimism.
+  [[nodiscard]] double demand_miss_rate() const;
+  /// Speculative fetches issued per selected token (hits and waste both
+  /// occupy the wire); 0 before any selection.
+  [[nodiscard]] double prefetch_issue_rate() const;
 
   /// The per-session decode engine (selector state; testing/metrics hook).
   [[nodiscard]] DecodeEngine& engine() noexcept { return *engine_; }

@@ -1,5 +1,6 @@
 #include "sim/latency_model.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace ckv {
@@ -144,6 +145,32 @@ StepBreakdown LatencyModel::clusterkv_step(Index context_len, Index budget,
   b.transfer_ms =
       (1.0 - hw_.transfer_overlap) * miss_bytes / (hw_.pcie_gather_gbps * 1e6);
   b.overhead_ms = common_overhead_ms();
+  return b;
+}
+
+double LatencyModel::overlapped_fetch_ms(double bytes,
+                                         double compute_ms) const noexcept {
+  const double fetch_ms = bytes / (hw_.pcie_gather_gbps * 1e6);
+  return std::max(0.0, fetch_ms - std::max(0.0, compute_ms));
+}
+
+StepBreakdown LatencyModel::clusterkv_prefetch_step(
+    Index context_len, Index budget, double demand_miss_rate,
+    double prefetch_issue_rate, Index clusters, Index transfer_element_bytes) const {
+  expects(prefetch_issue_rate >= 0.0,
+          "LatencyModel::clusterkv_prefetch_step: issue rate must be >= 0");
+  StepBreakdown b = clusterkv_step(context_len, budget, demand_miss_rate, clusters,
+                                   transfer_element_bytes);
+  const double attended = static_cast<double>(std::min<Index>(budget, context_len));
+  const Index wire_bytes =
+      transfer_element_bytes > 0 ? transfer_element_bytes : element_bytes_;
+  const double prefetch_bytes =
+      prefetch_issue_rate * attended *
+      static_cast<double>(model_.kv_bytes_per_token(wire_bytes));
+  // The async copies overlap the step's own computation (weights, KV
+  // reads, scoring, overheads); only a fetch outlasting all of it shows.
+  const double compute_ms = b.total_ms() - b.transfer_ms;
+  b.transfer_ms += overlapped_fetch_ms(prefetch_bytes, compute_ms);
   return b;
 }
 

@@ -93,6 +93,28 @@ class LatencyModel {
                                              double miss_rate, Index clusters,
                                              Index transfer_element_bytes = 0) const;
 
+  /// Visible PCIe time of an asynchronously issued gather of `bytes`,
+  /// overlapped with `compute_ms` of the issuing step's computation: the
+  /// fetch cost hides under the compute up to its full duration and only
+  /// the remainder is billed (0 when the copy finishes first).
+  [[nodiscard]] double overlapped_fetch_ms(double bytes,
+                                           double compute_ms) const noexcept;
+
+  /// ClusterKV step with async cluster prefetch (core/cluster_prefetch):
+  /// demand_miss_rate = measured share of attended tokens fetched
+  /// synchronously this step (misses the prediction failed to cover);
+  /// prefetch_issue_rate = speculative fetch traffic issued per attended
+  /// token (hits *and* waste — mispredicted bytes occupy the wire too).
+  /// The demand share bills like clusterkv_step's transfer term; the
+  /// issued share bills via overlapped_fetch_ms against the step's own
+  /// compute, so a well-predicted fetch costs nothing visible. With
+  /// prefetch_issue_rate = 0 and demand_miss_rate = miss_rate this equals
+  /// clusterkv_step exactly (the sync-fetch baseline).
+  [[nodiscard]] StepBreakdown clusterkv_prefetch_step(
+      Index context_len, Index budget, double demand_miss_rate,
+      double prefetch_issue_rate, Index clusters,
+      Index transfer_element_bytes = 0) const;
+
   [[nodiscard]] StepBreakdown quest_step(Index context_len, Index budget,
                                          Index page_size = 16) const;
 

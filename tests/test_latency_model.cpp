@@ -139,6 +139,41 @@ TEST(LatencyModel, ClusteringOverheadSmallShareOfPrefill) {
   }
 }
 
+TEST(LatencyModel, OverlappedFetchHidesUpToComputeTime) {
+  const auto model = llama_model();
+  // A fetch shorter than the compute window is fully hidden.
+  EXPECT_DOUBLE_EQ(model.overlapped_fetch_ms(1024.0, 100.0), 0.0);
+  // A fetch outlasting the window bills exactly the remainder.
+  const double bytes = 50.0 * 10.0 * 1e6;  // 50 ms at 10 GB/s gather
+  EXPECT_NEAR(model.overlapped_fetch_ms(bytes, 20.0), 30.0, 1e-9);
+  // No compute to hide under: the whole fetch is visible.
+  EXPECT_NEAR(model.overlapped_fetch_ms(bytes, 0.0), 50.0, 1e-9);
+}
+
+TEST(LatencyModel, PrefetchStepNeverSlowerThanSyncAtSameTraffic) {
+  const auto model = llama_model();
+  const double miss_rate = 0.4;
+  const auto sync = model.clusterkv_step(8192, 1024, miss_rate, 102);
+  // With no issued speculation and every miss on the demand path, the
+  // prefetch billing collapses to the sync step exactly.
+  const auto degenerate = model.clusterkv_prefetch_step(8192, 1024, miss_rate,
+                                                        /*issue_rate=*/0.0, 102);
+  EXPECT_DOUBLE_EQ(degenerate.total_ms(), sync.total_ms());
+  // Covering part of the misses in flight strictly reduces the step —
+  // even with generous waste, the issued bytes hide under compute.
+  const auto covered = model.clusterkv_prefetch_step(8192, 1024,
+                                                     /*demand=*/0.1,
+                                                     /*issue_rate=*/0.8, 102);
+  EXPECT_LT(covered.total_ms(), sync.total_ms());
+  EXPECT_GE(covered.transfer_ms, 0.0);
+  // A pathological issue volume eventually outlasts the compute window
+  // and bills a visible remainder, but never a negative one.
+  const auto flooded = model.clusterkv_prefetch_step(8192, 1024, 0.1, 500.0, 102);
+  EXPECT_GE(flooded.total_ms(), covered.total_ms());
+  EXPECT_THROW(model.clusterkv_prefetch_step(8192, 1024, 0.1, -0.1, 102),
+               std::invalid_argument);
+}
+
 TEST(LatencyModel, MissRateIncreasesStepTime) {
   const auto model = llama_model();
   const double hit_heavy = model.clusterkv_step(32768, 1024, 0.2, 400).total_ms();

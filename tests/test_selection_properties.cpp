@@ -1,5 +1,9 @@
 // Property-based tests (parameterized fuzz) of the selection, indexing and
-// caching invariants the ClusterKV pipeline relies on.
+// caching invariants the ClusterKV pipeline relies on, plus the serving
+// residency sweep: randomized admit/prefill/decode/preempt/repair/prefetch
+// schedules asserting the fast-tier budget and sink-residency invariants
+// at every tick. Runs under `ctest -L properties` with this fixed seed set
+// in CI.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -9,8 +13,10 @@
 #include "baselines/quest.hpp"
 #include "core/cluster_cache.hpp"
 #include "core/centroid_store.hpp"
+#include "core/clusterkv_engine.hpp"
 #include "core/selector_index.hpp"
 #include "model/procedural.hpp"
+#include "serve/batch_scheduler.hpp"
 #include "tensor/rng.hpp"
 
 namespace ckv {
@@ -228,6 +234,138 @@ TEST_P(GatherTrimFuzz, NeverExceedsBudgetAndPreservesClusterOrder) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, GatherTrimFuzz, ::testing::Values(41, 42, 43, 44));
+
+// Serving residency sweep: a randomized schedule — random session mix,
+// chunk sizes, budgets, overcommit, repair cadence, prefetch depth, plus
+// externally injected preemptions and prefetch cancels (including
+// mid-prefill and mid-fetch) — must keep the scheduler's contract at
+// every tick boundary: global footprint (resident + in-flight) within the
+// budget, the O(1) ledger in exact agreement with a re-sum over sessions
+// and stores, and attention sinks never offloaded. test_serve.cpp
+// spot-checks these on hand-picked schedules; this sweep searches for
+// counterexamples.
+class ServingResidencyFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ServingResidencyFuzz, BudgetAndSinkInvariantsHoldUnderRandomSchedules) {
+  Rng rng(GetParam());
+
+  SessionConfig session;
+  session.shape.num_layers = 1;
+  session.shape.num_heads = 2;
+  session.shape.head_dim = 32;
+  session.params.head_dim = 32;
+  session.params.num_topics = 16;
+  session.engine.budget = rng.uniform_int(24, 64);
+  session.engine.full_attention_layers = 0;
+
+  ClusterKVConfig ckv;
+  ckv.sink_tokens = rng.uniform_int(0, 8);
+  ckv.tokens_per_cluster = rng.uniform_int(8, 24);
+  ckv.decode_interval = rng.uniform_int(4, 16);
+  ckv.decode_clusters = 2;
+  ckv.cache_depth = rng.uniform_int(0, 2);
+  ckv.repair_merge_threshold = rng.uniform(-1.0, 0.9);
+  ckv.repair_refine_iterations = rng.uniform_int(0, 4);
+  ckv.repair_decode_interval = rng.uniform_int(0, 5);
+  ckv.prefetch_clusters = rng.uniform_int(0, 4);
+  ckv.prefetch_prior_decay = rng.uniform(0.0, 0.95);
+
+  BatchSchedulerConfig config;
+  config.method = LatencyModel::Method::kClusterKV;
+  config.tiered_residency = true;
+  config.sink_tokens = ckv.sink_tokens;
+  config.decode_interval = ckv.decode_interval;
+  config.cache_depth = ckv.cache_depth;
+  config.tokens_per_cluster = ckv.tokens_per_cluster;
+  config.repair_refine_iterations = ckv.repair_refine_iterations;
+  config.repair_decode_interval = ckv.repair_decode_interval;
+  config.prefetch_clusters = ckv.prefetch_clusters;
+  config.prefill_chunk_tokens = rng.bernoulli(0.2) ? 0 : rng.uniform_int(16, 96);
+  config.admission_overcommit = rng.uniform(1.0, 2.0);
+
+  const Index sessions = rng.uniform_int(3, 5);
+  std::vector<ServeRequest> trace;
+  Index longest_context = 0;
+  for (Index i = 0; i < sessions; ++i) {
+    ServeRequest request;
+    request.id = i;
+    request.arrival_ms = rng.uniform(0.0, 50.0) * static_cast<double>(i);
+    request.prompt_len = rng.uniform_int(60, 400);
+    request.decode_len = rng.uniform_int(3, 8);
+    request.seed = derive_seed(GetParam(), "fuzz/req/" + std::to_string(i));
+    longest_context = std::max(longest_context, request.prompt_len + request.decode_len);
+    trace.push_back(request);
+  }
+  std::sort(trace.begin(), trace.end(),
+            [](const ServeRequest& a, const ServeRequest& b) {
+              return a.arrival_ms < b.arrival_ms;
+            });
+
+  // Budget between one and two of the largest projected working sets:
+  // tight enough to force queueing and preemption, always admissible.
+  const Index floor_tokens = std::min<Index>(
+      longest_context,
+      ckv.sink_tokens + std::max<Index>(ckv.tokens_per_cluster,
+                                        ckv.decode_interval +
+                                            ckv.cache_depth * session.engine.budget));
+  const std::int64_t projected = static_cast<std::int64_t>(floor_tokens) *
+                                 session_token_bytes(session) *
+                                 session.shape.total_heads();
+  config.fast_tier_budget_bytes =
+      projected + static_cast<std::int64_t>(rng.uniform(0.0, 1.0) *
+                                            static_cast<double>(projected)) + 1;
+
+  const LatencyModel latency(HardwareModel::ada6000(), ModelConfig::llama31_8b());
+  BatchScheduler scheduler(trace, make_clusterkv_factory(ckv, GetParam()), session,
+                           latency, config);
+
+  while (scheduler.tick()) {
+    // External events the scheduler does not control: a preemption or a
+    // speculation cancel can land at any point of any lifecycle state.
+    if (!scheduler.running().empty()) {
+      const auto victim = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<Index>(scheduler.running().size()) - 1));
+      if (rng.bernoulli(0.15)) {
+        scheduler.running()[victim]->release_fast_tier();
+      } else if (rng.bernoulli(0.15)) {
+        scheduler.running()[victim]->cancel_prefetches();
+      }
+    }
+
+    // (1) Global footprint — resident plus in-flight — within budget.
+    EXPECT_LE(scheduler.fast_tier_bytes(), config.fast_tier_budget_bytes);
+    // (2) The O(1) ledger agrees with an independent re-sum.
+    std::int64_t resident = 0;
+    std::int64_t reserved = 0;
+    for (const auto& running : scheduler.running()) {
+      resident += running->fast_resident_bytes();
+      auto& bank = running->engine().selectors();
+      for (Index l = 0; l < bank.num_layers(); ++l) {
+        for (Index h = 0; h < bank.num_heads(); ++h) {
+          const auto* engine = dynamic_cast<const ClusterKVEngine*>(&bank.at(l, h));
+          ASSERT_NE(engine, nullptr);
+          reserved += engine->tiered_store().in_flight_bytes();
+          // (3) Sinks are never offloaded, in any state, mid-anything.
+          for (Index s = 0; s < engine->sink_count(); ++s) {
+            EXPECT_TRUE(engine->tiered_store().is_fast_resident(s))
+                << "sink " << s << " offloaded (seed " << GetParam() << ")";
+          }
+          // Cache- and store-side in-flight token counts agree.
+          EXPECT_EQ(engine->cache().in_flight_tokens(),
+                    engine->tiered_store().in_flight_count());
+        }
+      }
+    }
+    EXPECT_EQ(scheduler.ledger().bytes(), resident);
+    EXPECT_EQ(scheduler.ledger().reserved_bytes(), reserved);
+  }
+  EXPECT_EQ(scheduler.finished_count(), sessions);
+  EXPECT_EQ(scheduler.ledger().bytes(), 0);
+  EXPECT_EQ(scheduler.ledger().reserved_bytes(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ServingResidencyFuzz,
+                         ::testing::Values(101, 102, 103, 104, 105, 106));
 
 }  // namespace
 }  // namespace ckv

@@ -330,6 +330,20 @@ TEST(BatchScheduler, OvercommitRequiresTieredResidency) {
                std::invalid_argument);
 }
 
+TEST(BatchScheduler, PrefetchRequiresTieredResidency) {
+  // Without the ledger, fast_tier_bytes() cannot see in-flight reserved
+  // bytes, so the budget invariant would silently ignore transfers on the
+  // wire; the constructor must reject the combination.
+  const auto session_config = small_session_config();
+  BatchSchedulerConfig config;
+  config.method = LatencyModel::Method::kClusterKV;
+  config.prefetch_clusters = 4;
+  EXPECT_THROW(BatchScheduler(fixed_trace(1, 100, 4, 0.0),
+                              make_clusterkv_factory(small_ckv_config(), 8),
+                              session_config, test_latency(), config),
+               std::invalid_argument);
+}
+
 // The chunked-prefill payoff: a short request that arrives while a
 // long-prompt session is being admitted gets its first token without
 // waiting for the whole foreign prefill — its TTFT is bounded by chunk
@@ -584,6 +598,40 @@ TEST(ServeMetrics, MeanRecallWeightsByRecallSteps) {
   lossless.record_session(trivial);
   EXPECT_DOUBLE_EQ(lossless.mean_recall(), 1.0);
   EXPECT_DOUBLE_EQ(ServeMetrics{}.mean_recall(), 0.0);
+}
+
+TEST(ServeMetrics, PrefetchRatesAreTokenWeighted) {
+  ServeMetrics metrics;
+  SessionRecord a;
+  a.decode_len = 1;
+  a.first_token_ms = a.finish_ms = 1.0;
+  a.prefetch_issued_tokens = 100;
+  a.prefetch_hit_tokens = 60;
+  a.demand_fetched_tokens = 40;
+  metrics.record_session(a);
+  SessionRecord b = a;
+  b.id = 1;
+  b.prefetch_issued_tokens = 0;  // prefetch off for this session
+  b.prefetch_hit_tokens = 0;
+  b.demand_fetched_tokens = 100;
+  metrics.record_session(b);
+  // Token-weighted, not per-session: 60 / (60 + 140).
+  EXPECT_NEAR(metrics.prefetch_hit_rate(), 0.3, 1e-12);
+  EXPECT_NEAR(metrics.prefetch_waste_rate(), 0.4, 1e-12);
+  EXPECT_EQ(metrics.prefetch_issued_total(), 100);
+  EXPECT_EQ(metrics.prefetch_hits_total(), 60);
+
+  // A fleet with no fetch traffic at all has nothing to overlap:
+  // vacuously 1.0 (mirrors mean_recall's lossless convention).
+  ServeMetrics no_traffic;
+  SessionRecord quiet = a;
+  quiet.prefetch_issued_tokens = 0;
+  quiet.prefetch_hit_tokens = 0;
+  quiet.demand_fetched_tokens = 0;
+  no_traffic.record_session(quiet);
+  EXPECT_DOUBLE_EQ(no_traffic.prefetch_hit_rate(), 1.0);
+  EXPECT_DOUBLE_EQ(no_traffic.prefetch_waste_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(ServeMetrics{}.prefetch_hit_rate(), 0.0);
 }
 
 TEST(ServeMetrics, RepairCostAccumulates) {

@@ -290,6 +290,15 @@ int run_serve(int argc, const char* const* argv) {
   args.add_option("repair-interval", "0",
                   "also repair every N generated tokens (0 = post-prefill "
                   "repair only)");
+  args.add_option("prefetch-clusters", "0",
+                  "async prefetch: clusters fetched speculatively per decode "
+                  "step, overlapping the step's attention (clusterkv only; "
+                  "0 = synchronous fetches)");
+  args.add_option("prefetch-prior-weight", "0.5",
+                  "async prefetch: weight of the recency/frequency prior in "
+                  "the prediction blend");
+  args.add_option("prefetch-prior-decay", "0.5",
+                  "async prefetch: per-step EMA decay of the prior (in [0, 1))");
   args.add_option("max-running", "0",
                   "hard cap on concurrently running sessions (0 = unlimited)");
   args.add_option("seed", "2025", "experiment seed");
@@ -325,6 +334,10 @@ int run_serve(int argc, const char* const* argv) {
   ckv.repair_merge_threshold = args.get_double_in("repair-threshold", -1.0, 1.0);
   ckv.repair_refine_iterations = args.get_index("repair-refine");
   ckv.repair_decode_interval = args.get_index("repair-interval");
+  ckv.prefetch_clusters = args.get_index("prefetch-clusters");
+  ckv.prefetch_prior_weight = args.get_double_in("prefetch-prior-weight", 0.0, 100.0);
+  ckv.prefetch_prior_decay =
+      args.get_double_in("prefetch-prior-decay", 0.0, 0.999999);
 
   BatchSchedulerConfig scheduler_config;
   SelectorFactory factory;
@@ -338,6 +351,7 @@ int run_serve(int argc, const char* const* argv) {
     scheduler_config.admission_overcommit = args.get_double("overcommit");
     scheduler_config.repair_refine_iterations = ckv.repair_refine_iterations;
     scheduler_config.repair_decode_interval = ckv.repair_decode_interval;
+    scheduler_config.prefetch_clusters = ckv.prefetch_clusters;
     factory = make_clusterkv_factory(ckv, seed);
   } else if (method == "quest") {
     scheduler_config.method = LatencyModel::Method::kQuest;
@@ -353,6 +367,11 @@ int run_serve(int argc, const char* const* argv) {
     throw std::invalid_argument(
         "--overcommit only applies to clusterkv (untiered methods cannot "
         "be preempted back under budget)");
+  }
+  if (method != "clusterkv" && args.get_index("prefetch-clusters") != 0) {
+    throw std::invalid_argument(
+        "--prefetch-clusters only applies to clusterkv (other methods have "
+        "no cluster cache to prefetch into)");
   }
   scheduler_config.fast_tier_budget_bytes = static_cast<std::int64_t>(
       args.get_double("budget-mult") *
@@ -371,7 +390,8 @@ int run_serve(int argc, const char* const* argv) {
   TextTable table({"method", "sessions", "rps", "tok/s", "max batch",
                    "p50 TTFT (s)", "p95 TTFT (s)", "p95 prefill (s)",
                    "p50 ITL (ms)", "p95 ITL (ms)",
-                   "wait (s)", "preempt", "repair (ms)", "hit rate", "recall@B"});
+                   "wait (s)", "preempt", "repair (ms)", "hit rate", "pf hit",
+                   "recall@B"});
   table.add_row({method, std::to_string(m.sessions()), args.get_string("rps"),
                  format_double(m.throughput_tps(), 1),
                  format_double(m.concurrency().max(), 0),
@@ -384,6 +404,9 @@ int run_serve(int argc, const char* const* argv) {
                  std::to_string(m.total_preemptions()),
                  format_double(m.repair_ms_total(), 1),
                  format_double(m.mean_cache_hit_rate(), 2),
+                 m.prefetch_issued_total() > 0
+                     ? format_double(m.prefetch_hit_rate(), 2)
+                     : "-",
                  format_double(m.mean_recall(), 3)});
   emit(table, args.get_switch("csv"));
   return 0;
