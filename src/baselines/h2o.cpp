@@ -39,6 +39,9 @@ void H2OSelector::evict_to_budget() {
 
   // Candidates for eviction: alive tokens outside the recent window,
   // lowest cumulative attention first (ties: older token evicted first).
+  // (score, pos) pairs are distinct, so a partial selection evicts exactly
+  // the set a full sort would — this runs once per appended token, making
+  // it the H2O scorer's hot loop.
   std::vector<std::pair<double, Index>> candidates;
   candidates.reserve(cumulative_score_.size());
   for (const auto& [pos, score] : cumulative_score_) {
@@ -46,15 +49,17 @@ void H2OSelector::evict_to_budget() {
       candidates.emplace_back(score, pos);
     }
   }
-  std::sort(candidates.begin(), candidates.end());
-  Index to_evict = alive - config_.budget;
-  for (const auto& [score, pos] : candidates) {
-    if (to_evict == 0) {
-      break;
-    }
+  const Index to_evict =
+      std::min<Index>(alive - config_.budget, static_cast<Index>(candidates.size()));
+  if (to_evict <= 0) {
+    return;
+  }
+  std::nth_element(candidates.begin(), candidates.begin() + (to_evict - 1),
+                   candidates.end());
+  for (Index i = 0; i < to_evict; ++i) {
+    const Index pos = candidates[static_cast<std::size_t>(i)].second;
     cumulative_score_.erase(pos);
     evicted_[static_cast<std::size_t>(pos)] = true;
-    --to_evict;
   }
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/kernels.hpp"
 #include "tensor/svd.hpp"
 #include "tensor/topk.hpp"
 #include "tensor/vec_ops.hpp"
@@ -73,10 +74,8 @@ SelectionResult InfiniGenSelector::select(std::span<const float> query, Index bu
   const float inv_sqrt_d =
       static_cast<float>(1.0 / std::sqrt(static_cast<double>(store_.head_dim())));
   std::vector<float> approx(static_cast<std::size_t>(projected_keys_.rows()));
-  for (Index t = 0; t < projected_keys_.rows(); ++t) {
-    approx[static_cast<std::size_t>(t)] =
-        static_cast<float>(dot(q_partial, projected_keys_.row(t))) * inv_sqrt_d;
-  }
+  batched_scores(projected_keys_, q_partial, DistanceMetric::kInnerProduct, approx,
+                 inv_sqrt_d);
   result.indices = top_k_indices(approx, budget);
   std::sort(result.indices.begin(), result.indices.end());
   // Per-token scoring over the whole context in the partial dimension —

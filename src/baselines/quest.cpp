@@ -4,8 +4,39 @@
 #include <cmath>
 
 #include "tensor/topk.hpp"
+#include "tensor/vec_ops.hpp"
+#include "util/parallel.hpp"
 
 namespace ckv {
+
+namespace {
+
+/// Lane form of the Quest bound: sum_c max(q_c * hi_c, q_c * lo_c). Same
+/// fixed accumulation structure as dot_f32 (see docs/PERFORMANCE.md), so
+/// the batched page pass is deterministic across thread counts.
+float page_bound_f32(std::span<const float> q, std::span<const float> hi,
+                     std::span<const float> lo) {
+  const std::size_t n = q.size();
+  float acc[kDotLanes] = {};
+  std::size_t i = 0;
+  for (; i + kDotLanes <= n; i += kDotLanes) {
+    for (std::size_t lane = 0; lane < kDotLanes; ++lane) {
+      acc[lane] += std::max(q[i + lane] * hi[i + lane], q[i + lane] * lo[i + lane]);
+    }
+  }
+  for (std::size_t stride = kDotLanes / 2; stride > 0; stride /= 2) {
+    for (std::size_t lane = 0; lane < stride; ++lane) {
+      acc[lane] += acc[lane + stride];
+    }
+  }
+  float total = acc[0];
+  for (; i < n; ++i) {
+    total += std::max(q[i] * hi[i], q[i] * lo[i]);
+  }
+  return total;
+}
+
+}  // namespace
 
 QuestSelector::QuestSelector(Index head_dim, const QuestConfig& config)
     : config_(config), store_(head_dim) {
@@ -13,21 +44,14 @@ QuestSelector::QuestSelector(Index head_dim, const QuestConfig& config)
 }
 
 void QuestSelector::finalize_full_pages() {
-  const Index dim = store_.head_dim();
   while ((page_max_.rows() + 1) * config_.page_size <= store_.size()) {
     const Index begin = page_max_.rows() * config_.page_size;
-    std::vector<float> max_row(static_cast<std::size_t>(dim),
-                               -std::numeric_limits<float>::infinity());
-    std::vector<float> min_row(static_cast<std::size_t>(dim),
-                               std::numeric_limits<float>::infinity());
-    for (Index t = begin; t < begin + config_.page_size; ++t) {
+    std::vector<float> max_row(store_.key(begin).begin(), store_.key(begin).end());
+    std::vector<float> min_row = max_row;
+    for (Index t = begin + 1; t < begin + config_.page_size; ++t) {
       const auto key = store_.key(t);
-      for (Index c = 0; c < dim; ++c) {
-        max_row[static_cast<std::size_t>(c)] =
-            std::max(max_row[static_cast<std::size_t>(c)], key[static_cast<std::size_t>(c)]);
-        min_row[static_cast<std::size_t>(c)] =
-            std::min(min_row[static_cast<std::size_t>(c)], key[static_cast<std::size_t>(c)]);
-      }
+      elementwise_max_in_place(max_row, key);
+      elementwise_min_in_place(min_row, key);
     }
     page_max_.append_row(max_row);
     page_min_.append_row(min_row);
@@ -75,10 +99,15 @@ SelectionResult QuestSelector::select(std::span<const float> query, Index budget
   const Index pages_wanted = page_budget / config_.page_size;
 
   if (pages_wanted > 0 && page_max_.rows() > 0) {
+    const float inv_sqrt_d =
+        static_cast<float>(1.0 / std::sqrt(static_cast<double>(store_.head_dim())));
     std::vector<float> scores(static_cast<std::size_t>(page_max_.rows()));
-    for (Index p = 0; p < page_max_.rows(); ++p) {
-      scores[static_cast<std::size_t>(p)] = static_cast<float>(page_score(query, p));
-    }
+    parallel_for_range(0, page_max_.rows(), /*grain=*/0, [&](Index begin, Index end) {
+      for (Index p = begin; p < end; ++p) {
+        scores[static_cast<std::size_t>(p)] =
+            page_bound_f32(query, page_max_.row(p), page_min_.row(p)) * inv_sqrt_d;
+      }
+    });
     const auto chosen = top_k_indices(scores, pages_wanted);
     for (const Index page : chosen) {
       const Index begin = page * config_.page_size;

@@ -1,5 +1,6 @@
 #include "core/centroid_store.hpp"
 
+#include "core/kernels.hpp"
 #include "tensor/vec_ops.hpp"
 
 namespace ckv {
@@ -100,10 +101,7 @@ std::vector<float> CentroidStore::scores(std::span<const float> query,
   expects(static_cast<Index>(query.size()) == head_dim_,
           "CentroidStore::scores: query width mismatch");
   std::vector<float> out(static_cast<std::size_t>(cluster_count()));
-  for (Index c = 0; c < cluster_count(); ++c) {
-    out[static_cast<std::size_t>(c)] =
-        static_cast<float>(similarity(metric, query, centroids_.row(c)));
-  }
+  batched_scores(centroids_, query, metric, out);
   return out;
 }
 

@@ -4,6 +4,8 @@
 #include <limits>
 #include <unordered_set>
 
+#include "tensor/vec_ops.hpp"
+
 namespace ckv {
 
 ClusterPrefetcher::ClusterPrefetcher(const ClusterPrefetchConfig& config)
@@ -38,12 +40,9 @@ std::vector<Index> ClusterPrefetcher::predict(
   }
   // Min-max normalize the similarity scores so the prior's [0, 1] scale
   // composes with any selection metric (inner products are unbounded).
-  float lo = std::numeric_limits<float>::max();
-  float hi = std::numeric_limits<float>::lowest();
-  for (const float s : centroid_scores) {
-    lo = std::min(lo, s);
-    hi = std::max(hi, s);
-  }
+  float lo = 0.0f;
+  float hi = 0.0f;
+  min_max(centroid_scores, lo, hi);
   const double range = static_cast<double>(hi) - static_cast<double>(lo);
 
   const std::unordered_set<Index> excluded(exclude.begin(), exclude.end());

@@ -101,12 +101,15 @@ RepairOutcome repair_clusters(CentroidStore& store, const Matrix& keys,
     const Index b_begin = a_end;
     const Index b_end = b + 2 < batch_first_cluster.size() ? batch_first_cluster[b + 2]
                                                            : clusters;
+    std::vector<float> pair_scores(static_cast<std::size_t>(b_end - b_begin));
     for (Index i = a_begin; i < a_end; ++i) {
+      // One batched pass scores centroid i against the whole next batch.
+      batched_scores(store.centroids(), b_begin, b_end, store.centroids().row(i),
+                     config.metric, pair_scores);
+      out.scoring_flops += head_dim * (b_end - b_begin);
       for (Index j = b_begin; j < b_end; ++j) {
-        const double sim =
-            similarity(config.metric, store.centroids().row(i), store.centroids().row(j));
-        out.scoring_flops += head_dim;
-        if (sim >= config.merge_threshold) {
+        if (pair_scores[static_cast<std::size_t>(j - b_begin)] >=
+            static_cast<float>(config.merge_threshold)) {
           groups.unite(i, j);
         }
       }

@@ -1,57 +1,199 @@
 #include "core/kernels.hpp"
 
+#include <algorithm>
 #include <limits>
 
 #include "tensor/vec_ops.hpp"
+#include "util/parallel.hpp"
 
 namespace ckv {
 
-std::vector<Index> assign_labels(const Matrix& keys, const Matrix& centroids,
-                                 DistanceMetric metric) {
-  expects(keys.cols() == centroids.cols(), "assign_labels: dim mismatch");
-  expects(centroids.rows() > 0, "assign_labels: need at least one centroid");
+namespace {
+
+/// Chunk size for pool dispatch: keep every chunk at roughly this many
+/// multiply-accumulates so small batches stay serial and large ones split
+/// into enough chunks to balance.
+constexpr Index kGrainFlops = 1 << 16;
+
+Index score_grain(Index work_per_item) noexcept {
+  return std::max<Index>(1, kGrainFlops / std::max<Index>(1, work_per_item));
+}
+
+/// Per-centroid argmax adjustments reducing every metric to
+/// argmax(dot * mult + bias): cosine multiplies by 1/|c| (the key norm is
+/// constant per key and drops out), L2 subtracts |c|^2 / 2 (|k|^2 drops
+/// out), inner product is the raw dot.
+void argmax_adjustments(const Matrix& centroids, DistanceMetric metric,
+                        std::vector<float>& mult, std::vector<float>& bias) {
+  const std::size_t c_count = static_cast<std::size_t>(centroids.rows());
+  mult.assign(c_count, 1.0f);
+  bias.assign(c_count, 0.0f);
+  if (metric == DistanceMetric::kInnerProduct) {
+    return;
+  }
+  for (Index c = 0; c < centroids.rows(); ++c) {
+    const double norm = norm2(centroids.row(c));
+    if (metric == DistanceMetric::kCosine) {
+      mult[static_cast<std::size_t>(c)] =
+          norm > 0.0 ? static_cast<float>(1.0 / norm) : 0.0f;
+    } else {
+      bias[static_cast<std::size_t>(c)] = static_cast<float>(-0.5 * norm * norm);
+    }
+  }
+}
+
+}  // namespace
+
+void batched_scores(const Matrix& rows, Index row_begin, Index row_end,
+                    std::span<const float> query, DistanceMetric metric,
+                    std::span<float> out, float scale) {
+  expects(static_cast<Index>(query.size()) == rows.cols(),
+          "batched_scores: query width mismatch");
+  expects(row_begin >= 0 && row_begin <= row_end && row_end <= rows.rows(),
+          "batched_scores: row range out of bounds");
+  expects(static_cast<Index>(out.size()) == row_end - row_begin,
+          "batched_scores: output size mismatch");
+  if (row_begin == row_end) {
+    return;
+  }
+  const Index dim = rows.cols();
+  const float* base = rows.flat().data();  // hoisted: no per-row bounds check
+  const auto row_at = [base, dim](Index r) {
+    return std::span<const float>(base + r * dim, static_cast<std::size_t>(dim));
+  };
+  // The query norm is shared by every cosine score; compute it once.
+  const float query_norm = metric == DistanceMetric::kCosine ? norm2_f32(query) : 0.0f;
+  parallel_for_range(row_begin, row_end, score_grain(dim), [&](Index begin, Index end) {
+    switch (metric) {
+      case DistanceMetric::kInnerProduct:
+        for (Index r = begin; r < end; ++r) {
+          out[static_cast<std::size_t>(r - row_begin)] =
+              dot_f32(query, row_at(r)) * scale;
+        }
+        break;
+      case DistanceMetric::kCosine:
+        for (Index r = begin; r < end; ++r) {
+          const auto row = row_at(r);
+          const float row_norm = norm2_f32(row);
+          out[static_cast<std::size_t>(r - row_begin)] =
+              query_norm == 0.0f || row_norm == 0.0f
+                  ? 0.0f
+                  : dot_f32(query, row) / (query_norm * row_norm) * scale;
+        }
+        break;
+      case DistanceMetric::kL2:
+        for (Index r = begin; r < end; ++r) {
+          out[static_cast<std::size_t>(r - row_begin)] =
+              -squared_l2_f32(query, row_at(r)) * scale;
+        }
+        break;
+    }
+  });
+}
+
+void batched_scores(const Matrix& rows, std::span<const float> query,
+                    DistanceMetric metric, std::span<float> out, float scale) {
+  batched_scores(rows, 0, rows.rows(), query, metric, out, scale);
+}
+
+void batched_dot_at(const Matrix& rows, std::span<const Index> positions,
+                    std::span<const float> query, std::span<float> out, float scale) {
+  expects(static_cast<Index>(query.size()) == rows.cols(),
+          "batched_dot_at: query width mismatch");
+  expects(out.size() == positions.size(), "batched_dot_at: output size mismatch");
+  const Index n = static_cast<Index>(positions.size());
+  for (const Index p : positions) {
+    expects(p >= 0 && p < rows.rows(), "batched_dot_at: position out of range");
+  }
+  const Index dim = rows.cols();
+  const float* base = rows.flat().data();
+  parallel_for_range(0, n, score_grain(dim), [&](Index begin, Index end) {
+    for (Index i = begin; i < end; ++i) {
+      const std::span<const float> row(
+          base + positions[static_cast<std::size_t>(i)] * dim,
+          static_cast<std::size_t>(dim));
+      out[static_cast<std::size_t>(i)] = dot_f32(query, row) * scale;
+    }
+  });
+}
+
+void batched_pair_scores(const Matrix& a, const Matrix& b,
+                         std::span<const Index> pairs, DistanceMetric metric,
+                         std::span<float> out) {
+  expects(a.cols() == b.cols(), "batched_pair_scores: dim mismatch");
+  expects(pairs.size() == static_cast<std::size_t>(a.rows()),
+          "batched_pair_scores: one pair per row of a");
+  expects(out.size() == pairs.size(), "batched_pair_scores: output size mismatch");
+  for (const Index p : pairs) {
+    expects(p >= 0 && p < b.rows(), "batched_pair_scores: pair index out of range");
+  }
+  parallel_for_range(0, a.rows(), score_grain(a.cols()), [&](Index begin, Index end) {
+    for (Index i = begin; i < end; ++i) {
+      const auto row_a = a.row(i);
+      const auto row_b = b.row(pairs[static_cast<std::size_t>(i)]);
+      float score = 0.0f;
+      switch (metric) {
+        case DistanceMetric::kInnerProduct:
+          score = dot_f32(row_a, row_b);
+          break;
+        case DistanceMetric::kCosine: {
+          const float na = norm2_f32(row_a);
+          const float nb = norm2_f32(row_b);
+          score = na == 0.0f || nb == 0.0f ? 0.0f : dot_f32(row_a, row_b) / (na * nb);
+          break;
+        }
+        case DistanceMetric::kL2:
+          score = -squared_l2_f32(row_a, row_b);
+          break;
+      }
+      out[static_cast<std::size_t>(i)] = score;
+    }
+  });
+}
+
+std::vector<Index> batched_argmax(const Matrix& keys, const Matrix& centroids,
+                                  DistanceMetric metric) {
+  expects(keys.cols() == centroids.cols(), "batched_argmax: dim mismatch");
+  expects(centroids.rows() > 0, "batched_argmax: need at least one centroid");
   const Index n = keys.rows();
   const Index c_count = centroids.rows();
   const Index dim = keys.cols();
 
-  // All three metrics reduce to an argmax over (dot + per-centroid
-  // adjustment) for a fixed key, so the inner loop is a pure dot product:
-  //   cosine: argmax dot / |c|            (the key norm drops out)
-  //   L2:     argmin |k-c|^2 = argmax (dot - |c|^2 / 2)
-  //   IP:     argmax dot
-  std::vector<double> inv_norm(static_cast<std::size_t>(c_count), 1.0);
-  std::vector<double> half_norm_sq(static_cast<std::size_t>(c_count), 0.0);
-  for (Index c = 0; c < c_count; ++c) {
-    const double norm = norm2(centroids.row(c));
-    inv_norm[static_cast<std::size_t>(c)] = norm > 0.0 ? 1.0 / norm : 0.0;
-    half_norm_sq[static_cast<std::size_t>(c)] = 0.5 * norm * norm;
-  }
+  std::vector<float> mult;
+  std::vector<float> bias;
+  argmax_adjustments(centroids, metric, mult, bias);
 
+  // GEMM-style tiling: the key chunk handed to each worker streams the
+  // centroid block once per key; per-(key, centroid) reductions use the
+  // fixed-lane dot_f32 walk, so a score is bit-identical however the keys
+  // are chunked across workers.
   std::vector<Index> labels(static_cast<std::size_t>(n), 0);
-  for (Index i = 0; i < n; ++i) {
-    const float* key = keys.row(i).data();
-    double best = -std::numeric_limits<double>::infinity();
-    Index best_c = 0;
-    for (Index c = 0; c < c_count; ++c) {
-      const float* cen = centroids.row(c).data();
-      double acc = 0.0;
-      for (Index k = 0; k < dim; ++k) {
-        acc += static_cast<double>(key[k]) * static_cast<double>(cen[k]);
+  const float* centroid_base = centroids.flat().data();
+  const Index grain = score_grain(c_count * dim);
+  parallel_for_range(0, n, grain, [&](Index begin, Index end) {
+    for (Index i = begin; i < end; ++i) {
+      const auto key = keys.row(i);
+      float best = -std::numeric_limits<float>::infinity();
+      Index best_c = 0;
+      for (Index c = 0; c < c_count; ++c) {
+        const std::span<const float> cen(centroid_base + c * dim,
+                                         static_cast<std::size_t>(dim));
+        const float score = dot_f32(key, cen) * mult[static_cast<std::size_t>(c)] +
+                            bias[static_cast<std::size_t>(c)];
+        if (score > best) {
+          best = score;
+          best_c = c;
+        }
       }
-      double score = acc;
-      if (metric == DistanceMetric::kCosine) {
-        score = acc * inv_norm[static_cast<std::size_t>(c)];
-      } else if (metric == DistanceMetric::kL2) {
-        score = acc - half_norm_sq[static_cast<std::size_t>(c)];
-      }
-      if (score > best) {
-        best = score;
-        best_c = c;
-      }
+      labels[static_cast<std::size_t>(i)] = best_c;
     }
-    labels[static_cast<std::size_t>(i)] = best_c;
-  }
+  });
   return labels;
+}
+
+std::vector<Index> assign_labels(const Matrix& keys, const Matrix& centroids,
+                                 DistanceMetric metric) {
+  return batched_argmax(keys, centroids, metric);
 }
 
 void centroid_update(const Matrix& keys, std::span<const Index> labels,
@@ -67,36 +209,40 @@ void centroid_update(const Matrix& keys, std::span<const Index> labels,
   centroids_out = Matrix(num_clusters, dim);
   counts_out.assign(static_cast<std::size_t>(num_clusters), 0);
 
+  for (const Index label : labels) {
+    expects(label >= 0 && label < num_clusters, "centroid_update: label out of range");
+    ++counts_out[static_cast<std::size_t>(label)];
+  }
+
   // Mirrors the CUDA kernel's shape: the channel dimension is split into
   // `channel_partitions` chunks; within a chunk, tokens are visited with a
   // stride equal to the number of concurrent "lanes" so that adjacent
-  // lanes touch distant (likely differently-labeled) tokens. On a CPU the
-  // lanes are sequential, but the traversal order and partitioning are the
-  // same so the kernel microbenchmarks expose the same P trade-off.
+  // lanes touch distant (likely differently-labeled) tokens. Partitions
+  // accumulate into disjoint channel ranges, so they are the parallel
+  // dimension here too — and because the token walk within a channel is
+  // fixed, the accumulated sums are bit-identical for every worker count.
   const Index chunk = (dim + channel_partitions - 1) / channel_partitions;
   const Index lanes = channel_partitions;  // one lane per channel chunk
-  for (Index part = 0; part < channel_partitions; ++part) {
-    const Index c_begin = part * chunk;
-    const Index c_end = std::min(dim, c_begin + chunk);
-    if (c_begin >= c_end) {
-      continue;
-    }
-    for (Index start = 0; start < lanes; ++start) {
-      for (Index t = start; t < keys.rows(); t += lanes) {
-        const Index label = labels[static_cast<std::size_t>(t)];
-        expects(label >= 0 && label < num_clusters,
-                "centroid_update: label out of range");
-        const auto key = keys.row(t);
-        auto acc = centroids_out.row(label);
-        for (Index c = c_begin; c < c_end; ++c) {
-          acc[static_cast<std::size_t>(c)] += key[static_cast<std::size_t>(c)];
-        }
-        if (part == 0 && c_begin == 0) {
-          ++counts_out[static_cast<std::size_t>(label)];
+  parallel_for_range(0, channel_partitions, /*grain=*/1, [&](Index part_begin,
+                                                             Index part_end) {
+    for (Index part = part_begin; part < part_end; ++part) {
+      const Index c_begin = part * chunk;
+      const Index c_end = std::min(dim, c_begin + chunk);
+      if (c_begin >= c_end) {
+        continue;
+      }
+      for (Index start = 0; start < lanes; ++start) {
+        for (Index t = start; t < keys.rows(); t += lanes) {
+          const Index label = labels[static_cast<std::size_t>(t)];
+          const auto key = keys.row(t);
+          auto acc = centroids_out.row(label);
+          for (Index c = c_begin; c < c_end; ++c) {
+            acc[static_cast<std::size_t>(c)] += key[static_cast<std::size_t>(c)];
+          }
         }
       }
     }
-  }
+  });
 
   for (Index k = 0; k < num_clusters; ++k) {
     const Index n = counts_out[static_cast<std::size_t>(k)];

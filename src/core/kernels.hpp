@@ -3,6 +3,18 @@
 // benchmarkable: per-head parallel blocks, strided traversal of the token
 // sequence (distant tokens land in different clusters, reducing conflicts
 // on the accumulation slots), and channel-dimension partitioning P.
+//
+// The batched_scores / batched_argmax family below is the fused, SIMD
+// form of every scoring loop in the codebase (clustering assignment,
+// cluster selection, repair pair scoring, attention scores). All three
+// distance metrics reduce to a dot product plus a per-row adjustment:
+//   cosine: dot * (1 / (|q| |c|))
+//   L2:     -|q - c|^2            (argmax form: dot - |c|^2 / 2)
+//   IP:     dot
+// Reductions use the fixed-lane accumulation of tensor/vec_ops (dot_f32),
+// so a given (query, row) score is bit-identical regardless of batching,
+// blocking, or thread count; large batches are chunked across the
+// persistent worker pool (util/parallel). See docs/PERFORMANCE.md.
 #pragma once
 
 #include <span>
@@ -14,9 +26,42 @@
 
 namespace ckv {
 
+/// Scores one query against the row block [row_begin, row_end) of `rows`:
+/// out[i] = similarity(metric, query, rows.row(row_begin + i)) * scale.
+/// out.size() must equal row_end - row_begin. Matches the scalar
+/// similarity() reference within float accumulation error (~1e-6 relative
+/// for unit-scale vectors).
+void batched_scores(const Matrix& rows, Index row_begin, Index row_end,
+                    std::span<const float> query, DistanceMetric metric,
+                    std::span<float> out, float scale = 1.0f);
+
+/// Convenience overload over every row of `rows`.
+void batched_scores(const Matrix& rows, std::span<const float> query,
+                    DistanceMetric metric, std::span<float> out, float scale = 1.0f);
+
+/// Gathered dot scores: out[i] = dot(query, rows.row(positions[i])) * scale.
+/// The attention-score kernel over a selected token subset.
+void batched_dot_at(const Matrix& rows, std::span<const Index> positions,
+                    std::span<const float> query, std::span<float> out,
+                    float scale = 1.0f);
+
+/// One-to-one scores: out[i] = similarity(metric, a.row(i), b.row(pairs[i])).
+/// The k-means fit kernel (each key against its assigned centroid).
+void batched_pair_scores(const Matrix& a, const Matrix& b,
+                         std::span<const Index> pairs, DistanceMetric metric,
+                         std::span<float> out);
+
+/// Assignment kernel: labels[i] = argmax_c similarity(metric, keys.row(i),
+/// centroids.row(c)), ties broken toward the lower cluster id. GEMM-style:
+/// key blocks stream the centroid matrix once per block, with the
+/// per-centroid metric adjustment precomputed. Per-key results are
+/// independent of blocking and thread count.
+std::vector<Index> batched_argmax(const Matrix& keys, const Matrix& centroids,
+                                  DistanceMetric metric);
+
 /// Assignment step: label[i] = argmax_c similarity(metric, keys[i],
-/// centroids[c]). For the cosine metric, pass pre-normalized centroids and
-/// set keys_normalized when keys are unit length to use the fast dot path.
+/// centroids[c]). Retained name for the Lloyd iteration; delegates to
+/// batched_argmax.
 std::vector<Index> assign_labels(const Matrix& keys, const Matrix& centroids,
                                  DistanceMetric metric);
 
@@ -25,6 +70,9 @@ std::vector<Index> assign_labels(const Matrix& keys, const Matrix& centroids,
 /// stride pattern and splitting channels into `channel_partitions` chunks.
 /// centroids_out rows are the *means* of assigned keys on return; clusters
 /// with no members keep their previous row (copied from `previous`).
+/// Channel partitions are independent accumulation slots, so they run on
+/// the worker pool; the token-order walk within each channel is fixed,
+/// keeping the means bit-identical for every P-compatible thread count.
 void centroid_update(const Matrix& keys, std::span<const Index> labels,
                      const Matrix& previous, Index channel_partitions,
                      Matrix& centroids_out, std::vector<Index>& counts_out);

@@ -30,10 +30,7 @@ void reseed_empty_clusters(const Matrix& keys, const KMeansConfig& config,
   }
   // Rank keys by how poorly they match their assigned centroid.
   std::vector<float> fit(static_cast<std::size_t>(keys.rows()));
-  for (Index i = 0; i < keys.rows(); ++i) {
-    fit[static_cast<std::size_t>(i)] = static_cast<float>(similarity(
-        config.metric, keys.row(i), centroids.row(labels[static_cast<std::size_t>(i)])));
-  }
+  batched_pair_scores(keys, centroids, labels, config.metric, fit);
   std::vector<Index> order(static_cast<std::size_t>(keys.rows()));
   for (Index i = 0; i < keys.rows(); ++i) {
     order[static_cast<std::size_t>(i)] = i;
@@ -68,16 +65,20 @@ Matrix plus_plus_seeds(const Matrix& keys, Index c, DistanceMetric metric, Rng& 
   const Index first = rng.uniform_int(0, keys.rows() - 1);
   copy_to(keys.row(first), centroids.row(0));
 
-  // nearest[i] = similarity of key i to its closest chosen centroid.
+  // nearest[i] = similarity of key i to its closest chosen centroid. Every
+  // metric is symmetric, so one batched pass scores the newest centroid
+  // against all keys at once.
   std::vector<double> nearest(static_cast<std::size_t>(keys.rows()),
                               -std::numeric_limits<double>::infinity());
+  std::vector<float> to_newest(static_cast<std::size_t>(keys.rows()));
   for (Index chosen = 1; chosen < c; ++chosen) {
+    batched_scores(keys, centroids.row(chosen - 1), metric, to_newest);
     std::vector<double> weights(static_cast<std::size_t>(keys.rows()));
     double total = 0.0;
     for (Index i = 0; i < keys.rows(); ++i) {
       nearest[static_cast<std::size_t>(i)] =
           std::max(nearest[static_cast<std::size_t>(i)],
-                   similarity(metric, keys.row(i), centroids.row(chosen - 1)));
+                   static_cast<double>(to_newest[static_cast<std::size_t>(i)]));
       // Convert similarity to a non-negative "distance" weight. For cosine
       // this is the paper's D = 1 - cos; for L2 the squared distance; for
       // inner product a shifted gap to the best match.

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "core/kernels.hpp"
 #include "tensor/vec_ops.hpp"
 
 namespace ckv {
@@ -50,10 +51,7 @@ std::vector<float> KVStore::attention_scores(std::span<const float> query) const
           "KVStore::attention_scores: query width");
   const float inv_sqrt_d = static_cast<float>(1.0 / std::sqrt(static_cast<double>(head_dim_)));
   std::vector<float> scores(static_cast<std::size_t>(size()));
-  for (Index i = 0; i < size(); ++i) {
-    scores[static_cast<std::size_t>(i)] =
-        static_cast<float>(dot(query, keys_.row(i))) * inv_sqrt_d;
-  }
+  batched_scores(keys_, query, DistanceMetric::kInnerProduct, scores, inv_sqrt_d);
   return scores;
 }
 
@@ -63,11 +61,7 @@ std::vector<float> KVStore::attention_scores_at(
           "KVStore::attention_scores_at: query width");
   const float inv_sqrt_d = static_cast<float>(1.0 / std::sqrt(static_cast<double>(head_dim_)));
   std::vector<float> scores(positions.size());
-  for (std::size_t i = 0; i < positions.size(); ++i) {
-    const Index p = positions[i];
-    expects(p >= 0 && p < size(), "KVStore::attention_scores_at: position out of range");
-    scores[i] = static_cast<float>(dot(query, keys_.row(p))) * inv_sqrt_d;
-  }
+  batched_dot_at(keys_, positions, query, scores, inv_sqrt_d);
   return scores;
 }
 

@@ -5,6 +5,7 @@
 // fetch arrows), which feeds the latency model.
 #pragma once
 
+#include <atomic>
 #include <span>
 #include <unordered_set>
 #include <vector>
@@ -38,21 +39,45 @@ struct TransferStats {
 /// separately: an async slow->fast copy holds its destination bytes from
 /// issue to completion/cancel, so the global budget invariant must cover
 /// `total_bytes()`, not just what already landed.
+///
+/// Counters are atomic because one ledger may be shared by selectors whose
+/// heads run concurrently on the worker pool (TinyTransformer's per-head
+/// region); relaxed ordering suffices — additions are commutative, and
+/// readers (the scheduler tick) only run between parallel regions.
 class FastTierLedger {
  public:
-  void add(std::int64_t bytes) noexcept { bytes_ += bytes; }
-  void add_reserved(std::int64_t bytes) noexcept { reserved_ += bytes; }
-  [[nodiscard]] std::int64_t bytes() const noexcept { return bytes_; }
+  FastTierLedger() = default;
+  // Atomics are not copyable; a ledger is, by value-snapshot (movers like
+  // BatchScheduler construction copy before any store is attached).
+  FastTierLedger(const FastTierLedger& other) noexcept
+      : bytes_(other.bytes()), reserved_(other.reserved_bytes()) {}
+  FastTierLedger& operator=(const FastTierLedger& other) noexcept {
+    bytes_.store(other.bytes(), std::memory_order_relaxed);
+    reserved_.store(other.reserved_bytes(), std::memory_order_relaxed);
+    return *this;
+  }
+
+  void add(std::int64_t bytes) noexcept {
+    bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void add_reserved(std::int64_t bytes) noexcept {
+    reserved_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t bytes() const noexcept {
+    return bytes_.load(std::memory_order_relaxed);
+  }
   /// Bytes reserved by in-flight slow->fast fetches (not yet resident).
-  [[nodiscard]] std::int64_t reserved_bytes() const noexcept { return reserved_; }
+  [[nodiscard]] std::int64_t reserved_bytes() const noexcept {
+    return reserved_.load(std::memory_order_relaxed);
+  }
   /// Resident + reserved: what budget enforcement must bound.
   [[nodiscard]] std::int64_t total_bytes() const noexcept {
-    return bytes_ + reserved_;
+    return bytes() + reserved_bytes();
   }
 
  private:
-  std::int64_t bytes_ = 0;
-  std::int64_t reserved_ = 0;
+  std::atomic<std::int64_t> bytes_{0};
+  std::atomic<std::int64_t> reserved_{0};
 };
 
 /// Placement tracker. Token KV entries live on the slow tier by default;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "core/kernels.hpp"
 #include "tensor/vec_ops.hpp"
 
 namespace ckv {
@@ -230,10 +231,8 @@ std::vector<float> HeadStream::attention_scores(std::span<const float> query,
   const float inv_sqrt_d =
       static_cast<float>(1.0 / std::sqrt(static_cast<double>(params_.head_dim)));
   std::vector<float> scores(static_cast<std::size_t>(limit));
-  for (Index i = 0; i < limit; ++i) {
-    scores[static_cast<std::size_t>(i)] =
-        static_cast<float>(dot(query, keys_.row(i))) * inv_sqrt_d;
-  }
+  batched_scores(keys_, 0, limit, query, DistanceMetric::kInnerProduct, scores,
+                 inv_sqrt_d);
   return scores;
 }
 

@@ -2,9 +2,11 @@
 
 #include <cmath>
 
+#include "core/kernels.hpp"
 #include "tensor/rmsnorm.hpp"
 #include "tensor/softmax.hpp"
 #include "tensor/vec_ops.hpp"
+#include "util/parallel.hpp"
 
 namespace ckv {
 
@@ -75,8 +77,11 @@ void TinyTransformer::layer_forward(Index layer, std::vector<float>& hidden, Ind
   auto k = vecmat(normed, w.wk);
   auto v = vecmat(normed, w.wv);
 
+  // Heads are the paper's per-head ThreadBlock dimension: each head owns
+  // its KV history, selector state, and a disjoint slice of q/k/v and the
+  // output, so they run on the worker pool with bit-identical results.
   std::vector<float> attn_concat(hidden.size(), 0.0f);
-  for (Index h = 0; h < heads; ++h) {
+  parallel_for(0, heads, [&](Index h) {
     auto q_head = std::span<float>(q).subspan(static_cast<std::size_t>(h * hd),
                                               static_cast<std::size_t>(hd));
     auto k_head = std::span<float>(k).subspan(static_cast<std::size_t>(h * hd),
@@ -104,15 +109,12 @@ void TinyTransformer::layer_forward(Index layer, std::vector<float>& hidden, Ind
 
     const float inv_sqrt_d = static_cast<float>(1.0 / std::sqrt(static_cast<double>(hd)));
     std::vector<float> scores(attend.size());
-    for (std::size_t i = 0; i < attend.size(); ++i) {
-      scores[i] =
-          static_cast<float>(dot(q_head, key_hist.row(attend[i]))) * inv_sqrt_d;
-    }
+    batched_dot_at(key_hist, attend, q_head, scores, inv_sqrt_d);
     auto out_head = std::span<float>(attn_concat)
                         .subspan(static_cast<std::size_t>(h * hd),
                                  static_cast<std::size_t>(hd));
     attention_output(scores, attend, val_hist, out_head);
-  }
+  });
 
   const auto projected = vecmat(attn_concat, w.wo);
   add_in_place(hidden, projected);

@@ -1,5 +1,6 @@
 #include "tensor/vec_ops.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace ckv {
@@ -11,6 +12,41 @@ double dot(std::span<const float> a, std::span<const float> b) {
     acc += static_cast<double>(a[i]) * static_cast<double>(b[i]);
   }
   return acc;
+}
+
+float norm2_f32(std::span<const float> a) {
+  return std::sqrt(detail::lane_reduce(a.data(), a.data(), a.size(),
+                                       [](float x, float y) { return x * y; }));
+}
+
+void min_max(std::span<const float> x, float& lo, float& hi) noexcept {
+  if (x.empty()) {
+    lo = 0.0f;
+    hi = 0.0f;
+    return;
+  }
+  float min_v = x[0];
+  float max_v = x[0];
+  for (const float v : x) {
+    min_v = std::min(min_v, v);
+    max_v = std::max(max_v, v);
+  }
+  lo = min_v;
+  hi = max_v;
+}
+
+void elementwise_min_in_place(std::span<float> dst, std::span<const float> src) {
+  expects(dst.size() == src.size(), "elementwise_min_in_place: size mismatch");
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    dst[i] = std::min(dst[i], src[i]);
+  }
+}
+
+void elementwise_max_in_place(std::span<float> dst, std::span<const float> src) {
+  expects(dst.size() == src.size(), "elementwise_max_in_place: size mismatch");
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    dst[i] = std::max(dst[i], src[i]);
+  }
 }
 
 double norm2(std::span<const float> a) {

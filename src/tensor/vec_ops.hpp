@@ -1,6 +1,17 @@
 // Span-based vector primitives. These are the inner loops of clustering,
 // selection and attention; they take spans (I.13: don't pass arrays as
-// pointers) and accumulate in double for numeric robustness.
+// pointers). Two accumulation families coexist:
+//
+//  - double-accumulating scalar reductions (dot, norm2, ...): the numeric
+//    reference. A single running double forces a serial dependency chain,
+//    so compilers cannot vectorize them under strict FP semantics.
+//  - float lane reductions (dot_f32, squared_l2_f32, norm2_f32): kDotLanes
+//    independent float accumulators walked in lockstep, reduced by a fixed
+//    pairwise tree, then a serial tail. The lane structure is independent
+//    of everything but the vector length, so results are bit-identical
+//    across call sites and thread counts; compilers auto-vectorize the
+//    lane loop to SIMD. These power the batched kernels in core/kernels.
+//    Accumulation-order contract: docs/PERFORMANCE.md.
 #pragma once
 
 #include <span>
@@ -10,8 +21,67 @@
 
 namespace ckv {
 
+/// Independent accumulator lanes used by every *_f32 reduction (one SIMD
+/// register of floats on AVX2; two on SSE — still vectorizable).
+inline constexpr std::size_t kDotLanes = 8;
+
 /// Inner product <a, b>.
 double dot(std::span<const float> a, std::span<const float> b);
+
+namespace detail {
+
+/// Fixed lane-walk + pairwise-tree reduction shared by the *_f32 kernels.
+/// `term(x, y)` must be a pure elementwise product (x*y or (x-y)^2); the
+/// accumulation order depends only on the vector length. Defined inline
+/// so the batched kernels fuse it into their row loops.
+template <typename Term>
+inline float lane_reduce(const float* a, const float* b, std::size_t n, Term term) {
+  float acc[kDotLanes] = {};
+  std::size_t i = 0;
+  for (; i + kDotLanes <= n; i += kDotLanes) {
+    for (std::size_t lane = 0; lane < kDotLanes; ++lane) {
+      acc[lane] += term(a[i + lane], b[i + lane]);
+    }
+  }
+  for (std::size_t stride = kDotLanes / 2; stride > 0; stride /= 2) {
+    for (std::size_t lane = 0; lane < stride; ++lane) {
+      acc[lane] += acc[lane + stride];
+    }
+  }
+  float total = acc[0];
+  for (; i < n; ++i) {
+    total += term(a[i], b[i]);
+  }
+  return total;
+}
+
+}  // namespace detail
+
+/// Inner product <a, b> with kDotLanes float accumulators (SIMD path).
+inline float dot_f32(std::span<const float> a, std::span<const float> b) {
+  expects(a.size() == b.size(), "dot_f32: size mismatch");
+  return detail::lane_reduce(a.data(), b.data(), a.size(),
+                             [](float x, float y) { return x * y; });
+}
+
+/// |a - b|^2 with kDotLanes float accumulators (SIMD path).
+inline float squared_l2_f32(std::span<const float> a, std::span<const float> b) {
+  expects(a.size() == b.size(), "squared_l2_f32: size mismatch");
+  return detail::lane_reduce(a.data(), b.data(), a.size(), [](float x, float y) {
+    const float d = x - y;
+    return d * d;
+  });
+}
+
+/// |a| with kDotLanes float accumulators (SIMD path).
+float norm2_f32(std::span<const float> a);
+
+/// Min and max of x in one pass; returns {0, 0} for an empty span.
+void min_max(std::span<const float> x, float& lo, float& hi) noexcept;
+
+/// Element-wise dst = min(dst, src) / dst = max(dst, src).
+void elementwise_min_in_place(std::span<float> dst, std::span<const float> src);
+void elementwise_max_in_place(std::span<float> dst, std::span<const float> src);
 
 /// Euclidean norm |a|.
 double norm2(std::span<const float> a);

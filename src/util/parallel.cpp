@@ -2,46 +2,236 @@
 
 #include <algorithm>
 #include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
 #include <thread>
 #include <vector>
 
 namespace ckv {
 
-int parallel_worker_count() noexcept {
+namespace {
+
+/// True while the current thread is executing chunks of a parallel region
+/// (worker or participating caller). Nested parallel calls from such a
+/// thread run serially instead of re-entering the pool.
+thread_local bool t_in_parallel_region = false;
+
+int hardware_workers() noexcept {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
-void parallel_for(Index begin, Index end, const std::function<void(Index)>& body) {
-  expects(begin <= end, "parallel_for: begin must not exceed end");
+/// CKV_THREADS env override, parsed once. Returns 0 when absent/invalid.
+int env_workers() noexcept {
+  static const int parsed = [] {
+    const char* raw = std::getenv("CKV_THREADS");
+    if (raw == nullptr) {
+      return 0;
+    }
+    const long v = std::strtol(raw, nullptr, 10);
+    return v >= 1 && v <= 4096 ? static_cast<int>(v) : 0;
+  }();
+  return parsed;
+}
+
+std::atomic<int> g_worker_override{0};
+
+/// Lazily-initialized persistent pool. One parallel region runs at a time
+/// (run() holds run_mutex_); workers and the caller pull whole chunks off
+/// a single atomic cursor, so contention is one fetch_add per chunk, not
+/// per index. Threads are created on demand, reused across regions, and
+/// joined at process exit. A worker registers itself (active_workers_,
+/// under the state mutex) before touching any job field, and run() does
+/// not return until every registered worker has deregistered — so job
+/// state is never read concurrently with the next region's writes.
+class ThreadPool {
+ public:
+  static ThreadPool& instance() {
+    static ThreadPool pool;
+    return pool;
+  }
+
+  void run(Index begin, Index end, Index grain,
+           const std::function<void(Index, Index)>& body, int workers) {
+    std::scoped_lock run_lock(run_mutex_);
+    {
+      std::scoped_lock lock(state_mutex_);
+      while (static_cast<int>(threads_.size()) < workers - 1) {
+        const std::uint64_t seen = generation_;
+        threads_.emplace_back([this, seen] { worker_loop(seen); });
+      }
+      job_begin_ = begin;
+      job_grain_ = grain;
+      job_end_ = end;
+      job_body_ = &body;
+      job_error_ = nullptr;
+      job_worker_limit_ = workers - 1;  // caller is the remaining worker
+      chunk_count_ = (end - begin + grain - 1) / grain;
+      next_chunk_.store(0, std::memory_order_relaxed);
+      ++generation_;
+    }
+    work_cv_.notify_all();
+    execute_chunks();  // the caller participates
+    std::unique_lock lock(state_mutex_);
+    done_cv_.wait(lock, [this] { return active_workers_ == 0; });
+    job_body_ = nullptr;
+    if (job_error_ != nullptr) {
+      std::exception_ptr error = job_error_;
+      job_error_ = nullptr;
+      lock.unlock();
+      std::rethrow_exception(error);
+    }
+  }
+
+ private:
+  ThreadPool() = default;
+
+  ~ThreadPool() {
+    {
+      std::scoped_lock lock(state_mutex_);
+      stopping_ = true;
+      ++generation_;
+    }
+    work_cv_.notify_all();
+    for (auto& t : threads_) {
+      t.join();
+    }
+  }
+
+  void worker_loop(std::uint64_t last_seen) {
+    t_in_parallel_region = true;  // workers never recurse into the pool
+    while (true) {
+      {
+        std::unique_lock lock(state_mutex_);
+        work_cv_.wait(lock,
+                      [this, last_seen] { return generation_ != last_seen || stopping_; });
+        if (stopping_) {
+          return;
+        }
+        last_seen = generation_;
+        // Skip a finished region, and respect the region's worker cap: a
+        // pool that grew for an earlier wide region must not oversubscribe
+        // a narrow one (the cap is participation, not just creation).
+        if (job_body_ == nullptr || active_workers_ >= job_worker_limit_) {
+          continue;
+        }
+        ++active_workers_;
+      }
+      execute_chunks();
+      {
+        std::scoped_lock lock(state_mutex_);
+        if (--active_workers_ == 0) {
+          done_cv_.notify_all();
+        }
+      }
+    }
+  }
+
+  /// Claims and runs chunks until the cursor is exhausted. Any exception
+  /// cancels the remaining chunks (first error wins) and is rethrown by
+  /// run() on the calling thread.
+  void execute_chunks() {
+    const bool was_in_region = t_in_parallel_region;
+    t_in_parallel_region = true;
+    while (true) {
+      const Index chunk = next_chunk_.fetch_add(1, std::memory_order_relaxed);
+      if (chunk >= chunk_count_) {
+        break;
+      }
+      const Index chunk_begin = job_begin_ + chunk * job_grain_;
+      const Index chunk_end = std::min(job_end_, chunk_begin + job_grain_);
+      try {
+        (*job_body_)(chunk_begin, chunk_end);
+      } catch (...) {
+        std::scoped_lock lock(state_mutex_);
+        if (job_error_ == nullptr) {
+          job_error_ = std::current_exception();
+        }
+        next_chunk_.store(chunk_count_, std::memory_order_relaxed);
+      }
+    }
+    t_in_parallel_region = was_in_region;
+  }
+
+  std::mutex run_mutex_;  ///< one parallel region at a time
+
+  std::mutex state_mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> threads_;
+  std::uint64_t generation_ = 0;
+  int active_workers_ = 0;
+  bool stopping_ = false;
+
+  // Current job. Written under state_mutex_ before the generation bump;
+  // workers observe the bump under the same mutex before reading, and
+  // run() outlives every reader, so the unguarded reads in
+  // execute_chunks() are race-free.
+  Index job_begin_ = 0;
+  Index job_end_ = 0;
+  Index job_grain_ = 1;
+  Index chunk_count_ = 0;
+  int job_worker_limit_ = 0;  ///< max pool threads that may join the region
+  const std::function<void(Index, Index)>* job_body_ = nullptr;
+  std::exception_ptr job_error_ = nullptr;
+  std::atomic<Index> next_chunk_{0};
+};
+
+/// Automatic grain for unspecified-grain ranges: enough chunks for load
+/// balance without per-chunk overhead mattering. Depends only on the range
+/// size so chunk boundaries are stable across worker counts.
+Index auto_grain(Index count) noexcept {
+  return std::max<Index>(1, (count + 63) / 64);
+}
+
+}  // namespace
+
+int parallel_worker_count() noexcept {
+  const int forced = g_worker_override.load(std::memory_order_relaxed);
+  if (forced >= 1) {
+    return forced;
+  }
+  const int from_env = env_workers();
+  return from_env >= 1 ? from_env : hardware_workers();
+}
+
+void set_parallel_workers(int workers) noexcept {
+  g_worker_override.store(workers >= 1 ? workers : 0, std::memory_order_relaxed);
+}
+
+void parallel_for_range(Index begin, Index end, Index grain,
+                        const std::function<void(Index, Index)>& body) {
+  expects(begin <= end, "parallel_for_range: begin must not exceed end");
   const Index count = end - begin;
   if (count == 0) {
     return;
   }
-  const int workers = std::min<Index>(parallel_worker_count(), count);
-  if (workers <= 1) {
-    for (Index i = begin; i < end; ++i) {
-      body(i);
+  if (grain < 1) {
+    grain = auto_grain(count);
+  }
+  const int workers = static_cast<int>(
+      std::min<Index>(parallel_worker_count(), (count + grain - 1) / grain));
+  if (workers <= 1 || t_in_parallel_region) {
+    // Serial path: same chunk boundaries as the pool would use, executed
+    // in order on the caller.
+    for (Index chunk_begin = begin; chunk_begin < end; chunk_begin += grain) {
+      body(chunk_begin, std::min(end, chunk_begin + grain));
     }
     return;
   }
-  std::atomic<Index> next{begin};
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<std::size_t>(workers));
-  for (int w = 0; w < workers; ++w) {
-    pool.emplace_back([&next, end, &body] {
-      while (true) {
-        const Index i = next.fetch_add(1);
-        if (i >= end) {
-          return;
-        }
-        body(i);
-      }
-    });
-  }
-  for (auto& t : pool) {
-    t.join();
-  }
+  ThreadPool::instance().run(begin, end, grain, body, workers);
+}
+
+void parallel_for(Index begin, Index end, const std::function<void(Index)>& body) {
+  expects(begin <= end, "parallel_for: begin must not exceed end");
+  parallel_for_range(begin, end, /*grain=*/0,
+                     [&body](Index chunk_begin, Index chunk_end) {
+                       for (Index i = chunk_begin; i < chunk_end; ++i) {
+                         body(i);
+                       }
+                     });
 }
 
 }  // namespace ckv

@@ -1,6 +1,16 @@
-// Minimal fork-join helper mirroring the paper's per-head ThreadBlock
-// parallelism (Fig. 7): independent heads are processed by independent
-// workers. Falls back to serial execution on single-core machines.
+// Persistent fork-join worker pool mirroring the paper's per-head
+// ThreadBlock parallelism (Fig. 7): independent outputs are processed by
+// independent workers. Work is handed out as chunked index ranges (grain
+// size), never per-index, so the pool's only shared write is one atomic
+// chunk cursor per parallel region. Threads are created lazily on the
+// first parallel call and reused for the life of the process.
+//
+// Determinism contract: parallel_for / parallel_for_range must only be
+// used with bodies whose iterations write disjoint outputs and do not
+// depend on execution order. Under that contract results are bit-identical
+// for every worker count (including 1): chunking changes *which thread*
+// computes an output, never the arithmetic inside it. See
+// docs/PERFORMANCE.md.
 #pragma once
 
 #include <functional>
@@ -9,12 +19,29 @@
 
 namespace ckv {
 
-/// Number of workers parallel_for will use (>= 1).
+/// Number of workers parallel loops may use (>= 1). Resolution order:
+/// set_parallel_workers() override, then the CKV_THREADS environment
+/// variable, then std::thread::hardware_concurrency().
 int parallel_worker_count() noexcept;
 
+/// Programmatic worker-count override (tests, benches). `workers <= 0`
+/// restores the automatic resolution (CKV_THREADS / hardware). Counts
+/// above the hardware concurrency are honored — the determinism tests use
+/// this to exercise real multi-threading on small CI machines.
+void set_parallel_workers(int workers) noexcept;
+
 /// Runs body(i) for i in [begin, end). Iterations must be independent.
-/// With one hardware thread (or end - begin == 1) this runs inline, so
-/// results are identical regardless of worker count.
+/// With one worker (or a single chunk) this runs inline on the caller, so
+/// results are identical regardless of worker count. Nested calls from
+/// inside a parallel body always run serially (no pool re-entry).
 void parallel_for(Index begin, Index end, const std::function<void(Index)>& body);
+
+/// Chunked variant: runs body(chunk_begin, chunk_end) over [begin, end)
+/// split into chunks of at most `grain` indices (grain < 1 is treated as
+/// an automatic grain). Bodies typically loop serially over their chunk,
+/// which keeps per-task overhead off the hot path. Chunk boundaries depend
+/// only on (begin, end, grain), never on the worker count.
+void parallel_for_range(Index begin, Index end, Index grain,
+                        const std::function<void(Index, Index)>& body);
 
 }  // namespace ckv

@@ -1,11 +1,15 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <mutex>
 #include <set>
+#include <thread>
 
 #include "util/common.hpp"
 #include "util/parallel.hpp"
 #include "util/table.hpp"
+#include "worker_guard.hpp"
 
 namespace ckv {
 namespace {
@@ -48,12 +52,103 @@ TEST(ParallelFor, VisitsEveryIndexOnce) {
   }
 }
 
+TEST(ParallelFor, VisitsEveryIndexOncePerWorkerCount) {
+  WorkerGuard guard;
+  for (const int workers : {1, 2, 8}) {
+    set_parallel_workers(workers);
+    EXPECT_EQ(parallel_worker_count(), workers);
+    std::vector<std::atomic<int>> hits(101);  // ragged chunking
+    parallel_for(0, 101, [&hits](Index i) { ++hits[static_cast<std::size_t>(i)]; });
+    for (const auto& h : hits) {
+      EXPECT_EQ(h.load(), 1);
+    }
+  }
+}
+
 TEST(ParallelFor, EmptyRangeIsNoop) {
   parallel_for(5, 5, [](Index) { FAIL() << "must not be called"; });
 }
 
 TEST(ParallelFor, RejectsInvertedRange) {
   EXPECT_THROW(parallel_for(3, 1, [](Index) {}), std::invalid_argument);
+}
+
+TEST(ParallelFor, PropagatesBodyException) {
+  WorkerGuard guard;
+  set_parallel_workers(4);
+  EXPECT_THROW(parallel_for(0, 256,
+                            [](Index i) {
+                              if (i == 131) {
+                                throw std::runtime_error("boom");
+                              }
+                            }),
+               std::runtime_error);
+  // The pool must stay usable after a failed region.
+  std::atomic<int> count{0};
+  parallel_for(0, 32, [&count](Index) { ++count; });
+  EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ParallelForRange, ChunksPartitionTheRange) {
+  WorkerGuard guard;
+  for (const int workers : {1, 4}) {
+    set_parallel_workers(workers);
+    std::vector<std::atomic<int>> hits(10);
+    std::atomic<int> chunks{0};
+    parallel_for_range(0, 10, 3, [&](Index begin, Index end) {
+      EXPECT_LT(begin, end);
+      EXPECT_LE(end - begin, 3);
+      ++chunks;
+      for (Index i = begin; i < end; ++i) {
+        ++hits[static_cast<std::size_t>(i)];
+      }
+    });
+    EXPECT_EQ(chunks.load(), 4);  // ceil(10 / 3): boundaries ignore workers
+    for (const auto& h : hits) {
+      EXPECT_EQ(h.load(), 1);
+    }
+  }
+}
+
+TEST(ParallelForRange, NestedCallsRunSerially) {
+  WorkerGuard guard;
+  set_parallel_workers(4);
+  std::vector<std::atomic<int>> hits(16 * 16);
+  parallel_for(0, 16, [&hits](Index outer) {
+    parallel_for(0, 16, [&hits, outer](Index inner) {
+      ++hits[static_cast<std::size_t>(outer * 16 + inner)];
+    });
+  });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelWorkers, LoweredCapHonoredAfterPoolGrowth) {
+  WorkerGuard guard;
+  set_parallel_workers(8);
+  parallel_for(0, 64, [](Index) {});  // grow the pool to 7 threads
+  set_parallel_workers(2);
+  std::mutex mutex;
+  std::set<std::thread::id> participants;
+  parallel_for_range(0, 64, 1, [&](Index, Index) {
+    {
+      std::scoped_lock lock(mutex);
+      participants.insert(std::this_thread::get_id());
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  });
+  // Caller + at most one pool thread: the cap bounds participation, not
+  // just thread creation.
+  EXPECT_LE(participants.size(), 2u);
+}
+
+TEST(ParallelWorkers, OverrideAndRestore) {
+  WorkerGuard guard;
+  set_parallel_workers(3);
+  EXPECT_EQ(parallel_worker_count(), 3);
+  set_parallel_workers(0);  // back to CKV_THREADS / hardware
+  EXPECT_GE(parallel_worker_count(), 1);
 }
 
 TEST(TextTable, AlignsAndCounts) {

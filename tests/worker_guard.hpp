@@ -1,0 +1,16 @@
+// Shared test helper: restores automatic worker resolution when a test
+// body that overrides set_parallel_workers() returns.
+#pragma once
+
+#include "util/parallel.hpp"
+
+namespace ckv {
+
+struct WorkerGuard {
+  WorkerGuard() = default;
+  WorkerGuard(const WorkerGuard&) = delete;
+  WorkerGuard& operator=(const WorkerGuard&) = delete;
+  ~WorkerGuard() { set_parallel_workers(0); }
+};
+
+}  // namespace ckv
