@@ -41,7 +41,9 @@
 // sampling), so the CI guards are exactly reproducible and cannot flake.
 #include <cmath>
 #include <cstdint>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -49,6 +51,7 @@
 #include "baselines/quest.hpp"
 #include "bench_common.hpp"
 #include "core/clusterkv_engine.hpp"
+#include "obs/trace.hpp"
 #include "serve/batch_scheduler.hpp"
 #include "serve/trace.hpp"
 #include "sim/latency_model.hpp"
@@ -299,6 +302,9 @@ int check_prefetch(const ServingSetup& base_setup, const LatencyModel& latency) 
     double tps = 0.0;
     double prefetch_hit_rate = 0.0;
     double prefetch_waste = 0.0;
+    double waste_mis = 0.0;
+    double waste_enf = 0.0;
+    double waste_rel = 0.0;
   };
   RowStats prefetch;
   RowStats sync;
@@ -317,6 +323,9 @@ int check_prefetch(const ServingSetup& base_setup, const LatencyModel& latency) 
     row.tps = m.throughput_tps();
     row.prefetch_hit_rate = m.prefetch_hit_rate();
     row.prefetch_waste = m.prefetch_waste_rate();
+    row.waste_mis = m.prefetch_waste_rate(obs::FetchCancelReason::kMisprediction);
+    row.waste_enf = m.prefetch_waste_rate(obs::FetchCancelReason::kEnforcement);
+    row.waste_rel = m.prefetch_waste_rate(obs::FetchCancelReason::kSessionRelease);
     std::cout << method.name << ": prefetch hit rate "
               << format_double(row.prefetch_hit_rate, 3) << ", waste "
               << format_double(row.prefetch_waste, 3) << ", tok/s "
@@ -339,6 +348,26 @@ int check_prefetch(const ServingSetup& base_setup, const LatencyModel& latency) 
               << " tok/s below the sync-fetch baseline " << format_double(sync.tps, 1)
               << " tok/s (overlapped fetches must never cost time)\n";
     ok = false;
+  }
+  // Waste attribution must explain the whole waste scalar: once every
+  // session has retired, misprediction + enforcement + release cancels
+  // account for every issued-but-unused fetch.
+  {
+    const double attributed =
+        prefetch.waste_mis + prefetch.waste_enf + prefetch.waste_rel;
+    std::cout << "waste attribution: mispredict "
+              << format_double(prefetch.waste_mis, 3) << ", enforcement "
+              << format_double(prefetch.waste_enf, 3) << ", release "
+              << format_double(prefetch.waste_rel, 3) << " (total "
+              << format_double(prefetch.prefetch_waste, 3) << ")\n";
+    if (std::abs(attributed - prefetch.prefetch_waste) > 1e-12) {
+      std::cout << "FAIL: waste attribution components sum to "
+                << format_double(attributed, 6)
+                << " but prefetch_waste_rate() is "
+                << format_double(prefetch.prefetch_waste, 6)
+                << " — some canceled fetch lost its reason\n";
+      ok = false;
+    }
   }
   if (std::abs(prefetch.recall - sync.recall) > 1e-12 ||
       prefetch.recall_steps != sync.recall_steps ||
@@ -364,11 +393,84 @@ int check_prefetch(const ServingSetup& base_setup, const LatencyModel& latency) 
   return ok ? 0 : 1;
 }
 
+/// One table row, kept numeric for the BENCH_SERVING.json dump.
+struct ServingRow {
+  std::string method;
+  double load = 0.0;
+  double tps = 0.0;
+  double max_batch = 0.0;
+  double p50_ttft_ms = 0.0;
+  double p95_ttft_ms = 0.0;
+  double p95_ttft_short_ms = 0.0;
+  double p50_itl_ms = 0.0;
+  double p95_itl_ms = 0.0;
+  double p99_step_itl_ms = 0.0;
+  double queue_wait_ms = 0.0;
+  Index max_queue_depth = 0;
+  Index preemptions = 0;
+  double repair_ms = 0.0;
+  double hit_rate = 0.0;
+  bool has_prefetch = false;
+  double pf_hit = 0.0;
+  double pf_waste = 0.0;
+  double pf_waste_mis = 0.0;
+  double pf_waste_enf = 0.0;
+  double pf_waste_rel = 0.0;
+  double recall = 0.0;
+};
+
+std::string json_number(double v) {
+  std::ostringstream s;
+  s << v;
+  return s.str();
+}
+
+void write_json(const std::vector<ServingRow>& rows, const std::string& path) {
+  std::ofstream out(path);
+  out << "{\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const ServingRow& r = rows[i];
+    out << "    {\"method\": \"" << r.method << "\", \"load_rps\": "
+        << json_number(r.load) << ", \"tok_per_s\": " << json_number(r.tps)
+        << ", \"max_batch\": " << json_number(r.max_batch)
+        << ", \"p50_ttft_ms\": " << json_number(r.p50_ttft_ms)
+        << ", \"p95_ttft_ms\": " << json_number(r.p95_ttft_ms)
+        << ", \"p95_ttft_short_ms\": " << json_number(r.p95_ttft_short_ms)
+        << ", \"p50_itl_ms\": " << json_number(r.p50_itl_ms)
+        << ", \"p95_itl_ms\": " << json_number(r.p95_itl_ms)
+        << ", \"p99_step_itl_ms\": " << json_number(r.p99_step_itl_ms)
+        << ", \"queue_wait_ms\": " << json_number(r.queue_wait_ms)
+        << ", \"max_queue_depth\": " << r.max_queue_depth
+        << ", \"preemptions\": " << r.preemptions
+        << ", \"repair_ms\": " << json_number(r.repair_ms)
+        << ", \"cache_hit_rate\": " << json_number(r.hit_rate)
+        << ", \"prefetch_hit_rate\": "
+        << (r.has_prefetch ? json_number(r.pf_hit) : "null")
+        << ", \"prefetch_waste_rate\": "
+        << (r.has_prefetch ? json_number(r.pf_waste) : "null")
+        << ", \"prefetch_waste_mispredict\": "
+        << (r.has_prefetch ? json_number(r.pf_waste_mis) : "null")
+        << ", \"prefetch_waste_enforce\": "
+        << (r.has_prefetch ? json_number(r.pf_waste_enf) : "null")
+        << ", \"prefetch_waste_release\": "
+        << (r.has_prefetch ? json_number(r.pf_waste_rel) : "null")
+        << ", \"recall_at_b\": " << json_number(r.recall) << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   ArgParser args(
       "bench_serving — multi-tenant throughput/latency/recall comparison");
+  args.add_switch("json",
+                  "also write BENCH_SERVING.json to the working directory "
+                  "(machine-readable serving trajectory across PRs)");
+  args.add_option("trace", "",
+                  "write a Chrome trace-event JSON of the ClusterKV "
+                  "(prefetch) row at 6 req/s (Perfetto-loadable)");
   args.add_switch("check-recall",
                   "CI smoke: fail if chunked+repair recall@B drops below the "
                   "committed floor or exceeds the throughput margin");
@@ -406,42 +508,91 @@ int main(int argc, char** argv) {
 
   TextTable table({"method", "load (req/s)", "tok/s", "max batch", "p50 TTFT (s)",
                    "p95 TTFT (s)", "p95 TTFT short (s)", "p50 ITL (ms)",
-                   "p95 ITL (ms)", "queue wait (s)", "preempt", "repair (ms)",
-                   "hit rate", "pf hit", "pf waste", "recall@B"});
+                   "p95 ITL (ms)", "p99 step ITL (ms)", "queue wait (s)",
+                   "max queue", "preempt", "repair (ms)", "hit rate", "pf hit",
+                   "pf waste", "pf mis", "pf enf", "pf rel", "recall@B"});
 
+  const std::string trace_path = args.get_string("trace");
+  std::vector<ServingRow> rows;
   for (const double load : {2.0, 6.0, 12.0}) {
     TraceConfig trace_config = setup.trace;
     trace_config.offered_rps = load;
     const auto trace = make_poisson_trace(trace_config, setup.seed);
     for (const auto& method : serving_methods(setup)) {
+      const bool traced = !trace_path.empty() && load == 6.0 &&
+                          method.name == "ClusterKV (prefetch)";
+      if (traced) {
+        obs::tracer().enable();
+      }
       bench::Stopwatch watch;
       BatchScheduler scheduler(trace, method.factory, setup.session, latency,
                                method.scheduler);
       scheduler.run();
+      if (traced) {
+        std::ofstream out(trace_path);
+        obs::tracer().write_chrome_trace(out);
+        obs::tracer().disable();
+        std::cerr << "  [trace] " << trace_path << "\n";
+      }
       const auto& m = scheduler.metrics();
-      table.add_row({method.name, format_double(load, 1),
-                     format_double(m.throughput_tps(), 1),
-                     format_double(m.concurrency().max(), 0),
-                     format_double(m.ttft_percentile(50.0) / 1000.0, 2),
-                     format_double(m.ttft_percentile(95.0) / 1000.0, 2),
-                     format_double(short_session_ttft_p95(m, 600) / 1000.0, 2),
-                     format_double(m.inter_token_percentile(50.0), 1),
-                     format_double(m.inter_token_percentile(95.0), 1),
-                     format_double(m.mean_queue_wait_ms() / 1000.0, 2),
-                     std::to_string(m.total_preemptions()),
-                     format_double(m.repair_ms_total(), 1),
-                     format_double(m.mean_cache_hit_rate(), 2),
-                     m.prefetch_issued_total() > 0
-                         ? format_double(m.prefetch_hit_rate(), 2)
-                         : "-",
-                     m.prefetch_issued_total() > 0
-                         ? format_double(m.prefetch_waste_rate(), 2)
-                         : "-",
-                     format_double(m.mean_recall(), 3)});
+      ServingRow row;
+      row.method = method.name;
+      row.load = load;
+      row.tps = m.throughput_tps();
+      row.max_batch = m.concurrency().max();
+      row.p50_ttft_ms = m.ttft_percentile(50.0);
+      row.p95_ttft_ms = m.ttft_percentile(95.0);
+      row.p95_ttft_short_ms = short_session_ttft_p95(m, 600);
+      row.p50_itl_ms = m.inter_token_percentile(50.0);
+      row.p95_itl_ms = m.inter_token_percentile(95.0);
+      row.p99_step_itl_ms = m.inter_token_gap_p99_ms();
+      row.queue_wait_ms = m.mean_queue_wait_ms();
+      row.max_queue_depth = m.max_queue_depth();
+      row.preemptions = m.total_preemptions();
+      row.repair_ms = m.repair_ms_total();
+      row.hit_rate = m.mean_cache_hit_rate();
+      row.has_prefetch = m.prefetch_issued_total() > 0;
+      if (row.has_prefetch) {
+        row.pf_hit = m.prefetch_hit_rate();
+        row.pf_waste = m.prefetch_waste_rate();
+        row.pf_waste_mis =
+            m.prefetch_waste_rate(obs::FetchCancelReason::kMisprediction);
+        row.pf_waste_enf =
+            m.prefetch_waste_rate(obs::FetchCancelReason::kEnforcement);
+        row.pf_waste_rel =
+            m.prefetch_waste_rate(obs::FetchCancelReason::kSessionRelease);
+      }
+      row.recall = m.mean_recall();
+      rows.push_back(row);
+      table.add_row({row.method, format_double(load, 1),
+                     format_double(row.tps, 1),
+                     format_double(row.max_batch, 0),
+                     format_double(row.p50_ttft_ms / 1000.0, 2),
+                     format_double(row.p95_ttft_ms / 1000.0, 2),
+                     format_double(row.p95_ttft_short_ms / 1000.0, 2),
+                     format_double(row.p50_itl_ms, 1),
+                     format_double(row.p95_itl_ms, 1),
+                     format_double(row.p99_step_itl_ms, 1),
+                     format_double(row.queue_wait_ms / 1000.0, 2),
+                     std::to_string(row.max_queue_depth),
+                     std::to_string(row.preemptions),
+                     format_double(row.repair_ms, 1),
+                     format_double(row.hit_rate, 2),
+                     row.has_prefetch ? format_double(row.pf_hit, 2) : "-",
+                     row.has_prefetch ? format_double(row.pf_waste, 2) : "-",
+                     row.has_prefetch ? format_double(row.pf_waste_mis, 2) : "-",
+                     row.has_prefetch ? format_double(row.pf_waste_enf, 2) : "-",
+                     row.has_prefetch ? format_double(row.pf_waste_rel, 2) : "-",
+                     format_double(row.recall, 3)});
       std::cerr << "  [" << method.name << " @ " << load << " req/s] "
                 << format_double(watch.seconds(), 1) << "s wall\n";
     }
   }
   std::cout << table.to_string();
+
+  if (args.get_switch("json")) {
+    write_json(rows, "BENCH_SERVING.json");
+    std::cout << "wrote BENCH_SERVING.json\n";
+  }
   return 0;
 }

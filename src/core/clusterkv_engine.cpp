@@ -66,6 +66,10 @@ RepairOutcome ClusterKVEngine::repair_now() {
   const auto outcome = repair_clusters(centroids_, tiered_.store().keys(),
                                        batch_firsts, sink_count_, &cache_, repair);
   repair_flops_ += outcome.scoring_flops + outcome.refine_flops;
+  obs::tracer().instant(
+      outcome.changed ? "repair-pass" : "repair-noop",
+      {{"flops", outcome.scoring_flops + outcome.refine_flops},
+       {"clusters", centroids_.cluster_count()}});
   if (outcome.changed) {
     ++repair_passes_;
     // In-flight prefetches survive the rebuild (remap_window relabels
@@ -120,8 +124,10 @@ void ClusterKVEngine::observe_prefill_chunk(const Matrix& keys, const Matrix& va
       // Selections between chunks may have cached the popped cluster ids;
       // forgetting the window (and any prefetches issued against those
       // ids) keeps it honest (prefill-time windows are empty in serving,
-      // where selection starts after the final chunk).
-      cancel_prefetches();
+      // where selection starts after the final chunk). The dropped
+      // speculation is a misprediction: the rebuild made it obsolete, no
+      // budget pressure was involved.
+      cancel_prefetches(obs::FetchCancelReason::kMisprediction);
       cache_.clear_window();
       pending_positions_.clear();
       const Index prompt_end = end;
@@ -174,9 +180,9 @@ void ClusterKVEngine::flush_pending_clusters(Index cluster_count) {
   pending_positions_.clear();
 }
 
-Index ClusterKVEngine::cancel_prefetches() {
+Index ClusterKVEngine::cancel_prefetches(obs::FetchCancelReason reason) {
   const auto in_flight = cache_.cancel_fetches();
-  return tiered_.cancel_fetch(in_flight);
+  return tiered_.cancel_fetch(in_flight, reason);
 }
 
 Index ClusterKVEngine::release_fast_tier() {
@@ -186,7 +192,7 @@ Index ClusterKVEngine::release_fast_tier() {
   // bytes along with the resident ones. Only *moved* tokens are returned —
   // dropping speculation alone is not a preemption (callers count
   // preemptions off this value, and a sync-fetch run must count the same).
-  cancel_prefetches();
+  cancel_prefetches(obs::FetchCancelReason::kEnforcement);
   const Index pending_begin =
       pending_positions_.empty() ? tiered_.size() : pending_positions_.front();
   std::vector<Index> victims;
@@ -228,7 +234,8 @@ SelectionResult ClusterKVEngine::select(std::span<const float> query, Index budg
     // remaining demand misses stall this step.
     const auto cache_step = cache_.step(indexed.per_cluster);
     tiered_.complete_fetch(cache_step.prefetched_tokens);
-    tiered_.cancel_fetch(cache_step.wasted_tokens);
+    tiered_.cancel_fetch(cache_step.wasted_tokens,
+                         obs::FetchCancelReason::kMisprediction);
     tiered_.ensure_resident(cache_step.missing_tokens);
     tiered_.drop_from_fast(cache_step.evicted_tokens);
 

@@ -126,12 +126,21 @@ class ClusterKVEngine : public KVSelector {
   }
 
   /// Drops every in-flight prefetch (cache- and store-side) and frees its
-  /// reserved bytes; the issued traffic counts as wasted. Called by budget
-  /// enforcement before any real preemption, by release_fast_tier itself,
-  /// and on metadata rebuilds that discard cluster ids outright
-  /// (end-of-prompt tail fold) — a *repair* rebuild instead relabels
-  /// in-flight entries in place. Returns fetches dropped.
-  Index cancel_prefetches() override;
+  /// reserved bytes; the issued traffic counts as wasted, attributed to
+  /// `reason`. Called by budget enforcement before any real preemption
+  /// (kEnforcement), by release_fast_tier itself, by retirement
+  /// (kSessionRelease), and on metadata rebuilds that discard cluster ids
+  /// outright — the end-of-prompt tail fold, which passes kMisprediction
+  /// since the speculation is simply obsolete — while a *repair* rebuild
+  /// instead relabels in-flight entries in place. Returns fetches dropped.
+  Index cancel_prefetches(obs::FetchCancelReason reason =
+                              obs::FetchCancelReason::kEnforcement) override;
+
+  /// Per-reason canceled-speculation totals from the tiered store.
+  [[nodiscard]] std::int64_t prefetch_canceled_tokens(
+      obs::FetchCancelReason reason) const override {
+    return tiered_.stats().tokens_prefetch_canceled_by[static_cast<int>(reason)];
+  }
 
   [[nodiscard]] const ClusterPrefetcher& prefetcher() const noexcept {
     return prefetcher_;

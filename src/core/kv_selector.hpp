@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "tensor/matrix.hpp"
 #include "util/common.hpp"
 
@@ -120,9 +121,23 @@ class KVSelector {
   /// Drops in-flight speculative fetches only (their reserved bytes are
   /// freed; resident KV and the cache window are untouched). Budget
   /// enforcement tries this before any real preemption — speculation is
-  /// the cheapest thing to take back. Returns fetches canceled; 0 for
-  /// methods without async prefetch.
-  virtual Index cancel_prefetches() { return 0; }
+  /// the cheapest thing to take back. The reason attributes the wasted
+  /// traffic (enforcement by default: that is the only external caller in
+  /// the serving stack besides retirement, which passes kSessionRelease).
+  /// Returns fetches canceled; 0 for methods without async prefetch.
+  virtual Index cancel_prefetches(obs::FetchCancelReason reason =
+                                      obs::FetchCancelReason::kEnforcement) {
+    (void)reason;
+    return 0;
+  }
+
+  /// Speculative fetches canceled so far for the given reason (waste
+  /// attribution; 0 for methods without async prefetch).
+  [[nodiscard]] virtual std::int64_t prefetch_canceled_tokens(
+      obs::FetchCancelReason reason) const {
+    (void)reason;
+    return 0;
+  }
 
   /// Registers a shared fast-tier byte ledger (nullptr detaches). No-op
   /// for methods without tiered placement.

@@ -14,7 +14,28 @@ void TransferStats::merge(const TransferStats& other) noexcept {
   tokens_offloaded += other.tokens_offloaded;
   tokens_prefetch_issued += other.tokens_prefetch_issued;
   tokens_prefetch_canceled += other.tokens_prefetch_canceled;
+  for (int r = 0; r < obs::kFetchCancelReasonCount; ++r) {
+    tokens_prefetch_canceled_by[r] += other.tokens_prefetch_canceled_by[r];
+  }
 }
+
+namespace {
+
+/// Reason-specific cancel event names so a Perfetto query can slice waste
+/// by cause without parsing args.
+const char* cancel_event_name(obs::FetchCancelReason reason) noexcept {
+  switch (reason) {
+    case obs::FetchCancelReason::kMisprediction:
+      return "fetch-cancel-mispredict";
+    case obs::FetchCancelReason::kEnforcement:
+      return "fetch-cancel-enforce";
+    case obs::FetchCancelReason::kSessionRelease:
+      return "fetch-cancel-release";
+  }
+  return "fetch-cancel";
+}
+
+}  // namespace
 
 TieredKVStore::TieredKVStore(Index head_dim, Index element_bytes)
     : store_(head_dim), element_bytes_(element_bytes) {
@@ -102,6 +123,8 @@ Index TieredKVStore::ensure_resident(std::span<const Index> positions) {
   }
   if (moved > 0) {
     ++stats_.fetch_events;
+    obs::tracer().instant("demand-fetch",
+                          {{"tokens", moved}, {"bytes", moved * token_bytes()}});
   }
   return moved;
 }
@@ -121,6 +144,10 @@ Index TieredKVStore::begin_fetch(std::span<const Index> positions) {
     ++stats_.tokens_prefetch_issued;
     ++issued;
   }
+  if (issued > 0) {
+    obs::tracer().instant(
+        "fetch-issue", {{"tokens", issued}, {"bytes", issued * token_bytes()}});
+  }
   return issued;
 }
 
@@ -136,10 +163,16 @@ Index TieredKVStore::complete_fetch(std::span<const Index> positions) {
     mark_fast(p);
     ++landed;
   }
+  if (landed > 0) {
+    obs::tracer().instant(
+        "fetch-complete",
+        {{"tokens", landed}, {"bytes", landed * token_bytes()}});
+  }
   return landed;
 }
 
-Index TieredKVStore::cancel_fetch(std::span<const Index> positions) {
+Index TieredKVStore::cancel_fetch(std::span<const Index> positions,
+                                  obs::FetchCancelReason reason) {
   Index canceled = 0;
   for (const Index p : positions) {
     if (in_flight_.erase(p) == 0) {
@@ -149,14 +182,20 @@ Index TieredKVStore::cancel_fetch(std::span<const Index> positions) {
       ledger_->add_reserved(-token_bytes());
     }
     ++stats_.tokens_prefetch_canceled;
+    ++stats_.tokens_prefetch_canceled_by[static_cast<int>(reason)];
     ++canceled;
+  }
+  if (canceled > 0) {
+    obs::tracer().instant(
+        cancel_event_name(reason),
+        {{"tokens", canceled}, {"bytes", canceled * token_bytes()}});
   }
   return canceled;
 }
 
-Index TieredKVStore::cancel_all_fetches() {
+Index TieredKVStore::cancel_all_fetches(obs::FetchCancelReason reason) {
   std::vector<Index> positions(in_flight_.begin(), in_flight_.end());
-  return cancel_fetch(positions);
+  return cancel_fetch(positions, reason);
 }
 
 bool TieredKVStore::is_in_flight(Index position) const {

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "kvcache/kv_store.hpp"
+#include "obs/trace.hpp"
 #include "util/common.hpp"
 
 namespace ckv {
@@ -28,6 +29,9 @@ struct TransferStats {
   /// fetches are wasted traffic, not refunded traffic.
   std::int64_t tokens_prefetch_issued = 0;
   std::int64_t tokens_prefetch_canceled = 0;
+  /// tokens_prefetch_canceled attributed by cause, indexed by
+  /// obs::FetchCancelReason; the entries always sum to the total above.
+  std::int64_t tokens_prefetch_canceled_by[obs::kFetchCancelReasonCount] = {};
 
   void merge(const TransferStats& other) noexcept;
 };
@@ -127,13 +131,17 @@ class TieredKVStore {
   /// fetch are ignored. Returns the number landed.
   Index complete_fetch(std::span<const Index> positions);
 
-  /// Drops in-flight fetches without landing them (prediction miss or
-  /// preemption mid-fetch); their reserved bytes are freed and the issued
-  /// traffic is counted as wasted. Returns the number canceled.
-  Index cancel_fetch(std::span<const Index> positions);
+  /// Drops in-flight fetches without landing them; their reserved bytes
+  /// are freed and the issued traffic is counted as wasted, attributed to
+  /// `reason` (prediction miss by default — budget enforcement and session
+  /// release pass their own cause). Returns the number canceled.
+  Index cancel_fetch(std::span<const Index> positions,
+                     obs::FetchCancelReason reason =
+                         obs::FetchCancelReason::kMisprediction);
 
   /// Cancels every in-flight fetch (preemption / teardown path).
-  Index cancel_all_fetches();
+  Index cancel_all_fetches(obs::FetchCancelReason reason =
+                               obs::FetchCancelReason::kSessionRelease);
 
   [[nodiscard]] bool is_in_flight(Index position) const;
   [[nodiscard]] Index in_flight_count() const noexcept;

@@ -4,49 +4,95 @@
 
 namespace ckv {
 
+ServeMetrics::ServeMetrics()
+    : total_tokens_(&registry_.counter("serve.tokens_generated")),
+      total_preemptions_(&registry_.counter("serve.preemptions")),
+      repair_ms_total_(&registry_.counter("serve.repair_ms_total")),
+      repair_ticks_(&registry_.counter("serve.repair_ticks")),
+      occupancy_(&registry_.gauge("serve.fast_tier_bytes")),
+      concurrency_(&registry_.gauge("serve.batch_size")),
+      queue_depth_(&registry_.gauge("serve.queue_depth")),
+      arrival_ms_(&registry_.gauge("serve.arrival_ms")),
+      finish_ms_(&registry_.gauge("serve.finish_ms")),
+      ttft_hist_(&registry_.histogram("serve.ttft_ms")),
+      inter_token_hist_(&registry_.histogram("serve.inter_token_ms")),
+      fetch_bytes_hist_(&registry_.histogram("serve.fetch_bytes")),
+      repair_hist_(&registry_.histogram("serve.repair_ms")) {}
+
 void ServeMetrics::record_session(SessionRecord record) {
   expects(record.finish_ms >= record.first_token_ms &&
               record.first_token_ms >= record.prefill_done_ms &&
               record.prefill_done_ms >= record.admit_ms &&
               record.admit_ms >= record.arrival_ms,
           "ServeMetrics::record_session: timestamps out of order");
-  total_tokens_ += record.decode_len;
-  total_preemptions_ += record.preemptions;
-  if (!any_session_) {
-    first_arrival_ms_ = record.arrival_ms;
-    last_finish_ms_ = record.finish_ms;
-    any_session_ = true;
-  } else {
-    first_arrival_ms_ = std::min(first_arrival_ms_, record.arrival_ms);
-    last_finish_ms_ = std::max(last_finish_ms_, record.finish_ms);
-  }
+  total_tokens_->add(record.decode_len);
+  total_preemptions_->add(static_cast<std::int64_t>(record.preemptions));
+  // first-arrival / last-finish bookkeeping is the gauges' min/max.
+  arrival_ms_->set(record.arrival_ms);
+  finish_ms_->set(record.finish_ms);
+  ttft_hist_->record(record.ttft_ms());
+  registry_.counter("serve.prefetch_issued_tokens")
+      .add(record.prefetch_issued_tokens);
+  registry_.counter("serve.prefetch_hit_tokens").add(record.prefetch_hit_tokens);
+  registry_.counter("serve.demand_fetched_tokens")
+      .add(record.demand_fetched_tokens);
+  registry_.counter("serve.prefetch_canceled_mispredict_tokens")
+      .add(record.prefetch_canceled_mispredict_tokens);
+  registry_.counter("serve.prefetch_canceled_enforce_tokens")
+      .add(record.prefetch_canceled_enforce_tokens);
+  registry_.counter("serve.prefetch_canceled_release_tokens")
+      .add(record.prefetch_canceled_release_tokens);
   records_.push_back(std::move(record));
 }
 
 void ServeMetrics::record_occupancy(std::int64_t fast_bytes) {
-  occupancy_.add(static_cast<double>(fast_bytes));
+  occupancy_->set(static_cast<double>(fast_bytes));
 }
 
-void ServeMetrics::record_tick(double tick_ms, Index running_sessions) {
+void ServeMetrics::record_tick(double tick_ms, Index running_sessions,
+                               Index queued) {
   expects(tick_ms >= 0.0, "ServeMetrics::record_tick: negative tick");
-  concurrency_.add(static_cast<double>(running_sessions));
+  concurrency_->set(static_cast<double>(running_sessions));
+  queue_depth_->set(static_cast<double>(queued));
 }
 
 void ServeMetrics::record_repair(double repair_ms) {
   expects(repair_ms >= 0.0, "ServeMetrics::record_repair: negative cost");
   if (repair_ms > 0.0) {
-    repair_ms_total_ += repair_ms;
-    ++repair_ticks_;
+    repair_ms_total_->add(repair_ms);
+    repair_ticks_->add(std::int64_t{1});
+    repair_hist_->record(repair_ms);
   }
 }
 
+void ServeMetrics::record_decode_gap(double gap_ms) {
+  expects(gap_ms >= 0.0, "ServeMetrics::record_decode_gap: negative gap");
+  inter_token_hist_->record(gap_ms);
+}
+
+void ServeMetrics::record_fetch_bytes(std::int64_t bytes) {
+  expects(bytes >= 0, "ServeMetrics::record_fetch_bytes: negative bytes");
+  fetch_bytes_hist_->record(static_cast<double>(bytes));
+}
+
+std::int64_t ServeMetrics::total_tokens() const noexcept {
+  return total_tokens_->as_int();
+}
+
+Index ServeMetrics::total_preemptions() const noexcept {
+  return static_cast<Index>(total_preemptions_->as_int());
+}
+
 double ServeMetrics::makespan_ms() const noexcept {
-  return any_session_ ? last_finish_ms_ - first_arrival_ms_ : 0.0;
+  return arrival_ms_->stat().count() > 0
+             ? finish_ms_->stat().max() - arrival_ms_->stat().min()
+             : 0.0;
 }
 
 double ServeMetrics::throughput_tps() const noexcept {
   const double span = makespan_ms();
-  return span <= 0.0 ? 0.0 : static_cast<double>(total_tokens_) / (span / 1000.0);
+  return span <= 0.0 ? 0.0
+                     : static_cast<double>(total_tokens()) / (span / 1000.0);
 }
 
 std::vector<double> ServeMetrics::collect(
@@ -93,6 +139,17 @@ double ServeMetrics::mean_queue_wait_ms() const noexcept {
     total += record.queue_wait_ms();
   }
   return total / static_cast<double>(records_.size());
+}
+
+double ServeMetrics::inter_token_gap_p99_ms() const {
+  return inter_token_hist_->count() == 0 ? 0.0
+                                         : inter_token_hist_->percentile(99.0);
+}
+
+Index ServeMetrics::max_queue_depth() const {
+  return queue_depth_->stat().count() == 0
+             ? 0
+             : static_cast<Index>(queue_depth_->stat().max());
 }
 
 double ServeMetrics::mean_recall() const noexcept {
@@ -170,6 +227,33 @@ double ServeMetrics::prefetch_waste_rate() const noexcept {
                     : 0.0;
 }
 
+double ServeMetrics::prefetch_waste_rate(
+    obs::FetchCancelReason reason) const noexcept {
+  const std::int64_t issued = prefetch_issued_total();
+  return issued > 0 ? static_cast<double>(prefetch_canceled_total(reason)) /
+                          static_cast<double>(issued)
+                    : 0.0;
+}
+
+std::int64_t ServeMetrics::prefetch_canceled_total(
+    obs::FetchCancelReason reason) const noexcept {
+  std::int64_t canceled = 0;
+  for (const auto& record : records_) {
+    switch (reason) {
+      case obs::FetchCancelReason::kMisprediction:
+        canceled += record.prefetch_canceled_mispredict_tokens;
+        break;
+      case obs::FetchCancelReason::kEnforcement:
+        canceled += record.prefetch_canceled_enforce_tokens;
+        break;
+      case obs::FetchCancelReason::kSessionRelease:
+        canceled += record.prefetch_canceled_release_tokens;
+        break;
+    }
+  }
+  return canceled;
+}
+
 std::int64_t ServeMetrics::prefetch_issued_total() const noexcept {
   std::int64_t issued = 0;
   for (const auto& record : records_) {
@@ -197,8 +281,26 @@ double ServeMetrics::mean_cache_hit_rate() const noexcept {
   return total / static_cast<double>(records_.size());
 }
 
+double ServeMetrics::repair_ms_total() const noexcept {
+  return repair_ms_total_->value();
+}
+
+Index ServeMetrics::repair_ticks() const noexcept {
+  return static_cast<Index>(repair_ticks_->as_int());
+}
+
+const RunningStat& ServeMetrics::occupancy_bytes() const noexcept {
+  return occupancy_->stat();
+}
+
 std::int64_t ServeMetrics::peak_occupancy_bytes() const noexcept {
-  return occupancy_.count() == 0 ? 0 : static_cast<std::int64_t>(occupancy_.max());
+  return occupancy_->stat().count() == 0
+             ? 0
+             : static_cast<std::int64_t>(occupancy_->stat().max());
+}
+
+const RunningStat& ServeMetrics::concurrency() const noexcept {
+  return concurrency_->stat();
 }
 
 }  // namespace ckv

@@ -2,10 +2,18 @@
 // inter-token latency, queue wait, selection quality, cache hit rate) plus
 // fleet-level occupancy and throughput. All times are virtual milliseconds
 // assigned by the scheduler from sim/latency_model step costs.
+//
+// Internally the aggregation lives on an obs::MetricsRegistry (named
+// counters / gauges / log-linear histograms) instead of ad-hoc member
+// scalars; the public accessors keep their historical semantics exactly
+// (scalar sums are counters, per-tick stats are gauges), and the registry
+// itself is exported by `ckv serve --metrics-out` as flat JSON/CSV.
 #pragma once
 
 #include <vector>
 
+#include "obs/metrics_registry.hpp"
+#include "obs/trace.hpp"
 #include "tensor/stats.hpp"
 #include "util/common.hpp"
 
@@ -41,6 +49,13 @@ struct SessionRecord {
   std::int64_t prefetch_hit_tokens = 0;
   std::int64_t prefetch_issued_tokens = 0;
   std::int64_t demand_fetched_tokens = 0;
+  /// Waste attribution: issued speculative fetches canceled, split by
+  /// cause (obs::FetchCancelReason). Once a session retires every issued
+  /// fetch has resolved, so the three components sum to
+  /// prefetch_issued_tokens - prefetch_hit_tokens exactly.
+  std::int64_t prefetch_canceled_mispredict_tokens = 0;
+  std::int64_t prefetch_canceled_enforce_tokens = 0;
+  std::int64_t prefetch_canceled_release_tokens = 0;
 
   /// Time spent queued before admission.
   [[nodiscard]] double queue_wait_ms() const noexcept {
@@ -72,6 +87,14 @@ struct SessionRecord {
 
 class ServeMetrics {
  public:
+  ServeMetrics();
+  // The cached handles point into registry_'s maps (node addresses survive
+  // a move, not a copy).
+  ServeMetrics(const ServeMetrics&) = delete;
+  ServeMetrics& operator=(const ServeMetrics&) = delete;
+  ServeMetrics(ServeMetrics&&) = default;
+  ServeMetrics& operator=(ServeMetrics&&) = default;
+
   /// Ingests a retired session's record; validates timestamp ordering.
   void record_session(SessionRecord record);
 
@@ -79,12 +102,21 @@ class ServeMetrics {
   /// per-tick sample, not time-weighted).
   void record_occupancy(std::int64_t fast_bytes);
 
-  /// Records one scheduler tick: its virtual duration and the number of
-  /// sessions that made progress (prefill chunks + decode steps).
-  void record_tick(double tick_ms, Index running_sessions);
+  /// Records one scheduler tick: its virtual duration, the number of
+  /// sessions that made progress (prefill chunks + decode steps), and the
+  /// admission-queue depth at the tick boundary.
+  void record_tick(double tick_ms, Index running_sessions, Index queued = 0);
 
   /// Records cluster-repair work billed this tick (virtual ms).
   void record_repair(double repair_ms);
+
+  /// Records one observed inter-token gap (virtual ms between consecutive
+  /// decode completions of one session) into the latency histogram.
+  void record_decode_gap(double gap_ms);
+
+  /// Records the bytes one session demand-fetched in one decode step
+  /// (synchronous slow->fast traffic that stalled the step).
+  void record_fetch_bytes(std::int64_t bytes);
 
   /// All retired sessions, retirement order.
   [[nodiscard]] const std::vector<SessionRecord>& records() const noexcept {
@@ -95,9 +127,9 @@ class ServeMetrics {
     return static_cast<Index>(records_.size());
   }
   /// Generated tokens summed over retired sessions.
-  [[nodiscard]] std::int64_t total_tokens() const noexcept { return total_tokens_; }
+  [[nodiscard]] std::int64_t total_tokens() const noexcept;
   /// Preemption events summed over retired sessions.
-  [[nodiscard]] Index total_preemptions() const noexcept { return total_preemptions_; }
+  [[nodiscard]] Index total_preemptions() const noexcept;
 
   /// Virtual time from the first arrival to the last finish.
   [[nodiscard]] double makespan_ms() const noexcept;
@@ -114,6 +146,13 @@ class ServeMetrics {
   /// Percentile of the post-prefill wait for the first decode tick.
   [[nodiscard]] double first_decode_wait_percentile(double p) const;
   [[nodiscard]] double mean_queue_wait_ms() const noexcept;
+
+  /// p99 of per-step inter-token gaps from the serve.inter_token_ms
+  /// histogram — a tail the per-session mean (inter_token_percentile)
+  /// cannot see. 0 until the scheduler feeds gaps via record_decode_gap.
+  [[nodiscard]] double inter_token_gap_p99_ms() const;
+  /// Largest admission-queue depth sampled at any tick (0 before any).
+  [[nodiscard]] Index max_queue_depth() const;
 
   /// Fleet recall@B: session means weighted by their recall_steps count
   /// (the Fig. 11-style recall signal over every selection-forced decode
@@ -142,36 +181,57 @@ class ServeMetrics {
   [[nodiscard]] std::int64_t prefetch_issued_total() const noexcept;
   [[nodiscard]] std::int64_t prefetch_hits_total() const noexcept;
 
+  /// Waste attribution: the share of issued speculative fetches canceled
+  /// for the given cause (Σ canceled-for-reason / Σ issued; 0 when
+  /// nothing was issued). Once every session has retired the three
+  /// components sum to prefetch_waste_rate() exactly — waste is no longer
+  /// one unexplained scalar.
+  [[nodiscard]] double prefetch_waste_rate(obs::FetchCancelReason reason)
+      const noexcept;
+  [[nodiscard]] std::int64_t prefetch_canceled_total(
+      obs::FetchCancelReason reason) const noexcept;
+
   /// Cluster-repair cost billed so far (virtual ms) and the tick count
   /// that carried any (bench_serving's repair-cost column).
-  [[nodiscard]] double repair_ms_total() const noexcept { return repair_ms_total_; }
-  [[nodiscard]] Index repair_ticks() const noexcept { return repair_ticks_; }
+  [[nodiscard]] double repair_ms_total() const noexcept;
+  [[nodiscard]] Index repair_ticks() const noexcept;
 
   /// Per-tick samples of global fast-tier occupancy (bytes).
-  [[nodiscard]] const RunningStat& occupancy_bytes() const noexcept {
-    return occupancy_;
-  }
+  [[nodiscard]] const RunningStat& occupancy_bytes() const noexcept;
   /// Largest occupancy sample seen (0 before any sample).
   [[nodiscard]] std::int64_t peak_occupancy_bytes() const noexcept;
   /// Per-tick samples of the active batch size.
-  [[nodiscard]] const RunningStat& concurrency() const noexcept {
-    return concurrency_;
+  [[nodiscard]] const RunningStat& concurrency() const noexcept;
+
+  /// The instrument store behind the aggregates (serve.* namespace):
+  /// export with write_json/write_csv, or extend from driver code.
+  [[nodiscard]] obs::MetricsRegistry& registry() noexcept { return registry_; }
+  [[nodiscard]] const obs::MetricsRegistry& registry() const noexcept {
+    return registry_;
   }
 
  private:
   [[nodiscard]] std::vector<double> collect(double (SessionRecord::*fn)()
                                                 const noexcept) const;
 
+  obs::MetricsRegistry registry_;
+  // Cached instrument handles (registry_ map nodes are stable; this
+  // class is never copied). Records stay as a vector: exact per-session
+  // percentiles and token-weighted rates need the raw values.
+  obs::Counter* total_tokens_;
+  obs::Counter* total_preemptions_;
+  obs::Counter* repair_ms_total_;
+  obs::Counter* repair_ticks_;
+  obs::Gauge* occupancy_;
+  obs::Gauge* concurrency_;
+  obs::Gauge* queue_depth_;
+  obs::Gauge* arrival_ms_;
+  obs::Gauge* finish_ms_;
+  obs::Histogram* ttft_hist_;
+  obs::Histogram* inter_token_hist_;
+  obs::Histogram* fetch_bytes_hist_;
+  obs::Histogram* repair_hist_;
   std::vector<SessionRecord> records_;
-  RunningStat occupancy_;
-  RunningStat concurrency_;
-  std::int64_t total_tokens_ = 0;
-  Index total_preemptions_ = 0;
-  double repair_ms_total_ = 0.0;
-  Index repair_ticks_ = 0;
-  double first_arrival_ms_ = 0.0;
-  double last_finish_ms_ = 0.0;
-  bool any_session_ = false;
 };
 
 }  // namespace ckv

@@ -1,0 +1,173 @@
+#include "obs/metrics_registry.hpp"
+
+#include <cmath>
+
+namespace ckv::obs {
+
+namespace {
+
+/// Bucket key layout: exponent * kSubBuckets + sub-bucket, where frexp's
+/// mantissa range [0.5, 1) is split into kSubBuckets equal slices. Finite
+/// positive doubles map to keys well inside int32.
+std::int32_t bucket_key(double value) noexcept {
+  int exp = 0;
+  const double mantissa = std::frexp(value, &exp);  // [0.5, 1)
+  const int sub = static_cast<int>((mantissa - 0.5) *
+                                   (2.0 * Histogram::kSubBuckets));
+  const int clamped = std::min(sub, Histogram::kSubBuckets - 1);
+  return static_cast<std::int32_t>(exp) * Histogram::kSubBuckets + clamped;
+}
+
+}  // namespace
+
+void Histogram::record(double value) noexcept {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  const std::int32_t key = value > 0.0 ? bucket_key(value) : kUnderflowKey;
+  ++buckets_[key];
+}
+
+double Histogram::bucket_lower(std::int32_t key) noexcept {
+  if (key == kUnderflowKey) {
+    return 0.0;
+  }
+  // floor-divide toward -inf so negative exponents round correctly
+  std::int32_t exp = key / kSubBuckets;
+  std::int32_t sub = key % kSubBuckets;
+  if (sub < 0) {
+    sub += kSubBuckets;
+    exp -= 1;
+  }
+  return std::ldexp(0.5 + 0.5 * static_cast<double>(sub) / kSubBuckets,
+                    exp);
+}
+
+double Histogram::bucket_upper(std::int32_t key) noexcept {
+  if (key == kUnderflowKey) {
+    return 0.0;
+  }
+  return bucket_lower(key + 1);
+}
+
+double Histogram::percentile(double p) const {
+  expects(p >= 0.0 && p <= 100.0, "Histogram::percentile: p out of range");
+  if (count_ == 0) {
+    return 0.0;
+  }
+  // Target the same fractional rank convention as ckv::percentile().
+  const double rank = p / 100.0 * static_cast<double>(count_ - 1);
+  std::int64_t seen = 0;
+  for (const auto& [key, bucket_count] : buckets_) {
+    if (static_cast<double>(seen + bucket_count) > rank) {
+      const double lo = key == kUnderflowKey ? std::min(min_, 0.0)
+                                             : bucket_lower(key);
+      const double hi = key == kUnderflowKey ? 0.0 : bucket_upper(key);
+      // Interpolate by the rank's position inside this bucket.
+      const double frac =
+          (rank - static_cast<double>(seen)) / static_cast<double>(bucket_count);
+      const double value = lo + frac * (hi - lo);
+      return std::min(std::max(value, min_), max_);
+    }
+    seen += bucket_count;
+  }
+  return max_;
+}
+
+namespace {
+
+void json_number(std::ostream& out, double value) {
+  if (std::isfinite(value)) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    out << buf;
+  } else {
+    out << "null";
+  }
+}
+
+}  // namespace
+
+void MetricsRegistry::write_json(std::ostream& out) const {
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    out << (first ? "\n" : ",\n") << "    \"" << name << "\": ";
+    json_number(out, counter.value());
+    first = false;
+  }
+  out << "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    out << (first ? "\n" : ",\n") << "    \"" << name << "\": {\"last\": ";
+    json_number(out, gauge.last());
+    out << ", \"count\": " << gauge.stat().count() << ", \"mean\": ";
+    json_number(out, gauge.stat().mean());
+    out << ", \"min\": ";
+    json_number(out, gauge.stat().count() == 0 ? 0.0 : gauge.stat().min());
+    out << ", \"max\": ";
+    json_number(out, gauge.stat().count() == 0 ? 0.0 : gauge.stat().max());
+    out << "}";
+    first = false;
+  }
+  out << "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, hist] : histograms_) {
+    out << (first ? "\n" : ",\n") << "    \"" << name
+        << "\": {\"count\": " << hist.count() << ", \"sum\": ";
+    json_number(out, hist.sum());
+    out << ", \"mean\": ";
+    json_number(out, hist.mean());
+    out << ", \"min\": ";
+    json_number(out, hist.min());
+    out << ", \"max\": ";
+    json_number(out, hist.max());
+    out << ", \"p50\": ";
+    json_number(out, hist.percentile(50.0));
+    out << ", \"p95\": ";
+    json_number(out, hist.percentile(95.0));
+    out << ", \"p99\": ";
+    json_number(out, hist.percentile(99.0));
+    out << "}";
+    first = false;
+  }
+  out << "\n  }\n}\n";
+}
+
+void MetricsRegistry::write_csv(std::ostream& out) const {
+  out << "kind,name,field,value\n";
+  const auto row = [&out](const char* kind, const std::string& name,
+                          const char* field, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    out << kind << ',' << name << ',' << field << ',' << buf << '\n';
+  };
+  for (const auto& [name, counter] : counters_) {
+    row("counter", name, "value", counter.value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    row("gauge", name, "last", gauge.last());
+    row("gauge", name, "count", static_cast<double>(gauge.stat().count()));
+    row("gauge", name, "mean", gauge.stat().mean());
+    row("gauge", name, "min", gauge.stat().count() == 0 ? 0.0 : gauge.stat().min());
+    row("gauge", name, "max", gauge.stat().count() == 0 ? 0.0 : gauge.stat().max());
+  }
+  for (const auto& [name, hist] : histograms_) {
+    row("histogram", name, "count", static_cast<double>(hist.count()));
+    row("histogram", name, "sum", hist.sum());
+    row("histogram", name, "mean", hist.mean());
+    row("histogram", name, "min", hist.min());
+    row("histogram", name, "max", hist.max());
+    row("histogram", name, "p50", hist.percentile(50.0));
+    row("histogram", name, "p95", hist.percentile(95.0));
+    row("histogram", name, "p99", hist.percentile(99.0));
+  }
+}
+
+}  // namespace ckv::obs

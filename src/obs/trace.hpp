@@ -1,0 +1,206 @@
+// Structured event tracer for the serving stack: a ring-buffer of spans,
+// instants and counter samples stamped on the scheduler's *virtual* clock
+// (the timeline every quality/latency metric lives on) with a wall-clock
+// dual per event (what the host actually spent). Near-zero cost when
+// disabled: every record call is one relaxed atomic load and a branch —
+// no allocation, no lock, no clock read — so instrumentation can stay in
+// the hot path permanently. docs/OBSERVABILITY.md documents the event
+// schema, the clock semantics and the overhead contract.
+//
+// Call-site model: scheduler-level code owns the ambient context (current
+// virtual time + current track, one track per session plus track 0 for
+// the scheduler itself); leaf code (tiered store fetches, repair passes,
+// prefetch issue) records instants against that ambient context without
+// knowing whose step it is running inside. The exporter emits Chrome
+// trace-event JSON loadable in Perfetto / chrome://tracing, validated in
+// CI by tools/check_trace.py.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace ckv::obs {
+
+/// Why an issued speculative (prefetch) slow->fast copy was dropped.
+/// Carried on tiered-store cancel events and summed per reason into the
+/// serving waste attribution (SessionRecord / ServeMetrics), so the
+/// aggregate prefetch_waste_rate decomposes into causes instead of one
+/// unexplained scalar.
+enum class FetchCancelReason : std::uint8_t {
+  kMisprediction = 0,   ///< the next selection did not use the issued copy
+  kEnforcement = 1,     ///< budget enforcement reclaimed the reservation
+  kSessionRelease = 2,  ///< the session retired/released mid-flight
+};
+inline constexpr int kFetchCancelReasonCount = 3;
+
+[[nodiscard]] const char* to_string(FetchCancelReason reason) noexcept;
+
+/// One recorded event. Virtual timestamps are microseconds on the
+/// scheduler clock (Chrome's native "ts" unit); wall_ns is the
+/// steady-clock dual taken at record time. Names and argument names are
+/// interned ids (Tracer::name_of resolves them).
+struct TraceEvent {
+  enum class Phase : std::uint8_t {
+    kBegin,    ///< span open ("B")
+    kEnd,      ///< span close ("E")
+    kInstant,  ///< point event ("i")
+    kCounter,  ///< counter sample ("C")
+  };
+  static constexpr std::uint16_t kNoArg = 0xffff;
+
+  Phase phase = Phase::kInstant;
+  std::uint16_t name = 0;
+  std::uint16_t arg_names[2] = {kNoArg, kNoArg};
+  std::int64_t track = 0;
+  double virtual_us = 0.0;
+  std::uint64_t wall_ns = 0;
+  std::int64_t args[2] = {0, 0};
+};
+
+/// Ring-buffer tracer. Disabled by default: the buffer is not allocated
+/// and record calls return after one branch. enable() allocates a
+/// fixed-capacity ring; on overflow the oldest events are dropped (the
+/// most recent window is the one worth keeping at the end of a run) and
+/// the drop count is reported in the export so validators can tell a
+/// truncated trace from a malformed one.
+///
+/// Thread-safety: record paths take an internal mutex only when enabled.
+/// The serving scheduler advances sessions serially, so serving traces
+/// are deterministic on every virtual-clock field across worker counts;
+/// instrumented leaf code reached from parallel regions (none today) is
+/// still memory-safe, just interleaved.
+class Tracer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = std::size_t{1} << 18;
+
+  struct Arg {
+    const char* name;
+    std::int64_t value;
+  };
+
+  /// Allocates the ring (dropping any previously recorded events) and
+  /// turns recording on.
+  void enable(std::size_t capacity = kDefaultCapacity);
+
+  /// Turns recording off and frees the ring. Recorded events are
+  /// discarded; export before disabling.
+  void disable() noexcept;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  // ---- ambient context (set by the scheduler, read by leaf records) ----
+
+  void set_virtual_now_ms(double now_ms) noexcept {
+    virtual_now_us_.store(now_ms * 1000.0, std::memory_order_relaxed);
+  }
+  [[nodiscard]] double virtual_now_ms() const noexcept {
+    return virtual_now_us_.load(std::memory_order_relaxed) / 1000.0;
+  }
+  /// Track 0 is the scheduler; sessions use 1 + session id.
+  void set_track(std::int64_t track) noexcept {
+    track_.store(track, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t track() const noexcept {
+    return track_.load(std::memory_order_relaxed);
+  }
+
+  /// Human-readable track label, exported as Chrome thread-name metadata.
+  void set_track_name(std::int64_t track, const std::string& name);
+
+  // ---- recording (ambient track/time unless _at variant) ----
+
+  void begin(const char* name, std::initializer_list<Arg> args = {}) {
+    if (enabled()) {
+      record(TraceEvent::Phase::kBegin, name, track(), virtual_now_ms(), args);
+    }
+  }
+  void begin_at(const char* name, std::int64_t track, double virtual_ms,
+                std::initializer_list<Arg> args = {}) {
+    if (enabled()) {
+      record(TraceEvent::Phase::kBegin, name, track, virtual_ms, args);
+    }
+  }
+  void end(const char* name, std::initializer_list<Arg> args = {}) {
+    if (enabled()) {
+      record(TraceEvent::Phase::kEnd, name, track(), virtual_now_ms(), args);
+    }
+  }
+  void end_at(const char* name, std::int64_t track, double virtual_ms,
+              std::initializer_list<Arg> args = {}) {
+    if (enabled()) {
+      record(TraceEvent::Phase::kEnd, name, track, virtual_ms, args);
+    }
+  }
+  void instant(const char* name, std::initializer_list<Arg> args = {}) {
+    if (enabled()) {
+      record(TraceEvent::Phase::kInstant, name, track(), virtual_now_ms(), args);
+    }
+  }
+  void instant_at(const char* name, std::int64_t track, double virtual_ms,
+                  std::initializer_list<Arg> args = {}) {
+    if (enabled()) {
+      record(TraceEvent::Phase::kInstant, name, track, virtual_ms, args);
+    }
+  }
+  void counter(const char* name, std::int64_t value) {
+    if (enabled()) {
+      record(TraceEvent::Phase::kCounter, name, 0, virtual_now_ms(),
+             {{name, value}});
+    }
+  }
+
+  // ---- inspection / export ----
+
+  /// Recorded events, oldest first (at most `capacity` of them).
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+  /// Events currently held in the ring.
+  [[nodiscard]] std::size_t size() const;
+  /// Ring capacity (0 while disabled).
+  [[nodiscard]] std::size_t capacity() const;
+  /// Events discarded to overflow since enable().
+  [[nodiscard]] std::uint64_t dropped() const;
+  /// Resolves an interned name id ("" for out-of-range ids).
+  [[nodiscard]] std::string name_of(std::uint16_t id) const;
+
+  /// Writes the Chrome trace-event JSON ("traceEvents" array plus
+  /// metadata), events stably sorted by (track, virtual ts) so per-track
+  /// timestamps are monotone and span begin/end pairs stay balanced —
+  /// exactly what tools/check_trace.py validates. Wall-clock duals ride
+  /// in each event's args as "wall_ns".
+  void write_chrome_trace(std::ostream& out) const;
+
+ private:
+  void record(TraceEvent::Phase phase, const char* name, std::int64_t track,
+              double virtual_ms, std::initializer_list<Arg> args);
+  std::uint16_t intern_locked(const char* name);
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<double> virtual_now_us_{0.0};
+  std::atomic<std::int64_t> track_{0};
+
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> ring_;
+  std::size_t head_ = 0;  ///< next write slot
+  std::size_t size_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::vector<std::string> names_;              ///< id -> name
+  std::map<std::string, std::uint16_t> ids_;    ///< name -> id
+  std::map<std::int64_t, std::string> track_names_;
+};
+
+/// The process-global tracer every instrumented layer records into.
+/// Disabled unless a driver (ckv serve --trace, bench_serving --trace,
+/// tests) enables it.
+[[nodiscard]] Tracer& tracer() noexcept;
+
+}  // namespace ckv::obs

@@ -1,9 +1,21 @@
 #include "serve/batch_scheduler.hpp"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
+#include "obs/trace.hpp"
+
 namespace ckv {
+
+namespace {
+
+/// Session trace tracks are 1 + request id; track 0 is the scheduler.
+std::int64_t session_track(const Session& session) noexcept {
+  return 1 + session.request().id;
+}
+
+}  // namespace
 
 BatchScheduler::BatchScheduler(std::vector<ServeRequest> trace,
                                SelectorFactory factory,
@@ -158,6 +170,20 @@ void BatchScheduler::admit_arrivals() {
     // chunk by chunk in subsequent ticks, interleaved with the running
     // batch's decode steps (vLLM-style chunked prefill).
     session->admit(now_ms_);
+    auto& tr = obs::tracer();
+    if (tr.enabled()) {
+      const std::int64_t track = session_track(*session);
+      tr.set_track_name(track,
+                        "session " + std::to_string(session->request().id));
+      // The queued span is emitted retroactively (the session object only
+      // exists from admission); arrival is known, so the span is exact.
+      tr.begin_at("queued", track, session->arrival_ms());
+      tr.end_at("queued", track, now_ms_);
+      tr.instant_at("admit", track, now_ms_,
+                    {{"prompt_len", session->request().prompt_len},
+                     {"decode_len", session->request().decode_len}});
+      tr.begin_at("prefilling", track, now_ms_);
+    }
     running_.push_back(std::move(session));
   }
 }
@@ -243,19 +269,30 @@ void BatchScheduler::enforce_budget(Session* just_stepped) {
     // data never landed), and canceling them keeps the *resident* byte
     // trajectory — and therefore cache windows, hit rates and preemption
     // counts — exactly what a synchronous-fetch run would produce.
+    auto& tr = obs::tracer();
     for (Session* victim : victims) {
       if (fast_tier_bytes() <= config_.fast_tier_budget_bytes) {
         break;
       }
-      victim->cancel_prefetches();
+      // Store-level cancel instants attribute to the victim's track.
+      tr.set_track(session_track(*victim));
+      const Index canceled = victim->cancel_prefetches();
+      if (canceled > 0) {
+        tr.instant("enforce-cancel", {{"fetches", canceled}});
+      }
     }
     // Phase 2 — real preemption of the coldest sessions' resident KV.
     for (Session* victim : victims) {
       if (fast_tier_bytes() <= config_.fast_tier_budget_bytes) {
         break;
       }
-      victim->release_fast_tier();
+      tr.set_track(session_track(*victim));
+      const Index moved = victim->release_fast_tier();
+      if (moved > 0) {
+        tr.instant("preempt", {{"tokens_offloaded", moved}});
+      }
     }
+    tr.set_track(0);
   }
   ensures(config_.fast_tier_budget_bytes == 0 ||
               fast_tier_bytes() <= config_.fast_tier_budget_bytes,
@@ -263,6 +300,7 @@ void BatchScheduler::enforce_budget(Session* just_stepped) {
 }
 
 void BatchScheduler::retire_finished() {
+  auto& tr = obs::tracer();
   auto it = running_.begin();
   while (it != running_.end()) {
     Session& session = **it;
@@ -270,6 +308,14 @@ void BatchScheduler::retire_finished() {
       ++it;
       continue;
     }
+    // Resolve any still-in-flight speculation through the attributed
+    // cancel path *before* the ledger detach silently drops its
+    // reservation: after this, every issued fetch has landed as a hit or
+    // been canceled for a counted reason, which is exactly why the waste
+    // attribution components sum to issued - hits at end of run.
+    tr.set_track(session_track(session));
+    tr.set_virtual_now_ms(now_ms_);
+    session.cancel_prefetches(obs::FetchCancelReason::kSessionRelease);
     SessionRecord record;
     record.id = session.request().id;
     record.prompt_len = session.request().prompt_len;
@@ -287,11 +333,34 @@ void BatchScheduler::retire_finished() {
     record.prefetch_hit_tokens = session.prefetch_hit_tokens();
     record.prefetch_issued_tokens = session.prefetch_issued_tokens();
     record.demand_fetched_tokens = session.demand_fetched_tokens();
+    record.prefetch_canceled_mispredict_tokens =
+        session.prefetch_canceled_tokens(obs::FetchCancelReason::kMisprediction);
+    record.prefetch_canceled_enforce_tokens =
+        session.prefetch_canceled_tokens(obs::FetchCancelReason::kEnforcement);
+    record.prefetch_canceled_release_tokens =
+        session.prefetch_canceled_tokens(obs::FetchCancelReason::kSessionRelease);
     metrics_.record_session(std::move(record));
+    if (tr.enabled()) {
+      const std::int64_t track = session_track(session);
+      tr.end_at("decoding", track, session.finish_ms());
+      tr.instant_at("retired", track, session.finish_ms(),
+                    {{"tokens", session.tokens_generated()},
+                     {"preemptions", session.preemptions()}});
+    }
     // Teardown frees the session's fast-tier residency (ledger included).
     session.attach_fast_tier_ledger(nullptr);
+    preempt_seen_.erase(session.request().id);
     ++finished_count_;
     it = running_.erase(it);
+  }
+  tr.set_track(0);
+}
+
+void BatchScheduler::mark_resume_if_preempted(const Session& session) {
+  Index& seen = preempt_seen_[session.request().id];
+  if (session.preemptions() > seen) {
+    obs::tracer().instant("resume", {{"preemptions", session.preemptions()}});
+    seen = session.preemptions();
   }
 }
 
@@ -302,6 +371,12 @@ bool BatchScheduler::tick() {
   if (running_.empty() && !queue_.has_arrival(now_ms_)) {
     now_ms_ = queue_.next_arrival_ms();  // idle: jump to the next arrival
   }
+  auto& tr = obs::tracer();
+  if (tr.enabled() && ticks_ == 0) {
+    tr.set_track_name(0, "scheduler");
+  }
+  tr.set_track(0);
+  tr.set_virtual_now_ms(now_ms_);
   admit_arrivals();
   ++ticks_;
 
@@ -329,6 +404,7 @@ bool BatchScheduler::tick() {
     // long prompt stalls the batch by at most one chunk per tick.
     double tick_ms = 0.0;
     double repair_ms = 0.0;
+    double decode_ms = 0.0;  // decode share of tick_ms (phase sub-span)
     const bool repair_billed = config_.method == LatencyModel::Method::kClusterKV &&
                                config_.repair_refine_iterations > 0;
     for (std::size_t i = 0; i < decoders.size(); ++i) {
@@ -358,6 +434,7 @@ bool BatchScheduler::tick() {
         }
       }
     }
+    decode_ms = tick_ms;
     std::vector<Index> chunks(prefillers.size(), 0);
     for (std::size_t i = 0; i < prefillers.size(); ++i) {
       chunks[i] = next_chunk_tokens(*prefillers[i]);
@@ -387,13 +464,51 @@ bool BatchScheduler::tick() {
         }
       }
     }
+    const double prefill_ms = tick_ms - decode_ms;
     tick_ms += repair_ms;
     metrics_.record_repair(repair_ms);
 
     const double completed_ms = now_ms_ + tick_ms;
+    if (tr.enabled()) {
+      // The tick span and its phase sub-spans reproduce the paper's
+      // latency breakdown on the virtual clock: decode, then prefill
+      // chunks, then repair, laid out sequentially inside the tick.
+      tr.begin_at("tick", 0, now_ms_,
+                  {{"batch", batch}, {"queued", queue_.size()}});
+      double phase_t = now_ms_;
+      if (!decoders.empty()) {
+        tr.begin_at("decode-phase", 0, phase_t,
+                    {{"decoders", static_cast<Index>(decoders.size())}});
+        tr.end_at("decode-phase", 0, phase_t + decode_ms);
+        phase_t += decode_ms;
+      }
+      if (!prefillers.empty()) {
+        tr.begin_at("prefill-phase", 0, phase_t,
+                    {{"prefillers", static_cast<Index>(prefillers.size())}});
+        tr.end_at("prefill-phase", 0, phase_t + prefill_ms);
+        phase_t += prefill_ms;
+      }
+      if (repair_ms > 0.0) {
+        tr.begin_at("repair-phase", 0, phase_t);
+        tr.end_at("repair-phase", 0, completed_ms);
+      }
+    }
+    // Leaf instrumentation (tiered-store fetch events) records against the
+    // ambient context: the tick's completion time, the acting session's
+    // track.
+    tr.set_virtual_now_ms(completed_ms);
     for (std::size_t i = 0; i < prefillers.size(); ++i) {
       Session* session = prefillers[i];
+      tr.set_track(session_track(*session));
       session->prefill_next(chunks[i], completed_ms);
+      tr.instant("prefill-chunk",
+                 {{"tokens", chunks[i]},
+                  {"done", session->prefill_tokens_done()}});
+      if (session->state() != SessionState::kPrefilling) {
+        tr.end("prefilling");
+        tr.begin("decoding");
+      }
+      mark_resume_if_preempted(*session);
       // Config/factory mismatch guard: with tiered_residency, every
       // selector must feed the shared ledger — an untiered factory would
       // leave it at zero and silently void budget enforcement. Checked
@@ -413,15 +528,39 @@ bool BatchScheduler::tick() {
       enforce_budget(session);
     }
     for (Session* session : decoders) {
-      session->decode_next(completed_ms);
+      tr.set_track(session_track(*session));
+      // Inter-token gap: virtual time between this completion and the
+      // session's previous progress. Only once the first token exists —
+      // the gap before it is TTFT's first-decode-wait, not ITL.
+      if (session->first_token_ms() >= 0.0) {
+        metrics_.record_decode_gap(completed_ms - session->last_step_ms());
+      }
+      const StepResult step = session->decode_next(completed_ms);
+      const Index demand = step.tokens_fetched - step.tokens_prefetch_hit;
+      if (demand > 0) {
+        metrics_.record_fetch_bytes(static_cast<std::int64_t>(demand) *
+                                    session_token_bytes(session_config_));
+      }
+      tr.instant("decode-step", {{"token", session->tokens_generated()},
+                                 {"fetched", step.tokens_fetched}});
+      mark_resume_if_preempted(*session);
       enforce_budget(session);
     }
+    tr.set_track(0);
+    tr.end_at("tick", 0, completed_ms);
     now_ms_ = completed_ms;
     round_robin_offset_ = (round_robin_offset_ + 1) % batch;
-    metrics_.record_tick(tick_ms, batch);
+    metrics_.record_tick(tick_ms, batch, queue_.size());
   }
 
   retire_finished();
+  tr.set_virtual_now_ms(now_ms_);
+  tr.counter("fast-tier-bytes", fast_tier_bytes());
+  if (config_.tiered_residency) {
+    tr.counter("reserved-bytes", ledger_.reserved_bytes());
+  }
+  tr.counter("queue-depth", queue_.size());
+  tr.counter("running-sessions", running_count());
   metrics_.record_occupancy(fast_tier_bytes());
   return !(running_.empty() && queue_.empty());
 }

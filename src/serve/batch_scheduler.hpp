@@ -26,6 +26,7 @@
 #pragma once
 
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "kvcache/tiered_store.hpp"
@@ -124,6 +125,9 @@ class BatchScheduler {
   [[nodiscard]] const FastTierLedger& ledger() const noexcept { return ledger_; }
 
   [[nodiscard]] const ServeMetrics& metrics() const noexcept { return metrics_; }
+  /// Mutable access for exporters that append driver-side instruments
+  /// (e.g. parallel.worker<i>.* counters) before dumping the registry.
+  [[nodiscard]] ServeMetrics& metrics() noexcept { return metrics_; }
   [[nodiscard]] const BatchSchedulerConfig& config() const noexcept { return config_; }
 
   /// Running sessions, admission order (testing hook: invariant checks
@@ -165,6 +169,10 @@ class BatchScheduler {
   /// Chunk size a prefilling session consumes this tick (remaining prompt
   /// capped by prefill_chunk_tokens; the whole remainder when 0).
   [[nodiscard]] Index next_chunk_tokens(const Session& session) const;
+  /// Emits the session's resume trace edge when it makes progress after a
+  /// preemption (first step whose preemption count moved past what the
+  /// scheduler last saw).
+  void mark_resume_if_preempted(const Session& session);
 
   RequestQueue queue_;
   SelectorFactory factory_;
@@ -179,6 +187,9 @@ class BatchScheduler {
   Index ticks_ = 0;
   Index finished_count_ = 0;
   Index round_robin_offset_ = 0;
+  /// Preemption count last observed per running session id — the
+  /// scheduler's memory for preempt -> resume trace edges.
+  std::unordered_map<Index, Index> preempt_seen_;
 };
 
 }  // namespace ckv

@@ -103,12 +103,23 @@ Index Session::release_fast_tier() {
   return moved;
 }
 
-Index Session::cancel_prefetches() {
+Index Session::cancel_prefetches(obs::FetchCancelReason reason) {
   Index canceled = 0;
   auto& bank = engine_->selectors();
   for (Index l = 0; l < bank.num_layers(); ++l) {
     for (Index h = 0; h < bank.num_heads(); ++h) {
-      canceled += bank.at(l, h).cancel_prefetches();
+      canceled += bank.at(l, h).cancel_prefetches(reason);
+    }
+  }
+  return canceled;
+}
+
+std::int64_t Session::prefetch_canceled_tokens(obs::FetchCancelReason reason) const {
+  std::int64_t canceled = 0;
+  const auto& bank = engine_->selectors();
+  for (Index l = 0; l < bank.num_layers(); ++l) {
+    for (Index h = 0; h < bank.num_heads(); ++h) {
+      canceled += bank.at(l, h).prefetch_canceled_tokens(reason);
     }
   }
   return canceled;

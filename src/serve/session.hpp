@@ -107,9 +107,17 @@ class Session {
 
   /// Drops every per-head selector's in-flight speculative fetches
   /// (reserved bytes free, resident KV and cache windows untouched) — the
-  /// scheduler's first, cheapest enforcement lever. Not counted as a
-  /// preemption. Returns fetches canceled.
-  Index cancel_prefetches();
+  /// scheduler's first, cheapest enforcement lever (kEnforcement), also
+  /// called at retirement with kSessionRelease so every issued fetch
+  /// resolves through an attributed path. Not counted as a preemption.
+  /// Returns fetches canceled.
+  Index cancel_prefetches(obs::FetchCancelReason reason =
+                              obs::FetchCancelReason::kEnforcement);
+
+  /// Speculative fetches canceled for `reason`, summed over all per-head
+  /// selectors (waste attribution; see obs::FetchCancelReason).
+  [[nodiscard]] std::int64_t prefetch_canceled_tokens(
+      obs::FetchCancelReason reason) const;
 
   /// Times release_fast_tier actually moved tokens (preemption count).
   [[nodiscard]] Index preemptions() const noexcept { return preemptions_; }

@@ -18,6 +18,28 @@ namespace {
 /// thread run serially instead of re-entering the pool.
 thread_local bool t_in_parallel_region = false;
 
+/// Worker slot of the current thread for utilization accounting: 0 for
+/// callers (and the serial path), 1 + creation index for pool threads.
+thread_local int t_worker_slot = 0;
+
+constexpr int kMaxWorkerSlots = 257;  ///< caller + up to 256 pool threads
+
+/// Per-slot lifetime work counters. Relaxed atomics: slots are written by
+/// exactly one thread each; readers only want a consistent-enough snapshot.
+struct SlotCounters {
+  std::atomic<std::int64_t> chunks{0};
+  std::atomic<std::int64_t> indices{0};
+};
+SlotCounters g_worker_counters[kMaxWorkerSlots];
+std::atomic<int> g_worker_slots_used{1};  ///< slot 0 always exists
+
+inline void count_chunk(Index chunk_begin, Index chunk_end) noexcept {
+  const int slot = t_worker_slot < kMaxWorkerSlots ? t_worker_slot : 0;
+  g_worker_counters[slot].chunks.fetch_add(1, std::memory_order_relaxed);
+  g_worker_counters[slot].indices.fetch_add(chunk_end - chunk_begin,
+                                            std::memory_order_relaxed);
+}
+
 int hardware_workers() noexcept {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);
@@ -60,7 +82,16 @@ class ThreadPool {
       std::scoped_lock lock(state_mutex_);
       while (static_cast<int>(threads_.size()) < workers - 1) {
         const std::uint64_t seen = generation_;
-        threads_.emplace_back([this, seen] { worker_loop(seen); });
+        const int slot = static_cast<int>(threads_.size()) + 1;
+        threads_.emplace_back([this, seen, slot] {
+          t_worker_slot = slot;
+          int used = g_worker_slots_used.load(std::memory_order_relaxed);
+          while (used < slot + 1 &&
+                 !g_worker_slots_used.compare_exchange_weak(
+                     used, slot + 1, std::memory_order_relaxed)) {
+          }
+          worker_loop(seen);
+        });
       }
       job_begin_ = begin;
       job_grain_ = grain;
@@ -142,6 +173,7 @@ class ThreadPool {
       }
       const Index chunk_begin = job_begin_ + chunk * job_grain_;
       const Index chunk_end = std::min(job_end_, chunk_begin + job_grain_);
+      count_chunk(chunk_begin, chunk_end);
       try {
         (*job_body_)(chunk_begin, chunk_end);
       } catch (...) {
@@ -217,11 +249,32 @@ void parallel_for_range(Index begin, Index end, Index grain,
     // Serial path: same chunk boundaries as the pool would use, executed
     // in order on the caller.
     for (Index chunk_begin = begin; chunk_begin < end; chunk_begin += grain) {
-      body(chunk_begin, std::min(end, chunk_begin + grain));
+      const Index chunk_end = std::min(end, chunk_begin + grain);
+      count_chunk(chunk_begin, chunk_end);
+      body(chunk_begin, chunk_end);
     }
     return;
   }
   ThreadPool::instance().run(begin, end, grain, body, workers);
+}
+
+std::vector<WorkerUtilization> parallel_worker_utilization() {
+  const int used = g_worker_slots_used.load(std::memory_order_relaxed);
+  std::vector<WorkerUtilization> out(used);
+  for (int slot = 0; slot < used; ++slot) {
+    out[slot].chunks =
+        g_worker_counters[slot].chunks.load(std::memory_order_relaxed);
+    out[slot].indices =
+        g_worker_counters[slot].indices.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void reset_parallel_worker_utilization() noexcept {
+  for (auto& slot : g_worker_counters) {
+    slot.chunks.store(0, std::memory_order_relaxed);
+    slot.indices.store(0, std::memory_order_relaxed);
+  }
 }
 
 void parallel_for(Index begin, Index end, const std::function<void(Index)>& body) {

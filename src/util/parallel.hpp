@@ -14,6 +14,7 @@
 #pragma once
 
 #include <functional>
+#include <vector>
 
 #include "util/common.hpp"
 
@@ -43,5 +44,24 @@ void parallel_for(Index begin, Index end, const std::function<void(Index)>& body
 /// only on (begin, end, grain), never on the worker count.
 void parallel_for_range(Index begin, Index end, Index grain,
                         const std::function<void(Index, Index)>& body);
+
+/// Lifetime work counters for one worker slot of the pool (slot 0 is the
+/// calling thread — it participates in every region and runs the whole
+/// serial path; slots 1+ are pool threads in creation order). A skewed
+/// indices split across slots is the load-imbalance signal the kernel
+/// benches watch; the observability exporters dump these as
+/// parallel.worker<i>.* counters.
+struct WorkerUtilization {
+  std::int64_t chunks = 0;   ///< chunks claimed off the shared cursor
+  std::int64_t indices = 0;  ///< loop indices covered by those chunks
+};
+
+/// Snapshot of per-worker utilization since process start (or the last
+/// reset), one entry per worker slot that has ever executed a chunk.
+[[nodiscard]] std::vector<WorkerUtilization> parallel_worker_utilization();
+
+/// Zeroes the utilization counters (bench warmup boundary). Must not be
+/// called concurrently with a parallel region.
+void reset_parallel_worker_utilization() noexcept;
 
 }  // namespace ckv

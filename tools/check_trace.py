@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON produced by the obs tracer.
+
+Checks (exit 1 on the first failure, with a diagnostic):
+  1. the file is well-formed JSON with a traceEvents array;
+  2. per track (pid, tid), event timestamps are non-decreasing in file
+     order — the exporter sorts by (track, virtual time), so a violation
+     means the sort or the virtual clock regressed;
+  3. per track, duration events balance: every E closes the most recent
+     open B with the same name, and no B is left open at the end.
+     Skipped when otherData.dropped_events > 0 — a ring that wrapped has
+     legitimately lost some begin edges.
+
+Usage: check_trace.py <trace.json> [--min-events N]
+"""
+import argparse
+import json
+import sys
+
+
+def fail(message):
+    print(f"check_trace: FAIL: {message}")
+    sys.exit(1)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="Chrome trace-event JSON file")
+    parser.add_argument(
+        "--min-events",
+        type=int,
+        default=1,
+        help="minimum non-metadata events expected (guards empty traces)",
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace, encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        fail(f"{args.trace}: not readable as JSON: {error}")
+
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        fail("traceEvents missing or not an array")
+    dropped = document.get("otherData", {}).get("dropped_events", 0)
+
+    last_ts = {}
+    open_spans = {}
+    checked = 0
+    for i, event in enumerate(events):
+        phase = event.get("ph")
+        if phase == "M":
+            continue
+        if phase not in ("B", "E", "i", "C"):
+            fail(f"event {i}: unexpected phase {phase!r}")
+        track = (event.get("pid"), event.get("tid"))
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)):
+            fail(f"event {i}: ts missing or non-numeric")
+        if track in last_ts and ts < last_ts[track]:
+            fail(
+                f"event {i} ({event.get('name')!r}): ts {ts} goes backwards "
+                f"on track {track} (previous {last_ts[track]})"
+            )
+        last_ts[track] = ts
+        checked += 1
+
+        if phase == "B":
+            open_spans.setdefault(track, []).append(event.get("name"))
+        elif phase == "E" and dropped == 0:
+            stack = open_spans.get(track, [])
+            if not stack:
+                fail(
+                    f"event {i}: E {event.get('name')!r} on track {track} "
+                    "with no open span"
+                )
+            top = stack.pop()
+            if top != event.get("name"):
+                fail(
+                    f"event {i}: E {event.get('name')!r} closes open span "
+                    f"{top!r} on track {track}"
+                )
+
+    if dropped == 0:
+        for track, stack in open_spans.items():
+            if stack:
+                fail(f"track {track}: unclosed spans at end of trace: {stack}")
+    if checked < args.min_events:
+        fail(f"only {checked} events (expected >= {args.min_events})")
+
+    print(
+        f"check_trace: OK: {checked} events on {len(last_ts)} tracks, "
+        f"monotone per-track ts, balanced spans"
+        + (f" (balance skipped: {dropped} dropped)" if dropped else "")
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

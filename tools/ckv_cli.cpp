@@ -8,6 +8,7 @@
 //   ckv serve     --sessions 12 --rps 6 --method clusterkv --budget-mult 2.5
 //
 // Run `ckv <command> --help` for the command's options.
+#include <fstream>
 #include <iostream>
 
 #include "baselines/full_kv.hpp"
@@ -17,10 +18,12 @@
 #include "baselines/streaming_llm.hpp"
 #include "core/clusterkv_engine.hpp"
 #include "model/decode_engine.hpp"
+#include "obs/trace.hpp"
 #include "serve/batch_scheduler.hpp"
 #include "serve/trace.hpp"
 #include "sim/latency_model.hpp"
 #include "util/args.hpp"
+#include "util/parallel.hpp"
 #include "util/table.hpp"
 #include "workload/longbench.hpp"
 #include "workload/pg19.hpp"
@@ -302,6 +305,12 @@ int run_serve(int argc, const char* const* argv) {
   args.add_option("max-running", "0",
                   "hard cap on concurrently running sessions (0 = unlimited)");
   args.add_option("seed", "2025", "experiment seed");
+  args.add_option("trace", "",
+                  "write a Chrome trace-event JSON of the run (virtual-clock "
+                  "spans; load in Perfetto / chrome://tracing)");
+  args.add_option("metrics-out", "",
+                  "dump the metrics registry after the run (.csv emits CSV, "
+                  "anything else flat JSON)");
   args.add_switch("csv", "emit CSV instead of an aligned table");
   args.parse(argc, argv);
 
@@ -380,11 +389,52 @@ int run_serve(int argc, const char* const* argv) {
   scheduler_config.prefill_chunk_tokens = args.get_index("prefill-chunk");
   scheduler_config.max_running = args.get_index("max-running");
 
+  const std::string trace_path = args.get_string("trace");
+  const std::string metrics_path = args.get_string("metrics-out");
+  if (!trace_path.empty()) {
+    obs::tracer().enable();
+  }
+
   const LatencyModel latency(HardwareModel::ada6000(),
                              make_model("llama31-8b"));
   BatchScheduler scheduler(trace, factory, session_config, latency,
                            scheduler_config);
   scheduler.run();
+
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    if (!out) {
+      throw std::runtime_error("cannot open trace file '" + trace_path + "'");
+    }
+    obs::tracer().write_chrome_trace(out);
+    obs::tracer().disable();
+    std::cerr << "trace: " << trace_path << "\n";
+  }
+  if (!metrics_path.empty()) {
+    // Fold driver-side worker utilization into the registry so one dump
+    // covers the serving stack and the kernel pool underneath it.
+    auto& registry = scheduler.metrics().registry();
+    const auto workers = parallel_worker_utilization();
+    for (std::size_t slot = 0; slot < workers.size(); ++slot) {
+      const std::string prefix = "parallel.worker" + std::to_string(slot);
+      registry.counter(prefix + ".chunks").add(workers[slot].chunks);
+      registry.counter(prefix + ".indices").add(workers[slot].indices);
+    }
+    std::ofstream out(metrics_path);
+    if (!out) {
+      throw std::runtime_error("cannot open metrics file '" + metrics_path +
+                               "'");
+    }
+    const bool as_csv = metrics_path.size() >= 4 &&
+                        metrics_path.compare(metrics_path.size() - 4, 4,
+                                             ".csv") == 0;
+    if (as_csv) {
+      registry.write_csv(out);
+    } else {
+      registry.write_json(out);
+    }
+    std::cerr << "metrics: " << metrics_path << "\n";
+  }
 
   const auto& m = scheduler.metrics();
   TextTable table({"method", "sessions", "rps", "tok/s", "max batch",
