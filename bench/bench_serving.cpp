@@ -41,10 +41,12 @@
 // sampling), so the CI guards are exactly reproducible and cannot flake.
 #include <cmath>
 #include <cstdint>
+#include <exception>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "baselines/full_kv.hpp"
@@ -56,6 +58,7 @@
 #include "serve/trace.hpp"
 #include "sim/latency_model.hpp"
 #include "util/args.hpp"
+#include "util/parallel.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -417,7 +420,114 @@ struct ServingRow {
   double pf_waste_enf = 0.0;
   double pf_waste_rel = 0.0;
   double recall = 0.0;
+  // Wall-time diagnostics (host clock — table-only, kept out of the JSON
+  // rows so the determinism byte-diff never sees them).
+  double cell_wall_s = 0.0;
+  double fanout_fraction = 0.0;
 };
+
+/// Quality/billing columns for one finished scheduler — everything here
+/// rides the virtual clock, so it is byte-identical at every worker count.
+ServingRow make_serving_row(const std::string& name, double load,
+                            const ServeMetrics& m) {
+  ServingRow row;
+  row.method = name;
+  row.load = load;
+  row.tps = m.throughput_tps();
+  row.max_batch = m.concurrency().max();
+  row.p50_ttft_ms = m.ttft_percentile(50.0);
+  row.p95_ttft_ms = m.ttft_percentile(95.0);
+  row.p95_ttft_short_ms = short_session_ttft_p95(m, 600);
+  row.p50_itl_ms = m.inter_token_percentile(50.0);
+  row.p95_itl_ms = m.inter_token_percentile(95.0);
+  row.p99_step_itl_ms = m.inter_token_gap_p99_ms();
+  row.queue_wait_ms = m.mean_queue_wait_ms();
+  row.max_queue_depth = m.max_queue_depth();
+  row.preemptions = m.total_preemptions();
+  row.repair_ms = m.repair_ms_total();
+  row.hit_rate = m.mean_cache_hit_rate();
+  row.has_prefetch = m.prefetch_issued_total() > 0;
+  if (row.has_prefetch) {
+    row.pf_hit = m.prefetch_hit_rate();
+    row.pf_waste = m.prefetch_waste_rate();
+    row.pf_waste_mis = m.prefetch_waste_rate(obs::FetchCancelReason::kMisprediction);
+    row.pf_waste_enf = m.prefetch_waste_rate(obs::FetchCancelReason::kEnforcement);
+    row.pf_waste_rel = m.prefetch_waste_rate(obs::FetchCancelReason::kSessionRelease);
+  }
+  row.recall = m.mean_recall();
+  row.fanout_fraction = m.fanout_fraction();
+  return row;
+}
+
+/// Wall-time speedup of the parallel tick, measured where it can show:
+/// the whole fleet decoding concurrently under an unlimited budget (the
+/// capped table cells spend much of their time in contended single-item
+/// waves, which is the point — byte-identity outranks speed there).
+struct FanoutScaling {
+  double serial_advance_wall_ms = 0.0;
+  double parallel_advance_wall_ms = 0.0;
+  double speedup = 0.0;
+  double fanout_fraction = 0.0;
+  int workers = 0;
+  unsigned hw_cores = 0;  ///< physical ceiling on any measured speedup
+};
+
+FanoutScaling run_fanout_scaling(const ServingSetup& setup,
+                                 const LatencyModel& latency) {
+  TraceConfig trace_config = setup.trace;
+  trace_config.offered_rps = 1000.0;  // the fleet arrives at once
+  trace_config.decode_len_min = 48;   // decode-heavy: many full-width ticks
+  trace_config.decode_len_max = 64;
+  const auto trace = make_poisson_trace(trace_config, setup.seed);
+
+  ClusterKVConfig ckv = setup.clusterkv;
+  ckv.prefetch_clusters = kPrefetchClusters;
+  ckv.prefetch_prior_weight = kPrefetchPriorWeight;
+  ckv.prefetch_prior_decay = kPrefetchPriorDecay;
+  BatchSchedulerConfig config;
+  config.method = LatencyModel::Method::kClusterKV;
+  config.tiered_residency = true;
+  config.sink_tokens = ckv.sink_tokens;
+  config.decode_interval = ckv.decode_interval;
+  config.cache_depth = ckv.cache_depth;
+  config.tokens_per_cluster = ckv.tokens_per_cluster;
+  config.prefill_chunk_tokens = 256;
+  config.repair_refine_iterations = ckv.repair_refine_iterations;
+  config.repair_decode_interval = ckv.repair_decode_interval;
+  config.prefetch_clusters = kPrefetchClusters;
+  config.fast_tier_budget_bytes = 0;  // unlimited: whole-batch waves
+
+  const auto run_once = [&](bool parallel_tick) {
+    BatchSchedulerConfig c = config;
+    c.parallel_tick = parallel_tick;
+    BatchScheduler scheduler(trace, make_clusterkv_factory(ckv, setup.seed),
+                             setup.session, latency, c);
+    scheduler.run();
+    return std::make_tuple(scheduler.metrics().advance_wall_ms_total(),
+                           scheduler.metrics().fanout_fraction(),
+                           scheduler.metrics().throughput_tps(),
+                           scheduler.metrics().mean_recall());
+  };
+  const auto [serial_wall, serial_fanout, serial_tps, serial_recall] =
+      run_once(false);
+  const auto [parallel_wall, parallel_fanout, parallel_tps, parallel_recall] =
+      run_once(true);
+  if (serial_tps != parallel_tps || serial_recall != parallel_recall) {
+    std::cerr << "  [fanout] WARNING: quality drifted between serial and "
+                 "parallel ticks (tok/s "
+              << serial_tps << " vs " << parallel_tps << ", recall "
+              << serial_recall << " vs " << parallel_recall << ")\n";
+  }
+  FanoutScaling out;
+  out.serial_advance_wall_ms = serial_wall;
+  out.parallel_advance_wall_ms = parallel_wall;
+  out.speedup = parallel_wall > 0.0 ? serial_wall / parallel_wall : 0.0;
+  out.fanout_fraction = parallel_fanout;
+  out.workers = parallel_worker_count();
+  out.hw_cores = std::thread::hardware_concurrency();
+  (void)serial_fanout;
+  return out;
+}
 
 std::string json_number(double v) {
   std::ostringstream s;
@@ -425,7 +535,12 @@ std::string json_number(double v) {
   return s.str();
 }
 
-void write_json(const std::vector<ServingRow>& rows, const std::string& path) {
+/// The "rows" array carries only virtual-clock quality/billing columns —
+/// CI byte-diffs it across worker counts. Wall-clock facts (the fan-out
+/// scaling measurement) live in the separate "fanout" object so the
+/// determinism contract never sees a host timestamp.
+void write_json(const std::vector<ServingRow>& rows,
+                const FanoutScaling& scaling, const std::string& path) {
   std::ofstream out(path);
   out << "{\n  \"rows\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
@@ -457,7 +572,15 @@ void write_json(const std::vector<ServingRow>& rows, const std::string& path) {
         << ", \"recall_at_b\": " << json_number(r.recall) << "}"
         << (i + 1 < rows.size() ? "," : "") << "\n";
   }
-  out << "  ]\n}\n";
+  out << "  ],\n  \"fanout\": {\"workers\": " << scaling.workers
+      << ", \"hw_cores\": " << scaling.hw_cores
+      << ", \"serial_advance_wall_ms\": "
+      << json_number(scaling.serial_advance_wall_ms)
+      << ", \"parallel_advance_wall_ms\": "
+      << json_number(scaling.parallel_advance_wall_ms)
+      << ", \"speedup\": " << json_number(scaling.speedup)
+      << ", \"fanout_fraction\": " << json_number(scaling.fanout_fraction)
+      << "}\n}\n";
 }
 
 }  // namespace
@@ -510,59 +633,68 @@ int main(int argc, char** argv) {
                    "p95 TTFT (s)", "p95 TTFT short (s)", "p50 ITL (ms)",
                    "p95 ITL (ms)", "p99 step ITL (ms)", "queue wait (s)",
                    "max queue", "preempt", "repair (ms)", "hit rate", "pf hit",
-                   "pf waste", "pf mis", "pf enf", "pf rel", "recall@B"});
+                   "pf waste", "pf mis", "pf enf", "pf rel", "recall@B",
+                   "fanout", "wall (s)"});
 
   const std::string trace_path = args.get_string("trace");
+  // Cells are independent simulations (own scheduler, own engines, own
+  // metrics registry), so a load's methods run concurrently on host
+  // threads — results stay byte-identical because every reported column
+  // rides the per-scheduler virtual clock, not the host clock. Tracing
+  // forces the serial sweep: the tracer ring is process-global, and a
+  // concurrent cell would interleave foreign events into the trace.
+  const bool threaded_cells = trace_path.empty();
   std::vector<ServingRow> rows;
   for (const double load : {2.0, 6.0, 12.0}) {
     TraceConfig trace_config = setup.trace;
     trace_config.offered_rps = load;
     const auto trace = make_poisson_trace(trace_config, setup.seed);
-    for (const auto& method : serving_methods(setup)) {
-      const bool traced = !trace_path.empty() && load == 6.0 &&
-                          method.name == "ClusterKV (prefetch)";
-      if (traced) {
-        obs::tracer().enable();
+    const auto methods = serving_methods(setup);
+    std::vector<ServingRow> load_rows(methods.size());
+    std::vector<std::exception_ptr> cell_errors(methods.size());
+    const auto run_cell = [&](std::size_t mi) {
+      try {
+        const auto& method = methods[mi];
+        const bool traced = !trace_path.empty() && load == 6.0 &&
+                            method.name == "ClusterKV (prefetch)";
+        if (traced) {
+          obs::tracer().enable();
+        }
+        bench::Stopwatch watch;
+        BatchScheduler scheduler(trace, method.factory, setup.session, latency,
+                                 method.scheduler);
+        scheduler.run();
+        if (traced) {
+          std::ofstream out(trace_path);
+          obs::tracer().write_chrome_trace(out);
+          obs::tracer().disable();
+          std::cerr << "  [trace] " << trace_path << "\n";
+        }
+        load_rows[mi] = make_serving_row(method.name, load, scheduler.metrics());
+        load_rows[mi].cell_wall_s = watch.seconds();
+      } catch (...) {
+        cell_errors[mi] = std::current_exception();
       }
-      bench::Stopwatch watch;
-      BatchScheduler scheduler(trace, method.factory, setup.session, latency,
-                               method.scheduler);
-      scheduler.run();
-      if (traced) {
-        std::ofstream out(trace_path);
-        obs::tracer().write_chrome_trace(out);
-        obs::tracer().disable();
-        std::cerr << "  [trace] " << trace_path << "\n";
+    };
+    if (threaded_cells) {
+      std::vector<std::thread> cells;
+      cells.reserve(methods.size());
+      for (std::size_t mi = 0; mi < methods.size(); ++mi) {
+        cells.emplace_back(run_cell, mi);
       }
-      const auto& m = scheduler.metrics();
-      ServingRow row;
-      row.method = method.name;
-      row.load = load;
-      row.tps = m.throughput_tps();
-      row.max_batch = m.concurrency().max();
-      row.p50_ttft_ms = m.ttft_percentile(50.0);
-      row.p95_ttft_ms = m.ttft_percentile(95.0);
-      row.p95_ttft_short_ms = short_session_ttft_p95(m, 600);
-      row.p50_itl_ms = m.inter_token_percentile(50.0);
-      row.p95_itl_ms = m.inter_token_percentile(95.0);
-      row.p99_step_itl_ms = m.inter_token_gap_p99_ms();
-      row.queue_wait_ms = m.mean_queue_wait_ms();
-      row.max_queue_depth = m.max_queue_depth();
-      row.preemptions = m.total_preemptions();
-      row.repair_ms = m.repair_ms_total();
-      row.hit_rate = m.mean_cache_hit_rate();
-      row.has_prefetch = m.prefetch_issued_total() > 0;
-      if (row.has_prefetch) {
-        row.pf_hit = m.prefetch_hit_rate();
-        row.pf_waste = m.prefetch_waste_rate();
-        row.pf_waste_mis =
-            m.prefetch_waste_rate(obs::FetchCancelReason::kMisprediction);
-        row.pf_waste_enf =
-            m.prefetch_waste_rate(obs::FetchCancelReason::kEnforcement);
-        row.pf_waste_rel =
-            m.prefetch_waste_rate(obs::FetchCancelReason::kSessionRelease);
+      for (auto& cell : cells) {
+        cell.join();
       }
-      row.recall = m.mean_recall();
+    } else {
+      for (std::size_t mi = 0; mi < methods.size(); ++mi) {
+        run_cell(mi);
+      }
+    }
+    for (std::size_t mi = 0; mi < methods.size(); ++mi) {
+      if (cell_errors[mi] != nullptr) {
+        std::rethrow_exception(cell_errors[mi]);
+      }
+      const ServingRow& row = load_rows[mi];
       rows.push_back(row);
       table.add_row({row.method, format_double(load, 1),
                      format_double(row.tps, 1),
@@ -583,15 +715,32 @@ int main(int argc, char** argv) {
                      row.has_prefetch ? format_double(row.pf_waste_mis, 2) : "-",
                      row.has_prefetch ? format_double(row.pf_waste_enf, 2) : "-",
                      row.has_prefetch ? format_double(row.pf_waste_rel, 2) : "-",
-                     format_double(row.recall, 3)});
-      std::cerr << "  [" << method.name << " @ " << load << " req/s] "
-                << format_double(watch.seconds(), 1) << "s wall\n";
+                     format_double(row.recall, 3),
+                     format_double(row.fanout_fraction, 2),
+                     format_double(row.cell_wall_s, 1)});
+      std::cerr << "  [" << row.method << " @ " << load << " req/s] "
+                << format_double(row.cell_wall_s, 1) << "s wall\n";
     }
   }
   std::cout << table.to_string();
 
+  const FanoutScaling scaling = run_fanout_scaling(setup, latency);
+  std::cout << "\nFan-out scaling (" << setup.trace.num_requests
+            << " concurrent sessions, unlimited budget, " << scaling.workers
+            << " workers on " << scaling.hw_cores
+            << " hardware cores): advance phase "
+            << format_double(scaling.serial_advance_wall_ms, 0)
+            << " ms serial -> "
+            << format_double(scaling.parallel_advance_wall_ms, 0)
+            << " ms parallel, " << format_double(scaling.speedup, 2)
+            << "x wall speedup at "
+            << format_double(scaling.fanout_fraction, 2)
+            << " fan-out fraction (quality byte-identical by construction; "
+               "host clock, not part of the determinism contract — the "
+               "speedup ceiling is the hardware core count)\n";
+
   if (args.get_switch("json")) {
-    write_json(rows, "BENCH_SERVING.json");
+    write_json(rows, scaling, "BENCH_SERVING.json");
     std::cout << "wrote BENCH_SERVING.json\n";
   }
   return 0;

@@ -9,6 +9,9 @@ ServeMetrics::ServeMetrics()
       total_preemptions_(&registry_.counter("serve.preemptions")),
       repair_ms_total_(&registry_.counter("serve.repair_ms_total")),
       repair_ticks_(&registry_.counter("serve.repair_ticks")),
+      advance_wall_ms_(&registry_.counter("serve.advance_wall_ms")),
+      fanout_sessions_(&registry_.counter("serve.fanout_sessions")),
+      advanced_sessions_(&registry_.counter("serve.advanced_sessions")),
       occupancy_(&registry_.gauge("serve.fast_tier_bytes")),
       concurrency_(&registry_.gauge("serve.batch_size")),
       queue_depth_(&registry_.gauge("serve.queue_depth")),
@@ -68,6 +71,17 @@ void ServeMetrics::record_repair(double repair_ms) {
 void ServeMetrics::record_decode_gap(double gap_ms) {
   expects(gap_ms >= 0.0, "ServeMetrics::record_decode_gap: negative gap");
   inter_token_hist_->record(gap_ms);
+}
+
+void ServeMetrics::record_advance_wall(double wall_ms, Index fanned_out,
+                                       Index advanced) {
+  expects(wall_ms >= 0.0, "ServeMetrics::record_advance_wall: negative wall");
+  expects(fanned_out >= 0 && fanned_out <= advanced,
+          "ServeMetrics::record_advance_wall: fanned_out must be a subset of "
+          "the advanced sessions");
+  advance_wall_ms_->add(wall_ms);
+  fanout_sessions_->add(static_cast<std::int64_t>(fanned_out));
+  advanced_sessions_->add(static_cast<std::int64_t>(advanced));
 }
 
 void ServeMetrics::record_fetch_bytes(std::int64_t bytes) {
@@ -287,6 +301,26 @@ double ServeMetrics::repair_ms_total() const noexcept {
 
 Index ServeMetrics::repair_ticks() const noexcept {
   return static_cast<Index>(repair_ticks_->as_int());
+}
+
+double ServeMetrics::advance_wall_ms_total() const noexcept {
+  return advance_wall_ms_->value();
+}
+
+std::int64_t ServeMetrics::fanout_sessions_total() const noexcept {
+  return fanout_sessions_->as_int();
+}
+
+std::int64_t ServeMetrics::advanced_sessions_total() const noexcept {
+  return advanced_sessions_->as_int();
+}
+
+double ServeMetrics::fanout_fraction() const noexcept {
+  const std::int64_t advanced = advanced_sessions_->as_int();
+  return advanced > 0
+             ? static_cast<double>(fanout_sessions_->as_int()) /
+                   static_cast<double>(advanced)
+             : 0.0;
 }
 
 const RunningStat& ServeMetrics::occupancy_bytes() const noexcept {

@@ -114,6 +114,15 @@ class ServeMetrics {
   /// decode completions of one session) into the latency histogram.
   void record_decode_gap(double gap_ms);
 
+  /// Records the *wall* time of one tick's advance phase (host
+  /// milliseconds spent stepping sessions, parallel fan-out included) and
+  /// how the batch was executed: `fanned_out` of the `advanced` sessions
+  /// ran as pool tasks, the rest on the exact serial path. Wall time is
+  /// the only non-deterministic quantity the scheduler records — billed
+  /// virtual time stays the serial per-session composition — so these
+  /// counters never feed a quality or billing column.
+  void record_advance_wall(double wall_ms, Index fanned_out, Index advanced);
+
   /// Records the bytes one session demand-fetched in one decode step
   /// (synchronous slow->fast traffic that stalled the step).
   void record_fetch_bytes(std::int64_t bytes);
@@ -196,6 +205,17 @@ class ServeMetrics {
   [[nodiscard]] double repair_ms_total() const noexcept;
   [[nodiscard]] Index repair_ticks() const noexcept;
 
+  // ---- wall-clock advance-phase accounting (host time, not billed) ----
+
+  /// Total host milliseconds spent in tick advance phases.
+  [[nodiscard]] double advance_wall_ms_total() const noexcept;
+  /// Session advancements executed as parallel pool tasks / in total.
+  [[nodiscard]] std::int64_t fanout_sessions_total() const noexcept;
+  [[nodiscard]] std::int64_t advanced_sessions_total() const noexcept;
+  /// Share of session advancements that ran on the pool (0 when none ran
+  /// at all): how often the headroom guard let the tick fan out.
+  [[nodiscard]] double fanout_fraction() const noexcept;
+
   /// Per-tick samples of global fast-tier occupancy (bytes).
   [[nodiscard]] const RunningStat& occupancy_bytes() const noexcept;
   /// Largest occupancy sample seen (0 before any sample).
@@ -222,6 +242,9 @@ class ServeMetrics {
   obs::Counter* total_preemptions_;
   obs::Counter* repair_ms_total_;
   obs::Counter* repair_ticks_;
+  obs::Counter* advance_wall_ms_;
+  obs::Counter* fanout_sessions_;
+  obs::Counter* advanced_sessions_;
   obs::Gauge* occupancy_;
   obs::Gauge* concurrency_;
   obs::Gauge* queue_depth_;

@@ -6,6 +6,28 @@
 
 namespace ckv::obs {
 
+namespace {
+
+/// Per-thread ambient context. The tracer is a process-global singleton
+/// but its cursor must not be: sessions advancing concurrently on pool
+/// workers each set the track/time of the session they are stepping, and
+/// a shared atomic cursor would interleave them onto whichever track was
+/// written last. Microseconds to match TraceEvent::virtual_us.
+thread_local double t_virtual_now_us = 0.0;
+thread_local std::int64_t t_track = 0;
+
+}  // namespace
+
+void Tracer::set_virtual_now_ms(double now_ms) noexcept {
+  t_virtual_now_us = now_ms * 1000.0;
+}
+
+double Tracer::virtual_now_ms() const noexcept { return t_virtual_now_us / 1000.0; }
+
+void Tracer::set_track(std::int64_t track) noexcept { t_track = track; }
+
+std::int64_t Tracer::track() const noexcept { return t_track; }
+
 const char* to_string(FetchCancelReason reason) noexcept {
   switch (reason) {
     case FetchCancelReason::kMisprediction:

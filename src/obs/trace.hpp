@@ -11,7 +11,11 @@
 // virtual time + current track, one track per session plus track 0 for
 // the scheduler itself); leaf code (tiered store fetches, repair passes,
 // prefetch issue) records instants against that ambient context without
-// knowing whose step it is running inside. The exporter emits Chrome
+// knowing whose step it is running inside. The ambient context is
+// *per-thread*: when the scheduler fans session steps out to the worker
+// pool, each worker sets the context of the session it is advancing, so
+// leaf instants from concurrent steps land on their own session's track
+// instead of clobbering one global cursor. The exporter emits Chrome
 // trace-event JSON loadable in Perfetto / chrome://tracing, validated in
 // CI by tools/check_trace.py.
 #pragma once
@@ -43,6 +47,12 @@ inline constexpr int kFetchCancelReasonCount = 3;
 
 [[nodiscard]] const char* to_string(FetchCancelReason reason) noexcept;
 
+/// Trace-track id namespace: track 0 is the scheduler, 1 + request id is
+/// that session's track, and kWorkerTrackBase + slot carries the pool
+/// workers' fan-out spans (slot 0 is the calling thread). The base is far
+/// above any plausible request id so the spaces cannot collide.
+inline constexpr std::int64_t kWorkerTrackBase = std::int64_t{1} << 20;
+
 /// One recorded event. Virtual timestamps are microseconds on the
 /// scheduler clock (Chrome's native "ts" unit); wall_ns is the
 /// steady-clock dual taken at record time. Names and argument names are
@@ -72,11 +82,14 @@ struct TraceEvent {
 /// the drop count is reported in the export so validators can tell a
 /// truncated trace from a malformed one.
 ///
-/// Thread-safety: record paths take an internal mutex only when enabled.
-/// The serving scheduler advances sessions serially, so serving traces
-/// are deterministic on every virtual-clock field across worker counts;
-/// instrumented leaf code reached from parallel regions (none today) is
-/// still memory-safe, just interleaved.
+/// Thread-safety: record paths take an internal mutex only when enabled,
+/// and the ambient context (track + virtual now) is thread_local — each
+/// pool worker advancing a session under the scheduler's parallel fan-out
+/// carries its own cursor, so concurrent steps' leaf events land on
+/// coherent per-session tracks. Ring order across tracks varies with
+/// thread interleaving, but within one track all of a tick's events come
+/// from a single thread, and the exporter's stable (track, ts) sort makes
+/// the written trace per-track deterministic anyway.
 class Tracer {
  public:
   static constexpr std::size_t kDefaultCapacity = std::size_t{1} << 18;
@@ -99,20 +112,16 @@ class Tracer {
   }
 
   // ---- ambient context (set by the scheduler, read by leaf records) ----
+  // Per-thread state: a fan-out worker's set_track/set_virtual_now_ms only
+  // affects records made from that worker, never the scheduler thread's
+  // cursor or a sibling worker's.
 
-  void set_virtual_now_ms(double now_ms) noexcept {
-    virtual_now_us_.store(now_ms * 1000.0, std::memory_order_relaxed);
-  }
-  [[nodiscard]] double virtual_now_ms() const noexcept {
-    return virtual_now_us_.load(std::memory_order_relaxed) / 1000.0;
-  }
-  /// Track 0 is the scheduler; sessions use 1 + session id.
-  void set_track(std::int64_t track) noexcept {
-    track_.store(track, std::memory_order_relaxed);
-  }
-  [[nodiscard]] std::int64_t track() const noexcept {
-    return track_.load(std::memory_order_relaxed);
-  }
+  void set_virtual_now_ms(double now_ms) noexcept;
+  [[nodiscard]] double virtual_now_ms() const noexcept;
+  /// Track 0 is the scheduler; sessions use 1 + session id; pool workers
+  /// use kWorkerTrackBase + slot.
+  void set_track(std::int64_t track) noexcept;
+  [[nodiscard]] std::int64_t track() const noexcept;
 
   /// Human-readable track label, exported as Chrome thread-name metadata.
   void set_track_name(std::int64_t track, const std::string& name);
@@ -185,8 +194,6 @@ class Tracer {
   std::uint16_t intern_locked(const char* name);
 
   std::atomic<bool> enabled_{false};
-  std::atomic<double> virtual_now_us_{0.0};
-  std::atomic<std::int64_t> track_{0};
 
   mutable std::mutex mutex_;
   std::vector<TraceEvent> ring_;

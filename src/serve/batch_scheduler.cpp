@@ -1,10 +1,12 @@
 #include "serve/batch_scheduler.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <string>
 #include <utility>
 
 #include "obs/trace.hpp"
+#include "util/parallel.hpp"
 
 namespace ckv {
 
@@ -364,6 +366,99 @@ void BatchScheduler::mark_resume_if_preempted(const Session& session) {
   }
 }
 
+std::int64_t BatchScheduler::advance_growth_bound_bytes(
+    const AdvanceItem& item) const {
+  const std::int64_t per_token =
+      static_cast<std::int64_t>(session_token_bytes(session_config_)) *
+      session_config_.shape.total_heads();
+  if (item.prefilling) {
+    // A prefill chunk materializes at most its own tokens fast (pending
+    // grows by the chunk; flushed clusters offload eagerly, repair moves
+    // metadata only).
+    return static_cast<std::int64_t>(item.chunk) * per_token;
+  }
+  if (!config_.tiered_residency) {
+    // Untiered residency pins the whole context, which grows by exactly
+    // the generated token.
+    return per_token;
+  }
+  // A tiered decode step can pin at most the selection budget in fresh
+  // demand fetches, adds one pending token, and may reserve one
+  // speculative fetch round (prefetch resolution only converts or frees
+  // existing reservations; flushes and window evictions only release).
+  const Index context =
+      item.session->request().prompt_len + item.session->tokens_generated() + 1;
+  const Index tokens =
+      std::min<Index>(session_config_.engine.budget, context) + 1 +
+      config_.prefetch_clusters * std::max<Index>(1, config_.tokens_per_cluster);
+  return static_cast<std::int64_t>(tokens) * per_token;
+}
+
+void BatchScheduler::advance_item(AdvanceItem& item, double completed_ms) {
+  // Thread-local tracer context: on a pool worker this scopes the step's
+  // leaf instants (demand-fetch, fetch-issue, repair-pass, ...) to this
+  // session's track without disturbing concurrent steps or the scheduler
+  // thread's cursor.
+  auto& tr = obs::tracer();
+  tr.set_track(session_track(*item.session));
+  tr.set_virtual_now_ms(completed_ms);
+  if (item.prefilling) {
+    item.session->prefill_next(item.chunk, completed_ms);
+  } else {
+    item.step = item.session->decode_next(completed_ms);
+  }
+}
+
+void BatchScheduler::commit_item(AdvanceItem& item, double completed_ms) {
+  auto& tr = obs::tracer();
+  Session* session = item.session;
+  tr.set_track(session_track(*session));
+  if (item.prefilling) {
+    tr.instant("prefill-chunk",
+               {{"tokens", item.chunk}, {"done", session->prefill_tokens_done()}});
+    if (session->state() != SessionState::kPrefilling) {
+      tr.end("prefilling");
+      tr.begin("decoding");
+    }
+    mark_resume_if_preempted(*session);
+    // Config/factory mismatch guard: with tiered_residency, every
+    // selector must feed the shared ledger — an untiered factory would
+    // leave it at zero and silently void budget enforcement. Checked
+    // when a session finishes prefill, when chunk-oblivious selectors
+    // have materialized their whole-prompt state.
+    if (session->state() != SessionState::kPrefilling &&
+        config_.tiered_residency) {
+      std::int64_t summed = 0;
+      for (const auto& running : running_) {
+        summed += running->fast_resident_bytes();
+      }
+      ensures(ledger_.bytes() == summed,
+              "BatchScheduler: tiered_residency is set but the session's "
+              "selectors do not report through the fast-tier ledger "
+              "(untiered factory?)");
+    }
+    enforce_budget(session);
+  } else {
+    // Inter-token gap: virtual time between this completion and the
+    // session's previous progress, read from the pre-advance capture so
+    // the fan-out sees exactly what the serial scheduler's sequence point
+    // saw. Only once the first token exists — the gap before it is TTFT's
+    // first-decode-wait, not ITL.
+    if (item.pre_first_token_ms >= 0.0) {
+      metrics_.record_decode_gap(completed_ms - item.pre_last_step_ms);
+    }
+    const Index demand = item.step.tokens_fetched - item.step.tokens_prefetch_hit;
+    if (demand > 0) {
+      metrics_.record_fetch_bytes(static_cast<std::int64_t>(demand) *
+                                  session_token_bytes(session_config_));
+    }
+    tr.instant("decode-step", {{"token", session->tokens_generated()},
+                               {"fetched", item.step.tokens_fetched}});
+    mark_resume_if_preempted(*session);
+    enforce_budget(session);
+  }
+}
+
 bool BatchScheduler::tick() {
   if (running_.empty() && queue_.empty()) {
     return false;
@@ -475,18 +570,26 @@ bool BatchScheduler::tick() {
       // chunks, then repair, laid out sequentially inside the tick.
       tr.begin_at("tick", 0, now_ms_,
                   {{"batch", batch}, {"queued", queue_.size()}});
+      // The last phase must end at exactly completed_ms (the tick E's
+      // timestamp): summing the phase durations incrementally drifts in
+      // the low bits relative to now_ms_ + tick_ms, and an end a few ulps
+      // past the tick E sorts after it, unbalancing the span stack.
       double phase_t = now_ms_;
       if (!decoders.empty()) {
+        const bool last = prefillers.empty() && repair_ms <= 0.0;
+        const double end = last ? completed_ms : phase_t + decode_ms;
         tr.begin_at("decode-phase", 0, phase_t,
                     {{"decoders", static_cast<Index>(decoders.size())}});
-        tr.end_at("decode-phase", 0, phase_t + decode_ms);
-        phase_t += decode_ms;
+        tr.end_at("decode-phase", 0, end);
+        phase_t = end;
       }
       if (!prefillers.empty()) {
+        const bool last = repair_ms <= 0.0;
+        const double end = last ? completed_ms : phase_t + prefill_ms;
         tr.begin_at("prefill-phase", 0, phase_t,
                     {{"prefillers", static_cast<Index>(prefillers.size())}});
-        tr.end_at("prefill-phase", 0, phase_t + prefill_ms);
-        phase_t += prefill_ms;
+        tr.end_at("prefill-phase", 0, end);
+        phase_t = end;
       }
       if (repair_ms > 0.0) {
         tr.begin_at("repair-phase", 0, phase_t);
@@ -495,57 +598,109 @@ bool BatchScheduler::tick() {
     }
     // Leaf instrumentation (tiered-store fetch events) records against the
     // ambient context: the tick's completion time, the acting session's
-    // track.
+    // track. The context is thread-local, so pool workers scope their own
+    // events without racing the scheduler thread.
     tr.set_virtual_now_ms(completed_ms);
+
+    // Advancement order is fixed (prefillers, then decoders, both in
+    // round-robin order) — identical to the serial scheduler. Pre-step
+    // state is captured up front: commit-phase accounting must see what
+    // the serial scheduler's sequence point would have seen.
+    std::vector<AdvanceItem> items;
+    items.reserve(prefillers.size() + decoders.size());
     for (std::size_t i = 0; i < prefillers.size(); ++i) {
-      Session* session = prefillers[i];
-      tr.set_track(session_track(*session));
-      session->prefill_next(chunks[i], completed_ms);
-      tr.instant("prefill-chunk",
-                 {{"tokens", chunks[i]},
-                  {"done", session->prefill_tokens_done()}});
-      if (session->state() != SessionState::kPrefilling) {
-        tr.end("prefilling");
-        tr.begin("decoding");
-      }
-      mark_resume_if_preempted(*session);
-      // Config/factory mismatch guard: with tiered_residency, every
-      // selector must feed the shared ledger — an untiered factory would
-      // leave it at zero and silently void budget enforcement. Checked
-      // when a session finishes prefill, when chunk-oblivious selectors
-      // have materialized their whole-prompt state.
-      if (session->state() != SessionState::kPrefilling &&
-          config_.tiered_residency) {
-        std::int64_t summed = 0;
-        for (const auto& running : running_) {
-          summed += running->fast_resident_bytes();
-        }
-        ensures(ledger_.bytes() == summed,
-                "BatchScheduler: tiered_residency is set but the session's "
-                "selectors do not report through the fast-tier ledger "
-                "(untiered factory?)");
-      }
-      enforce_budget(session);
+      AdvanceItem item;
+      item.session = prefillers[i];
+      item.prefilling = true;
+      item.chunk = chunks[i];
+      items.push_back(item);
     }
     for (Session* session : decoders) {
-      tr.set_track(session_track(*session));
-      // Inter-token gap: virtual time between this completion and the
-      // session's previous progress. Only once the first token exists —
-      // the gap before it is TTFT's first-decode-wait, not ITL.
-      if (session->first_token_ms() >= 0.0) {
-        metrics_.record_decode_gap(completed_ms - session->last_step_ms());
-      }
-      const StepResult step = session->decode_next(completed_ms);
-      const Index demand = step.tokens_fetched - step.tokens_prefetch_hit;
-      if (demand > 0) {
-        metrics_.record_fetch_bytes(static_cast<std::int64_t>(demand) *
-                                    session_token_bytes(session_config_));
-      }
-      tr.instant("decode-step", {{"token", session->tokens_generated()},
-                                 {"fetched", step.tokens_fetched}});
-      mark_resume_if_preempted(*session);
-      enforce_budget(session);
+      AdvanceItem item;
+      item.session = session;
+      item.pre_last_step_ms = session->last_step_ms();
+      item.pre_first_token_ms = session->first_token_ms();
+      items.push_back(item);
     }
+
+    // Wave fan-out: repeatedly take the longest prefix of un-advanced
+    // items whose summed worst-case byte growth provably fits the budget
+    // headroom. Inside such a wave every per-session enforcement
+    // checkpoint is silent, so session order cannot matter — the wave
+    // runs concurrently on the worker pool, then its commit phase (trace
+    // edges, metrics, the enforcement checkpoints themselves) replays in
+    // the exact serial order. When the guard admits at most one item the
+    // scheduler degenerates to the literal serial step+commit
+    // interleaving, preserving byte-identity under contention too.
+    const auto wall_begin = std::chrono::steady_clock::now();
+    Index fanned_out = 0;
+    std::size_t next = 0;
+    while (next < items.size()) {
+      std::size_t wave_end = next;
+      if (config_.parallel_tick) {
+        if (config_.fast_tier_budget_bytes == 0) {
+          wave_end = items.size();  // unlimited budget: one wave, no guard
+        } else {
+          std::int64_t headroom = config_.fast_tier_budget_bytes - fast_tier_bytes();
+          while (wave_end < items.size()) {
+            const std::int64_t bound = advance_growth_bound_bytes(items[wave_end]);
+            if (bound > headroom) {
+              break;
+            }
+            headroom -= bound;
+            ++wave_end;
+          }
+        }
+      }
+      if (wave_end <= next + 1) {
+        // Contended (or parallel_tick off): advance one item and commit it
+        // immediately — the pre-fan-out serial path, verbatim.
+        advance_item(items[next], completed_ms);
+        tr.set_virtual_now_ms(completed_ms);
+        commit_item(items[next], completed_ms);
+        ++next;
+        continue;
+      }
+      const std::size_t wave_begin_i = next;
+      parallel_for_range(
+          static_cast<Index>(wave_begin_i), static_cast<Index>(wave_end),
+          /*grain=*/1, [&](Index chunk_begin, Index chunk_end) {
+            // Workers trace their occupancy on dedicated tracks so a
+            // Perfetto view shows the fan-out's shape; the advance span
+            // covers the tick's virtual window. grain 1 means inner
+            // engine parallel_for calls self-serialize instead of
+            // re-entering the pool.
+            auto& wtr = obs::tracer();
+            const int slot = parallel_worker_slot();
+            const std::int64_t worker_track = obs::kWorkerTrackBase + slot;
+            for (Index i = chunk_begin; i < chunk_end; ++i) {
+              if (wtr.enabled()) {
+                wtr.set_track_name(worker_track,
+                                   "worker " + std::to_string(slot));
+                wtr.begin_at("advance", worker_track, now_ms_,
+                             {{"session", items[i].session->request().id}});
+              }
+              advance_item(items[i], completed_ms);
+              if (wtr.enabled()) {
+                wtr.end_at("advance", worker_track, completed_ms);
+              }
+            }
+          });
+      fanned_out += static_cast<Index>(wave_end - wave_begin_i);
+      // The caller participated in the wave and its thread-local tracer
+      // context now points at the last session it stepped — restore it.
+      tr.set_virtual_now_ms(completed_ms);
+      for (std::size_t i = wave_begin_i; i < wave_end; ++i) {
+        commit_item(items[i], completed_ms);
+      }
+      next = wave_end;
+    }
+    const double advance_wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - wall_begin)
+            .count();
+    metrics_.record_advance_wall(advance_wall_ms, fanned_out,
+                                 static_cast<Index>(items.size()));
     tr.set_track(0);
     tr.end_at("tick", 0, completed_ms);
     now_ms_ = completed_ms;

@@ -84,6 +84,17 @@ struct BatchSchedulerConfig {
   /// Residency-wise nothing changes here: in-flight fetch bytes reach the
   /// budget through the ledger's reserved counter regardless.
   Index prefetch_clusters = 0;
+  /// Fan session advancement out to the persistent worker pool. Sessions
+  /// are independent (own engine, own RNG, own stores; the shared ledger
+  /// is commutative atomics), so a tick may step them concurrently —
+  /// *wall* time drops while every billed virtual-time, quality and
+  /// billing column stays byte-identical to the serial scheduler: the
+  /// fan-out only covers waves the headroom guard proves budget
+  /// enforcement cannot interrupt, and order-sensitive work (metrics,
+  /// preemption, enforcement, retirement) runs in a serial commit phase
+  /// in the exact serial order (see docs/SCHEDULING.md). false forces the
+  /// pre-fan-out serial path (determinism A/B runs, debugging).
+  bool parallel_tick = true;
 };
 
 class BatchScheduler {
@@ -149,9 +160,39 @@ class BatchScheduler {
   [[nodiscard]] PrefillFlushPlan prefill_flush_plan(Index prompt_len) const;
 
  private:
+  /// One session's advancement this tick, carried from the serial pre-pass
+  /// through the (possibly parallel) advance phase into the serial commit
+  /// phase. Pre-step values are captured before anything advances because
+  /// commit-phase accounting (the inter-token gap) must see the state the
+  /// serial scheduler would have seen at its sequence point.
+  struct AdvanceItem {
+    Session* session = nullptr;
+    bool prefilling = false;
+    Index chunk = 0;  ///< prefill chunk tokens (prefillers only)
+    double pre_last_step_ms = -1.0;
+    double pre_first_token_ms = -1.0;
+    StepResult step;  ///< decode outcome (decoders only)
+  };
+
   void admit_arrivals();
   void enforce_budget(Session* just_stepped);
   void retire_finished();
+  /// Runs one item's prefill chunk / decode step at `completed_ms`,
+  /// setting the calling thread's tracer context to the session's track
+  /// (safe from pool workers — the ambient context is per-thread).
+  void advance_item(AdvanceItem& item, double completed_ms);
+  /// The item's order-sensitive tail, serial-only: trace edges, metrics,
+  /// the ledger cross-check and the budget-enforcement checkpoint, in the
+  /// exact order the serial scheduler interleaves them between steps.
+  void commit_item(AdvanceItem& item, double completed_ms);
+  /// Conservative upper bound on the fast-tier bytes this advancement can
+  /// add (nothing subtracted for releases). The fan-out guard admits a
+  /// wave only while the summed bounds fit the budget headroom, which
+  /// proves every per-session enforcement checkpoint inside the wave
+  /// would have been silent — the wave is then order-free and safe to
+  /// run concurrently without changing a single observable byte.
+  [[nodiscard]] std::int64_t advance_growth_bound_bytes(
+      const AdvanceItem& item) const;
   /// Peak fast-tier bytes a request can pin once admitted.
   [[nodiscard]] std::int64_t projected_bytes(const ServeRequest& request) const;
   /// Irreducible bytes a session holds even after release_fast_tier

@@ -3,6 +3,13 @@
 // decode-throughput numbers of §V-C. All byte counts come from the model
 // shape; dynamic quantities (cache miss rate) come from measurements of
 // the actual pipeline simulation.
+//
+// Every quantity here is *simulated* time on the scheduler's virtual
+// clock — a pure function of the schedule, independent of host speed or
+// worker count. The scheduler bills it in a pre-pass before any session
+// advances, which is what lets the advance phase run in parallel while
+// latency columns stay byte-identical at every CKV_THREADS (wall time is
+// tracked separately; see docs/PERFORMANCE.md).
 #pragma once
 
 #include <string>

@@ -258,6 +258,8 @@ void parallel_for_range(Index begin, Index end, Index grain,
   ThreadPool::instance().run(begin, end, grain, body, workers);
 }
 
+int parallel_worker_slot() noexcept { return t_worker_slot; }
+
 std::vector<WorkerUtilization> parallel_worker_utilization() {
   const int used = g_worker_slots_used.load(std::memory_order_relaxed);
   std::vector<WorkerUtilization> out(used);

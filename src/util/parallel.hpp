@@ -56,6 +56,12 @@ struct WorkerUtilization {
   std::int64_t indices = 0;  ///< loop indices covered by those chunks
 };
 
+/// Worker slot of the calling thread: 0 on the caller/serial path, 1 +
+/// creation index on pool threads. Stable for the life of the thread, so
+/// code running inside a parallel body can attribute its work (trace
+/// spans, counters) to the worker that executed it.
+[[nodiscard]] int parallel_worker_slot() noexcept;
+
 /// Snapshot of per-worker utilization since process start (or the last
 /// reset), one entry per worker slot that has ever executed a chunk.
 [[nodiscard]] std::vector<WorkerUtilization> parallel_worker_utilization();

@@ -5,9 +5,12 @@
 // to a cancellation reason.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 #include <string>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "core/clusterkv_engine.hpp"
@@ -345,7 +348,10 @@ TEST(WasteAttribution, ComponentsSumToIssuedMinusHits) {
 
 /// Virtual-clock trace fields must not depend on the worker count: the
 /// kernels are bit-deterministic across workers, and wall time never
-/// feeds the virtual clock.
+/// feeds the virtual clock. Worker occupancy spans (tracks >=
+/// kWorkerTrackBase) are the one deliberate exception — which pool slot
+/// advances which session is a wall-schedule fact — so they are compared
+/// as a track-agnostic multiset instead of positionally.
 TEST(TraceDeterminism, VirtualClockFieldsIdenticalAcrossWorkerCounts) {
   WorkerGuard worker_guard;
   TracerGuard tracer_guard;
@@ -383,14 +389,45 @@ TEST(TraceDeterminism, VirtualClockFieldsIdenticalAcrossWorkerCounts) {
   const auto parallel = run_traced(4);
   ASSERT_FALSE(serial.empty());
   ASSERT_EQ(serial.size(), parallel.size());
-  for (std::size_t i = 0; i < serial.size(); ++i) {
-    EXPECT_EQ(serial[i].name, parallel[i].name) << "event " << i;
-    EXPECT_EQ(serial[i].phase, parallel[i].phase) << "event " << i;
-    EXPECT_EQ(serial[i].track, parallel[i].track) << "event " << i;
-    EXPECT_DOUBLE_EQ(serial[i].virtual_us, parallel[i].virtual_us)
+
+  const auto split_worker_events = [](const std::vector<Snapshot>& events) {
+    std::pair<std::vector<Snapshot>, std::vector<Snapshot>> out;
+    for (const auto& e : events) {
+      (e.track >= obs::kWorkerTrackBase ? out.second : out.first).push_back(e);
+    }
+    return out;
+  };
+  const auto [serial_sem, serial_worker] = split_worker_events(serial);
+  const auto [parallel_sem, parallel_worker] = split_worker_events(parallel);
+
+  ASSERT_EQ(serial_sem.size(), parallel_sem.size());
+  for (std::size_t i = 0; i < serial_sem.size(); ++i) {
+    EXPECT_EQ(serial_sem[i].name, parallel_sem[i].name) << "event " << i;
+    EXPECT_EQ(serial_sem[i].phase, parallel_sem[i].phase) << "event " << i;
+    EXPECT_EQ(serial_sem[i].track, parallel_sem[i].track) << "event " << i;
+    EXPECT_DOUBLE_EQ(serial_sem[i].virtual_us, parallel_sem[i].virtual_us)
         << "event " << i;
-    EXPECT_EQ(serial[i].args[0], parallel[i].args[0]) << "event " << i;
-    EXPECT_EQ(serial[i].args[1], parallel[i].args[1]) << "event " << i;
+    EXPECT_EQ(serial_sem[i].args[0], parallel_sem[i].args[0]) << "event " << i;
+    EXPECT_EQ(serial_sem[i].args[1], parallel_sem[i].args[1]) << "event " << i;
+  }
+
+  // The same sessions advance in the same virtual windows regardless of
+  // which slot ran them: sorting away the wall-schedule dimensions (track,
+  // emission order) must leave identical worker-span multisets.
+  ASSERT_EQ(serial_worker.size(), parallel_worker.size());
+  const auto worker_key = [](const Snapshot& e) {
+    return std::make_tuple(e.name, e.phase, e.virtual_us, e.args[0], e.args[1]);
+  };
+  auto serial_sorted = serial_worker;
+  auto parallel_sorted = parallel_worker;
+  const auto by_key = [&](const Snapshot& a, const Snapshot& b) {
+    return worker_key(a) < worker_key(b);
+  };
+  std::sort(serial_sorted.begin(), serial_sorted.end(), by_key);
+  std::sort(parallel_sorted.begin(), parallel_sorted.end(), by_key);
+  for (std::size_t i = 0; i < serial_sorted.size(); ++i) {
+    EXPECT_EQ(worker_key(serial_sorted[i]), worker_key(parallel_sorted[i]))
+        << "worker event " << i;
   }
 }
 

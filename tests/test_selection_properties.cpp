@@ -18,6 +18,7 @@
 #include "model/procedural.hpp"
 #include "serve/batch_scheduler.hpp"
 #include "tensor/rng.hpp"
+#include "worker_guard.hpp"
 
 namespace ckv {
 namespace {
@@ -244,124 +245,163 @@ INSTANTIATE_TEST_SUITE_P(Seeds, GatherTrimFuzz, ::testing::Values(41, 42, 43, 44
 // and stores, and attention sinks never offloaded. test_serve.cpp
 // spot-checks these on hand-picked schedules; this sweep searches for
 // counterexamples.
+//
+// The whole schedule runs twice, serial (1 worker) and fanned out onto
+// 4 pool workers, with the injected events re-derived from the same seed
+// — the invariants must hold tick-for-tick in both runs, and the retired
+// SessionRecords must come out bit-identical (the parallel tick's
+// byte-identity contract under adversarial mid-run preemption, repair
+// and prefetch-cancellation injection).
 class ServingResidencyFuzz : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(ServingResidencyFuzz, BudgetAndSinkInvariantsHoldUnderRandomSchedules) {
-  Rng rng(GetParam());
+  WorkerGuard worker_guard;
+  std::vector<SessionRecord> serial_records;
+  for (const int workers : {1, 4}) {
+    set_parallel_workers(workers);
+    Rng rng(GetParam());
 
-  SessionConfig session;
-  session.shape.num_layers = 1;
-  session.shape.num_heads = 2;
-  session.shape.head_dim = 32;
-  session.params.head_dim = 32;
-  session.params.num_topics = 16;
-  session.engine.budget = rng.uniform_int(24, 64);
-  session.engine.full_attention_layers = 0;
+    SessionConfig session;
+    session.shape.num_layers = 1;
+    session.shape.num_heads = 2;
+    session.shape.head_dim = 32;
+    session.params.head_dim = 32;
+    session.params.num_topics = 16;
+    session.engine.budget = rng.uniform_int(24, 64);
+    session.engine.full_attention_layers = 0;
 
-  ClusterKVConfig ckv;
-  ckv.sink_tokens = rng.uniform_int(0, 8);
-  ckv.tokens_per_cluster = rng.uniform_int(8, 24);
-  ckv.decode_interval = rng.uniform_int(4, 16);
-  ckv.decode_clusters = 2;
-  ckv.cache_depth = rng.uniform_int(0, 2);
-  ckv.repair_merge_threshold = rng.uniform(-1.0, 0.9);
-  ckv.repair_refine_iterations = rng.uniform_int(0, 4);
-  ckv.repair_decode_interval = rng.uniform_int(0, 5);
-  ckv.prefetch_clusters = rng.uniform_int(0, 4);
-  ckv.prefetch_prior_decay = rng.uniform(0.0, 0.95);
+    ClusterKVConfig ckv;
+    ckv.sink_tokens = rng.uniform_int(0, 8);
+    ckv.tokens_per_cluster = rng.uniform_int(8, 24);
+    ckv.decode_interval = rng.uniform_int(4, 16);
+    ckv.decode_clusters = 2;
+    ckv.cache_depth = rng.uniform_int(0, 2);
+    ckv.repair_merge_threshold = rng.uniform(-1.0, 0.9);
+    ckv.repair_refine_iterations = rng.uniform_int(0, 4);
+    ckv.repair_decode_interval = rng.uniform_int(0, 5);
+    ckv.prefetch_clusters = rng.uniform_int(0, 4);
+    ckv.prefetch_prior_decay = rng.uniform(0.0, 0.95);
 
-  BatchSchedulerConfig config;
-  config.method = LatencyModel::Method::kClusterKV;
-  config.tiered_residency = true;
-  config.sink_tokens = ckv.sink_tokens;
-  config.decode_interval = ckv.decode_interval;
-  config.cache_depth = ckv.cache_depth;
-  config.tokens_per_cluster = ckv.tokens_per_cluster;
-  config.repair_refine_iterations = ckv.repair_refine_iterations;
-  config.repair_decode_interval = ckv.repair_decode_interval;
-  config.prefetch_clusters = ckv.prefetch_clusters;
-  config.prefill_chunk_tokens = rng.bernoulli(0.2) ? 0 : rng.uniform_int(16, 96);
-  config.admission_overcommit = rng.uniform(1.0, 2.0);
+    BatchSchedulerConfig config;
+    config.method = LatencyModel::Method::kClusterKV;
+    config.tiered_residency = true;
+    config.sink_tokens = ckv.sink_tokens;
+    config.decode_interval = ckv.decode_interval;
+    config.cache_depth = ckv.cache_depth;
+    config.tokens_per_cluster = ckv.tokens_per_cluster;
+    config.repair_refine_iterations = ckv.repair_refine_iterations;
+    config.repair_decode_interval = ckv.repair_decode_interval;
+    config.prefetch_clusters = ckv.prefetch_clusters;
+    config.prefill_chunk_tokens = rng.bernoulli(0.2) ? 0 : rng.uniform_int(16, 96);
+    config.admission_overcommit = rng.uniform(1.0, 2.0);
 
-  const Index sessions = rng.uniform_int(3, 5);
-  std::vector<ServeRequest> trace;
-  Index longest_context = 0;
-  for (Index i = 0; i < sessions; ++i) {
-    ServeRequest request;
-    request.id = i;
-    request.arrival_ms = rng.uniform(0.0, 50.0) * static_cast<double>(i);
-    request.prompt_len = rng.uniform_int(60, 400);
-    request.decode_len = rng.uniform_int(3, 8);
-    request.seed = derive_seed(GetParam(), "fuzz/req/" + std::to_string(i));
-    longest_context = std::max(longest_context, request.prompt_len + request.decode_len);
-    trace.push_back(request);
-  }
-  std::sort(trace.begin(), trace.end(),
-            [](const ServeRequest& a, const ServeRequest& b) {
-              return a.arrival_ms < b.arrival_ms;
-            });
-
-  // Budget between one and two of the largest projected working sets:
-  // tight enough to force queueing and preemption, always admissible.
-  const Index floor_tokens = std::min<Index>(
-      longest_context,
-      ckv.sink_tokens + std::max<Index>(ckv.tokens_per_cluster,
-                                        ckv.decode_interval +
-                                            ckv.cache_depth * session.engine.budget));
-  const std::int64_t projected = static_cast<std::int64_t>(floor_tokens) *
-                                 session_token_bytes(session) *
-                                 session.shape.total_heads();
-  config.fast_tier_budget_bytes =
-      projected + static_cast<std::int64_t>(rng.uniform(0.0, 1.0) *
-                                            static_cast<double>(projected)) + 1;
-
-  const LatencyModel latency(HardwareModel::ada6000(), ModelConfig::llama31_8b());
-  BatchScheduler scheduler(trace, make_clusterkv_factory(ckv, GetParam()), session,
-                           latency, config);
-
-  while (scheduler.tick()) {
-    // External events the scheduler does not control: a preemption or a
-    // speculation cancel can land at any point of any lifecycle state.
-    if (!scheduler.running().empty()) {
-      const auto victim = static_cast<std::size_t>(rng.uniform_int(
-          0, static_cast<Index>(scheduler.running().size()) - 1));
-      if (rng.bernoulli(0.15)) {
-        scheduler.running()[victim]->release_fast_tier();
-      } else if (rng.bernoulli(0.15)) {
-        scheduler.running()[victim]->cancel_prefetches();
-      }
+    const Index sessions = rng.uniform_int(3, 5);
+    std::vector<ServeRequest> trace;
+    Index longest_context = 0;
+    for (Index i = 0; i < sessions; ++i) {
+      ServeRequest request;
+      request.id = i;
+      request.arrival_ms = rng.uniform(0.0, 50.0) * static_cast<double>(i);
+      request.prompt_len = rng.uniform_int(60, 400);
+      request.decode_len = rng.uniform_int(3, 8);
+      request.seed = derive_seed(GetParam(), "fuzz/req/" + std::to_string(i));
+      longest_context = std::max(longest_context, request.prompt_len + request.decode_len);
+      trace.push_back(request);
     }
+    std::sort(trace.begin(), trace.end(),
+              [](const ServeRequest& a, const ServeRequest& b) {
+                return a.arrival_ms < b.arrival_ms;
+              });
 
-    // (1) Global footprint — resident plus in-flight — within budget.
-    EXPECT_LE(scheduler.fast_tier_bytes(), config.fast_tier_budget_bytes);
-    // (2) The O(1) ledger agrees with an independent re-sum.
-    std::int64_t resident = 0;
-    std::int64_t reserved = 0;
-    for (const auto& running : scheduler.running()) {
-      resident += running->fast_resident_bytes();
-      auto& bank = running->engine().selectors();
-      for (Index l = 0; l < bank.num_layers(); ++l) {
-        for (Index h = 0; h < bank.num_heads(); ++h) {
-          const auto* engine = dynamic_cast<const ClusterKVEngine*>(&bank.at(l, h));
-          ASSERT_NE(engine, nullptr);
-          reserved += engine->tiered_store().in_flight_bytes();
-          // (3) Sinks are never offloaded, in any state, mid-anything.
-          for (Index s = 0; s < engine->sink_count(); ++s) {
-            EXPECT_TRUE(engine->tiered_store().is_fast_resident(s))
-                << "sink " << s << " offloaded (seed " << GetParam() << ")";
-          }
-          // Cache- and store-side in-flight token counts agree.
-          EXPECT_EQ(engine->cache().in_flight_tokens(),
-                    engine->tiered_store().in_flight_count());
+    // Budget between one and two of the largest projected working sets:
+    // tight enough to force queueing and preemption, always admissible.
+    const Index floor_tokens = std::min<Index>(
+        longest_context,
+        ckv.sink_tokens + std::max<Index>(ckv.tokens_per_cluster,
+                                          ckv.decode_interval +
+                                              ckv.cache_depth * session.engine.budget));
+    const std::int64_t projected = static_cast<std::int64_t>(floor_tokens) *
+                                   session_token_bytes(session) *
+                                   session.shape.total_heads();
+    config.fast_tier_budget_bytes =
+        projected + static_cast<std::int64_t>(rng.uniform(0.0, 1.0) *
+                                              static_cast<double>(projected)) + 1;
+
+    const LatencyModel latency(HardwareModel::ada6000(), ModelConfig::llama31_8b());
+    BatchScheduler scheduler(trace, make_clusterkv_factory(ckv, GetParam()), session,
+                             latency, config);
+
+    while (scheduler.tick()) {
+      // External events the scheduler does not control: a preemption or a
+      // speculation cancel can land at any point of any lifecycle state.
+      if (!scheduler.running().empty()) {
+        const auto victim = static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<Index>(scheduler.running().size()) - 1));
+        if (rng.bernoulli(0.15)) {
+          scheduler.running()[victim]->release_fast_tier();
+        } else if (rng.bernoulli(0.15)) {
+          scheduler.running()[victim]->cancel_prefetches();
         }
       }
+
+      // (1) Global footprint — resident plus in-flight — within budget.
+      EXPECT_LE(scheduler.fast_tier_bytes(), config.fast_tier_budget_bytes);
+      // (2) The O(1) ledger agrees with an independent re-sum.
+      std::int64_t resident = 0;
+      std::int64_t reserved = 0;
+      for (const auto& running : scheduler.running()) {
+        resident += running->fast_resident_bytes();
+        auto& bank = running->engine().selectors();
+        for (Index l = 0; l < bank.num_layers(); ++l) {
+          for (Index h = 0; h < bank.num_heads(); ++h) {
+            const auto* engine = dynamic_cast<const ClusterKVEngine*>(&bank.at(l, h));
+            ASSERT_NE(engine, nullptr);
+            reserved += engine->tiered_store().in_flight_bytes();
+            // (3) Sinks are never offloaded, in any state, mid-anything.
+            for (Index s = 0; s < engine->sink_count(); ++s) {
+              EXPECT_TRUE(engine->tiered_store().is_fast_resident(s))
+                  << "sink " << s << " offloaded (seed " << GetParam() << ")";
+            }
+            // Cache- and store-side in-flight token counts agree.
+            EXPECT_EQ(engine->cache().in_flight_tokens(),
+                      engine->tiered_store().in_flight_count());
+          }
+        }
+      }
+      EXPECT_EQ(scheduler.ledger().bytes(), resident);
+      EXPECT_EQ(scheduler.ledger().reserved_bytes(), reserved);
     }
-    EXPECT_EQ(scheduler.ledger().bytes(), resident);
-    EXPECT_EQ(scheduler.ledger().reserved_bytes(), reserved);
+    EXPECT_EQ(scheduler.finished_count(), sessions);
+    EXPECT_EQ(scheduler.ledger().bytes(), 0);
+    EXPECT_EQ(scheduler.ledger().reserved_bytes(), 0);
+
+    // Worker-count independence: the seeded injection schedule is the same
+    // in both runs, so the retired records must match bit for bit.
+    const auto& records = scheduler.metrics().records();
+    if (workers == 1) {
+      serial_records = records;
+    } else {
+      ASSERT_EQ(serial_records.size(), records.size());
+      for (std::size_t i = 0; i < records.size(); ++i) {
+        EXPECT_EQ(serial_records[i].id, records[i].id) << i;
+        EXPECT_EQ(serial_records[i].first_token_ms, records[i].first_token_ms) << i;
+        EXPECT_EQ(serial_records[i].finish_ms, records[i].finish_ms) << i;
+        EXPECT_EQ(serial_records[i].mean_recall, records[i].mean_recall) << i;
+        EXPECT_EQ(serial_records[i].recall_steps, records[i].recall_steps) << i;
+        EXPECT_EQ(serial_records[i].cache_hit_rate, records[i].cache_hit_rate) << i;
+        EXPECT_EQ(serial_records[i].preemptions, records[i].preemptions) << i;
+        EXPECT_EQ(serial_records[i].prefetch_hit_tokens,
+                  records[i].prefetch_hit_tokens)
+            << i;
+        EXPECT_EQ(serial_records[i].prefetch_issued_tokens,
+                  records[i].prefetch_issued_tokens)
+            << i;
+        EXPECT_EQ(serial_records[i].demand_fetched_tokens,
+                  records[i].demand_fetched_tokens)
+            << i;
+      }
+    }
   }
-  EXPECT_EQ(scheduler.finished_count(), sessions);
-  EXPECT_EQ(scheduler.ledger().bytes(), 0);
-  EXPECT_EQ(scheduler.ledger().reserved_bytes(), 0);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ServingResidencyFuzz,

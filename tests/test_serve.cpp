@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
 
 #include "baselines/full_kv.hpp"
 #include "baselines/quest.hpp"
@@ -9,6 +13,7 @@
 #include "serve/request_queue.hpp"
 #include "serve/session.hpp"
 #include "serve/trace.hpp"
+#include "worker_guard.hpp"
 
 namespace ckv {
 namespace {
@@ -692,6 +697,295 @@ TEST(ServeMetrics, AggregatesAndValidates) {
   SessionRecord unprefilled = a;
   unprefilled.prefill_done_ms = 5.0;  // prefill "done" before admission
   EXPECT_THROW(metrics.record_session(unprefilled), std::invalid_argument);
+}
+
+// ---- parallel-tick determinism harness -------------------------------------
+
+/// Mixed-length fleet for the determinism sweeps: staggered arrivals, a
+/// blend of short and long prompts, uneven decode lengths — enough shape
+/// variety that chunk counts, repair triggers and prefetch churn all
+/// differ per session.
+std::vector<ServeRequest> varied_trace() {
+  const Index prompts[] = {90, 260, 150, 300, 120, 210};
+  const Index decodes[] = {5, 8, 6, 4, 7, 6};
+  std::vector<ServeRequest> trace;
+  for (Index i = 0; i < 6; ++i) {
+    ServeRequest request;
+    request.id = i;
+    request.arrival_ms = 25.0 * static_cast<double>(i);
+    request.prompt_len = prompts[i];
+    request.decode_len = decodes[i];
+    request.seed = derive_seed(7, "det/" + std::to_string(i));
+    trace.push_back(request);
+  }
+  return trace;
+}
+
+/// Every aggregate the serving bench reports, captured for bitwise
+/// comparison. No tolerance anywhere: the parallel tick's contract is
+/// byte-identity, and a near-miss is a broken contract, not noise.
+struct FleetSnapshot {
+  std::vector<SessionRecord> records;
+  double tps = 0.0;
+  double makespan = 0.0;
+  double p50_ttft = 0.0;
+  double p95_ttft = 0.0;
+  double p50_itl = 0.0;
+  double p95_itl = 0.0;
+  double p99_gap = 0.0;
+  double queue_wait = 0.0;
+  double recall = 0.0;
+  double coverage = 0.0;
+  double hit_rate = 0.0;
+  double pf_hit = 0.0;
+  double pf_waste = 0.0;
+  double pf_mis = 0.0;
+  double pf_enf = 0.0;
+  double pf_rel = 0.0;
+  double repair_total = 0.0;
+  double conc_max = 0.0;
+  std::int64_t tokens = 0;
+  std::int64_t issued = 0;
+  std::int64_t hits = 0;
+  std::int64_t peak_occ = 0;
+  Index preemptions = 0;
+  Index max_queue = 0;
+  Index repair_tick_count = 0;
+};
+
+FleetSnapshot take_snapshot(const ServeMetrics& m) {
+  FleetSnapshot s;
+  s.records = m.records();
+  s.tps = m.throughput_tps();
+  s.makespan = m.makespan_ms();
+  s.p50_ttft = m.ttft_percentile(50.0);
+  s.p95_ttft = m.ttft_percentile(95.0);
+  s.p50_itl = m.inter_token_percentile(50.0);
+  s.p95_itl = m.inter_token_percentile(95.0);
+  s.p99_gap = m.inter_token_gap_p99_ms();
+  s.queue_wait = m.mean_queue_wait_ms();
+  s.recall = m.mean_recall();
+  s.coverage = m.mean_coverage();
+  s.hit_rate = m.mean_cache_hit_rate();
+  s.pf_hit = m.prefetch_hit_rate();
+  s.pf_waste = m.prefetch_waste_rate();
+  s.pf_mis = m.prefetch_waste_rate(obs::FetchCancelReason::kMisprediction);
+  s.pf_enf = m.prefetch_waste_rate(obs::FetchCancelReason::kEnforcement);
+  s.pf_rel = m.prefetch_waste_rate(obs::FetchCancelReason::kSessionRelease);
+  s.repair_total = m.repair_ms_total();
+  s.conc_max = m.concurrency().max();
+  s.tokens = m.total_tokens();
+  s.issued = m.prefetch_issued_total();
+  s.hits = m.prefetch_hits_total();
+  s.peak_occ = m.peak_occupancy_bytes();
+  s.preemptions = m.total_preemptions();
+  s.max_queue = m.max_queue_depth();
+  s.repair_tick_count = m.repair_ticks();
+  return s;
+}
+
+void expect_snapshots_identical(const FleetSnapshot& a, const FleetSnapshot& b,
+                                const std::string& label) {
+  ASSERT_EQ(a.records.size(), b.records.size()) << label;
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    const SessionRecord& ra = a.records[i];
+    const SessionRecord& rb = b.records[i];
+    const std::string where = label + " record " + std::to_string(i);
+    EXPECT_EQ(ra.id, rb.id) << where;
+    EXPECT_EQ(ra.prompt_len, rb.prompt_len) << where;
+    EXPECT_EQ(ra.decode_len, rb.decode_len) << where;
+    EXPECT_EQ(ra.arrival_ms, rb.arrival_ms) << where;
+    EXPECT_EQ(ra.admit_ms, rb.admit_ms) << where;
+    EXPECT_EQ(ra.prefill_done_ms, rb.prefill_done_ms) << where;
+    EXPECT_EQ(ra.first_token_ms, rb.first_token_ms) << where;
+    EXPECT_EQ(ra.finish_ms, rb.finish_ms) << where;
+    EXPECT_EQ(ra.mean_recall, rb.mean_recall) << where;
+    EXPECT_EQ(ra.recall_steps, rb.recall_steps) << where;
+    EXPECT_EQ(ra.mean_coverage, rb.mean_coverage) << where;
+    EXPECT_EQ(ra.cache_hit_rate, rb.cache_hit_rate) << where;
+    EXPECT_EQ(ra.preemptions, rb.preemptions) << where;
+    EXPECT_EQ(ra.prefetch_hit_tokens, rb.prefetch_hit_tokens) << where;
+    EXPECT_EQ(ra.prefetch_issued_tokens, rb.prefetch_issued_tokens) << where;
+    EXPECT_EQ(ra.demand_fetched_tokens, rb.demand_fetched_tokens) << where;
+    EXPECT_EQ(ra.prefetch_canceled_mispredict_tokens,
+              rb.prefetch_canceled_mispredict_tokens)
+        << where;
+    EXPECT_EQ(ra.prefetch_canceled_enforce_tokens,
+              rb.prefetch_canceled_enforce_tokens)
+        << where;
+    EXPECT_EQ(ra.prefetch_canceled_release_tokens,
+              rb.prefetch_canceled_release_tokens)
+        << where;
+  }
+  EXPECT_EQ(a.tps, b.tps) << label;
+  EXPECT_EQ(a.makespan, b.makespan) << label;
+  EXPECT_EQ(a.p50_ttft, b.p50_ttft) << label;
+  EXPECT_EQ(a.p95_ttft, b.p95_ttft) << label;
+  EXPECT_EQ(a.p50_itl, b.p50_itl) << label;
+  EXPECT_EQ(a.p95_itl, b.p95_itl) << label;
+  EXPECT_EQ(a.p99_gap, b.p99_gap) << label;
+  EXPECT_EQ(a.queue_wait, b.queue_wait) << label;
+  EXPECT_EQ(a.recall, b.recall) << label;
+  EXPECT_EQ(a.coverage, b.coverage) << label;
+  EXPECT_EQ(a.hit_rate, b.hit_rate) << label;
+  EXPECT_EQ(a.pf_hit, b.pf_hit) << label;
+  EXPECT_EQ(a.pf_waste, b.pf_waste) << label;
+  EXPECT_EQ(a.pf_mis, b.pf_mis) << label;
+  EXPECT_EQ(a.pf_enf, b.pf_enf) << label;
+  EXPECT_EQ(a.pf_rel, b.pf_rel) << label;
+  EXPECT_EQ(a.repair_total, b.repair_total) << label;
+  EXPECT_EQ(a.conc_max, b.conc_max) << label;
+  EXPECT_EQ(a.tokens, b.tokens) << label;
+  EXPECT_EQ(a.issued, b.issued) << label;
+  EXPECT_EQ(a.hits, b.hits) << label;
+  EXPECT_EQ(a.peak_occ, b.peak_occ) << label;
+  EXPECT_EQ(a.preemptions, b.preemptions) << label;
+  EXPECT_EQ(a.max_queue, b.max_queue) << label;
+  EXPECT_EQ(a.repair_tick_count, b.repair_tick_count) << label;
+}
+
+/// The tentpole contract: every quality and billing column is bit-identical
+/// whether a tick advances sessions serially or fans them out to 2 or 8
+/// pool workers — across the four scheduling modes the serving bench
+/// compares, with and without a contended budget (the contended sweep
+/// forces the headroom guard into its degenerate one-item serial waves;
+/// the unlimited sweep fans out whole batches).
+TEST(FleetDeterminism, MetricsAndRecordsIdenticalAcrossWorkerCounts) {
+  WorkerGuard worker_guard;
+  const auto session = small_session_config();
+
+  struct Variant {
+    std::string name;
+    ClusterKVConfig ckv;
+    BatchSchedulerConfig config;
+  };
+  std::vector<Variant> variants;
+  {
+    const ClusterKVConfig base_ckv = small_ckv_config();
+    BatchSchedulerConfig base = tiered_scheduler_config(base_ckv, session);
+    base.prefill_chunk_tokens = 64;
+    variants.push_back({"chunked", base_ckv, base});
+
+    BatchSchedulerConfig inline_cfg = base;
+    inline_cfg.prefill_chunk_tokens = 0;
+    variants.push_back({"inline", base_ckv, inline_cfg});
+
+    ClusterKVConfig repair_ckv = base_ckv;
+    repair_ckv.repair_refine_iterations = 2;
+    repair_ckv.repair_decode_interval = 6;
+    BatchSchedulerConfig repair_cfg = base;
+    repair_cfg.repair_refine_iterations = 2;
+    repair_cfg.repair_decode_interval = 6;
+    variants.push_back({"repair", repair_ckv, repair_cfg});
+
+    ClusterKVConfig prefetch_ckv = base_ckv;
+    prefetch_ckv.prefetch_clusters = 3;
+    prefetch_ckv.prefetch_prior_decay = 0.5;
+    BatchSchedulerConfig prefetch_cfg = base;
+    prefetch_cfg.prefetch_clusters = 3;
+    variants.push_back({"prefetch", prefetch_ckv, prefetch_cfg});
+  }
+
+  const auto trace = varied_trace();
+  // ~1.3 mean contexts: tight enough that enforcement and preemption fire
+  // (the contended path), loose enough that every request stays admissible.
+  const std::int64_t capped =
+      static_cast<std::int64_t>(1.3 * 190.0) * session_token_bytes(session) *
+      session.shape.total_heads();
+
+  for (const auto& variant : variants) {
+    for (const std::int64_t budget : {std::int64_t{0}, capped}) {
+      FleetSnapshot baseline;
+      for (const int workers : {1, 2, 8}) {
+        set_parallel_workers(workers);
+        BatchSchedulerConfig config = variant.config;
+        config.fast_tier_budget_bytes = budget;
+        if (budget > 0) {
+          config.admission_overcommit = 1.5;
+        }
+        BatchScheduler scheduler(trace,
+                                 make_clusterkv_factory(variant.ckv, 7),
+                                 session, test_latency(), config);
+        scheduler.run();
+        ASSERT_EQ(scheduler.finished_count(),
+                  static_cast<Index>(trace.size()));
+        const FleetSnapshot snap = take_snapshot(scheduler.metrics());
+        const std::string label = variant.name +
+                                  (budget > 0 ? "/capped" : "/unlimited") +
+                                  " @ " + std::to_string(workers) + " workers";
+        if (workers == 1) {
+          baseline = snap;
+        } else {
+          expect_snapshots_identical(baseline, snap, label);
+        }
+      }
+    }
+  }
+}
+
+/// Fairness regression at max_running saturation: the round-robin rotation
+/// must give every running session exactly one advancement per tick,
+/// serial and parallel schedulers must agree on per-session progress at
+/// every tick boundary, and no session may stall while it is running.
+TEST(FleetDeterminism, RoundRobinProgressIdenticalSerialVsParallel) {
+  WorkerGuard worker_guard;
+  const auto session = small_session_config();
+  const ClusterKVConfig ckv = small_ckv_config();
+  BatchSchedulerConfig config = tiered_scheduler_config(ckv, session);
+  config.prefill_chunk_tokens = 48;
+  config.max_running = 3;  // saturated: half the fleet queues behind the cap
+
+  const auto trace = varied_trace();
+  set_parallel_workers(8);
+  BatchSchedulerConfig serial_config = config;
+  serial_config.parallel_tick = false;
+  BatchScheduler serial(trace, make_clusterkv_factory(ckv, 7), session,
+                        test_latency(), serial_config);
+  BatchScheduler parallel(trace, make_clusterkv_factory(ckv, 7), session,
+                          test_latency(), config);
+
+  // Per-session progress (prompt tokens prefilled + tokens generated) of
+  // the running set, keyed by request id.
+  const auto progress = [](const BatchScheduler& scheduler) {
+    std::map<Index, Index> out;
+    for (const auto& running : scheduler.running()) {
+      out[running->request().id] =
+          running->prefill_tokens_done() + running->tokens_generated();
+    }
+    return out;
+  };
+
+  std::map<Index, Index> last_progress;
+  bool serial_more = true;
+  bool parallel_more = true;
+  Index ticks = 0;
+  while (serial_more || parallel_more) {
+    serial_more = serial.tick();
+    parallel_more = parallel.tick();
+    EXPECT_EQ(serial_more, parallel_more) << "tick " << ticks;
+    EXPECT_EQ(serial.now_ms(), parallel.now_ms()) << "tick " << ticks;
+    EXPECT_EQ(serial.running_count(), parallel.running_count())
+        << "tick " << ticks;
+    const auto serial_progress = progress(serial);
+    EXPECT_EQ(serial_progress, progress(parallel)) << "tick " << ticks;
+    ASSERT_LE(serial.running_count(), config.max_running) << "tick " << ticks;
+    // No starvation: every session that was running last tick and is
+    // still running made strict progress this tick.
+    for (const auto& [id, done] : serial_progress) {
+      const auto it = last_progress.find(id);
+      if (it != last_progress.end()) {
+        EXPECT_GT(done, it->second) << "session " << id << " starved at tick "
+                                    << ticks;
+      }
+    }
+    last_progress = serial_progress;
+    ++ticks;
+  }
+  EXPECT_EQ(serial.finished_count(), static_cast<Index>(trace.size()));
+  EXPECT_EQ(parallel.finished_count(), static_cast<Index>(trace.size()));
+  expect_snapshots_identical(take_snapshot(serial.metrics()),
+                             take_snapshot(parallel.metrics()),
+                             "serial vs parallel fleet");
 }
 
 }  // namespace

@@ -11,11 +11,22 @@ Checks (exit 1 on the first failure, with a diagnostic):
      Skipped when otherData.dropped_events > 0 — a ring that wrapped has
      legitimately lost some begin edges.
 
+Multi-worker ticks are first-class: pool threads emit their occupancy
+spans on dedicated tracks at tid >= WORKER_TRACK_BASE (1 << 20, matching
+obs::kWorkerTrackBase), interleaved with the scheduler's session tracks.
+Checks 2 and 3 apply to worker tracks exactly like any other track —
+virtual timestamps are monotone per track and every advance span closes.
+--expect-worker-tracks asserts a minimum number of distinct worker
+tracks, so CI can prove a parallel tick actually fanned out.
+
 Usage: check_trace.py <trace.json> [--min-events N]
+                      [--expect-worker-tracks N]
 """
 import argparse
 import json
 import sys
+
+WORKER_TRACK_BASE = 1 << 20  # mirrors obs::kWorkerTrackBase
 
 
 def fail(message):
@@ -31,6 +42,13 @@ def main():
         type=int,
         default=1,
         help="minimum non-metadata events expected (guards empty traces)",
+    )
+    parser.add_argument(
+        "--expect-worker-tracks",
+        type=int,
+        default=0,
+        help="minimum distinct pool-worker tracks (tid >= 1<<20) expected; "
+        "0 skips the check",
     )
     args = parser.parse_args()
 
@@ -89,9 +107,20 @@ def main():
     if checked < args.min_events:
         fail(f"only {checked} events (expected >= {args.min_events})")
 
+    worker_tracks = {
+        track
+        for track in last_ts
+        if isinstance(track[1], int) and track[1] >= WORKER_TRACK_BASE
+    }
+    if len(worker_tracks) < args.expect_worker_tracks:
+        fail(
+            f"only {len(worker_tracks)} worker tracks (tid >= 1<<20), "
+            f"expected >= {args.expect_worker_tracks} — did the tick fan out?"
+        )
+
     print(
-        f"check_trace: OK: {checked} events on {len(last_ts)} tracks, "
-        f"monotone per-track ts, balanced spans"
+        f"check_trace: OK: {checked} events on {len(last_ts)} tracks "
+        f"({len(worker_tracks)} worker), monotone per-track ts, balanced spans"
         + (f" (balance skipped: {dropped} dropped)" if dropped else "")
     )
     return 0

@@ -304,6 +304,12 @@ int run_serve(int argc, const char* const* argv) {
                   "async prefetch: per-step EMA decay of the prior (in [0, 1))");
   args.add_option("max-running", "0",
                   "hard cap on concurrently running sessions (0 = unlimited)");
+  args.add_switch("serial-tick",
+                  "advance sessions one at a time on the scheduler thread "
+                  "instead of fanning a tick out to the worker pool (results "
+                  "are byte-identical either way — this knob trades wall "
+                  "time for a single-threaded schedule, e.g. for debugging; "
+                  "worker count itself comes from CKV_THREADS)");
   args.add_option("seed", "2025", "experiment seed");
   args.add_option("trace", "",
                   "write a Chrome trace-event JSON of the run (virtual-clock "
@@ -388,6 +394,7 @@ int run_serve(int argc, const char* const* argv) {
                           session_config.shape.total_heads()));
   scheduler_config.prefill_chunk_tokens = args.get_index("prefill-chunk");
   scheduler_config.max_running = args.get_index("max-running");
+  scheduler_config.parallel_tick = !args.get_switch("serial-tick");
 
   const std::string trace_path = args.get_string("trace");
   const std::string metrics_path = args.get_string("metrics-out");
@@ -441,7 +448,7 @@ int run_serve(int argc, const char* const* argv) {
                    "p50 TTFT (s)", "p95 TTFT (s)", "p95 prefill (s)",
                    "p50 ITL (ms)", "p95 ITL (ms)",
                    "wait (s)", "preempt", "repair (ms)", "hit rate", "pf hit",
-                   "recall@B"});
+                   "recall@B", "fanout", "adv wall (ms)"});
   table.add_row({method, std::to_string(m.sessions()), args.get_string("rps"),
                  format_double(m.throughput_tps(), 1),
                  format_double(m.concurrency().max(), 0),
@@ -457,7 +464,9 @@ int run_serve(int argc, const char* const* argv) {
                  m.prefetch_issued_total() > 0
                      ? format_double(m.prefetch_hit_rate(), 2)
                      : "-",
-                 format_double(m.mean_recall(), 3)});
+                 format_double(m.mean_recall(), 3),
+                 format_double(m.fanout_fraction(), 2),
+                 format_double(m.advance_wall_ms_total(), 0)});
   emit(table, args.get_switch("csv"));
   return 0;
 }
