@@ -677,6 +677,9 @@ int main(int argc, char** argv) {
       }
     };
     if (threaded_cells) {
+      // Deliberate bench-cell concurrency: cells are independent
+      // schedulers; their engine work still goes through the pool.
+      // ckv-lint: allow(raw-thread) -- bench harness cells
       std::vector<std::thread> cells;
       cells.reserve(methods.size());
       for (std::size_t mi = 0; mi < methods.size(); ++mi) {

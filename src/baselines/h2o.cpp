@@ -44,6 +44,9 @@ void H2OSelector::evict_to_budget() {
   // it the H2O scorer's hot loop.
   std::vector<std::pair<double, Index>> candidates;
   candidates.reserve(cumulative_score_.size());
+  // (score, pos) pairs are distinct, so nth_element's victim set is
+  // order-free regardless of candidate order.
+  // ckv-lint: allow(unordered-iter) -- distinct keys, order-free
   for (const auto& [pos, score] : cumulative_score_) {
     if (pos < recent_boundary) {
       candidates.emplace_back(score, pos);
@@ -91,6 +94,7 @@ void H2OSelector::observe_attention(std::span<const Index> indices,
 std::vector<Index> H2OSelector::alive_positions() const {
   std::vector<Index> alive;
   alive.reserve(cumulative_score_.size());
+  // ckv-lint: allow(unordered-iter) -- sorted immediately below
   for (const auto& [pos, score] : cumulative_score_) {
     alive.push_back(pos);
   }

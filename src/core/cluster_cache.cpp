@@ -47,6 +47,7 @@ ClusterCache::StepResult ClusterCache::step(
   }
   // In-flight entries live exactly one step: whatever this selection did
   // not claim was a prediction miss.
+  // ckv-lint: allow(unordered-iter) -- sorted immediately below
   result.wasted_tokens.assign(in_flight_tokens.begin(), in_flight_tokens.end());
   std::sort(result.wasted_tokens.begin(), result.wasted_tokens.end());
   in_flight_.clear();
@@ -86,6 +87,9 @@ std::vector<Index> ClusterCache::issue_fetches(
   // issues up to prefetch_clusters candidates per step per head.
   auto seen = resident_tokens();
   for (const auto& [c, in_flight_tokens] : in_flight_) {
+    // `in_flight_tokens` here binds the ordered map's vector value;
+    // inserting into a set is order-free anyway.
+    // ckv-lint: allow(unordered-iter) -- order-free set insert
     seen.insert(in_flight_tokens.begin(), in_flight_tokens.end());
   }
   std::vector<Index> all_issued;

@@ -66,11 +66,13 @@ bool TieredKVStore::unmark_fast(Index position) {
 }
 
 void TieredKVStore::append(std::span<const float> key, std::span<const float> value) {
+  const ExclusiveLock own(owner_);
   store_.append(key, value);
   mark_fast(store_.size() - 1);
 }
 
 void TieredKVStore::append_block(const Matrix& keys, const Matrix& values) {
+  const ExclusiveLock own(owner_);
   const Index begin = store_.size();
   store_.append_block(keys, values);
   for (Index p = begin; p < store_.size(); ++p) {
@@ -81,6 +83,7 @@ void TieredKVStore::append_block(const Matrix& keys, const Matrix& values) {
 void TieredKVStore::offload_to_slow(Index begin, Index end) {
   expects(begin >= 0 && begin <= end && end <= store_.size(),
           "TieredKVStore::offload_to_slow: bad range");
+  const ExclusiveLock own(owner_);
   for (Index p = begin; p < end; ++p) {
     if (unmark_fast(p)) {
       stats_.bytes_to_slow += token_bytes();
@@ -90,6 +93,7 @@ void TieredKVStore::offload_to_slow(Index begin, Index end) {
 }
 
 Index TieredKVStore::offload_positions(std::span<const Index> positions) {
+  const ExclusiveLock own(owner_);
   Index moved = 0;
   for (const Index p : positions) {
     expects(p >= 0 && p < store_.size(),
@@ -104,6 +108,7 @@ Index TieredKVStore::offload_positions(std::span<const Index> positions) {
 }
 
 Index TieredKVStore::ensure_resident(std::span<const Index> positions) {
+  const ExclusiveLock own(owner_);
   Index moved = 0;
   for (const Index p : positions) {
     expects(p >= 0 && p < store_.size(),
@@ -111,8 +116,10 @@ Index TieredKVStore::ensure_resident(std::span<const Index> positions) {
     if (in_flight_.contains(p)) {
       // The demand path caught up with an issued copy: land it. Its PCIe
       // bytes were counted at issue, so only placement changes here.
-      const Index one[] = {p};
-      complete_fetch(one);
+      if (land_fetch(p)) {
+        obs::tracer().instant(
+            "fetch-complete", {{"tokens", 1}, {"bytes", token_bytes()}});
+      }
       continue;
     }
     if (mark_fast(p)) {
@@ -130,6 +137,7 @@ Index TieredKVStore::ensure_resident(std::span<const Index> positions) {
 }
 
 Index TieredKVStore::begin_fetch(std::span<const Index> positions) {
+  const ExclusiveLock own(owner_);
   Index issued = 0;
   for (const Index p : positions) {
     expects(p >= 0 && p < store_.size(),
@@ -151,17 +159,24 @@ Index TieredKVStore::begin_fetch(std::span<const Index> positions) {
   return issued;
 }
 
+bool TieredKVStore::land_fetch(Index position) {
+  if (in_flight_.erase(position) == 0) {
+    return false;
+  }
+  if (ledger_ != nullptr) {
+    ledger_->add_reserved(-token_bytes());
+  }
+  mark_fast(position);
+  return true;
+}
+
 Index TieredKVStore::complete_fetch(std::span<const Index> positions) {
+  const ExclusiveLock own(owner_);
   Index landed = 0;
   for (const Index p : positions) {
-    if (in_flight_.erase(p) == 0) {
-      continue;
+    if (land_fetch(p)) {
+      ++landed;
     }
-    if (ledger_ != nullptr) {
-      ledger_->add_reserved(-token_bytes());
-    }
-    mark_fast(p);
-    ++landed;
   }
   if (landed > 0) {
     obs::tracer().instant(
@@ -171,8 +186,8 @@ Index TieredKVStore::complete_fetch(std::span<const Index> positions) {
   return landed;
 }
 
-Index TieredKVStore::cancel_fetch(std::span<const Index> positions,
-                                  obs::FetchCancelReason reason) {
+Index TieredKVStore::cancel_fetch_impl(std::span<const Index> positions,
+                                       obs::FetchCancelReason reason) {
   Index canceled = 0;
   for (const Index p : positions) {
     if (in_flight_.erase(p) == 0) {
@@ -193,38 +208,56 @@ Index TieredKVStore::cancel_fetch(std::span<const Index> positions,
   return canceled;
 }
 
+Index TieredKVStore::cancel_fetch(std::span<const Index> positions,
+                                  obs::FetchCancelReason reason) {
+  const ExclusiveLock own(owner_);
+  return cancel_fetch_impl(positions, reason);
+}
+
 Index TieredKVStore::cancel_all_fetches(obs::FetchCancelReason reason) {
+  const ExclusiveLock own(owner_);
+  // Snapshot order does not matter: cancel_fetch_impl erases each position
+  // independently and the counters are order-free sums.
+  // ckv-lint: allow(unordered-iter) -- order-free snapshot of a set
   std::vector<Index> positions(in_flight_.begin(), in_flight_.end());
-  return cancel_fetch(positions, reason);
+  return cancel_fetch_impl(positions, reason);
 }
 
 bool TieredKVStore::is_in_flight(Index position) const {
+  const ExclusiveLock own(owner_);
   return in_flight_.contains(position);
 }
 
 Index TieredKVStore::in_flight_count() const noexcept {
+  const ExclusiveLock own(owner_);
   return static_cast<Index>(in_flight_.size());
 }
 
 std::int64_t TieredKVStore::in_flight_bytes() const noexcept {
-  return static_cast<std::int64_t>(in_flight_count()) * token_bytes();
+  const ExclusiveLock own(owner_);
+  return static_cast<std::int64_t>(in_flight_.size()) * token_bytes();
 }
 
 void TieredKVStore::drop_from_fast(std::span<const Index> positions) {
+  const ExclusiveLock own(owner_);
   for (const Index p : positions) {
     unmark_fast(p);
   }
 }
 
 bool TieredKVStore::is_fast_resident(Index position) const {
+  const ExclusiveLock own(owner_);
   return fast_resident_.contains(position);
 }
 
 Index TieredKVStore::fast_resident_count() const noexcept {
+  const ExclusiveLock own(owner_);
   return static_cast<Index>(fast_resident_.size());
 }
 
 std::vector<Index> TieredKVStore::fast_positions() const {
+  const ExclusiveLock own(owner_);
+  // ckv-lint: allow(unordered-iter) -- sorted immediately below
   std::vector<Index> positions(fast_resident_.begin(), fast_resident_.end());
   std::sort(positions.begin(), positions.end());
   return positions;
@@ -235,18 +268,24 @@ Index TieredKVStore::token_bytes() const noexcept {
 }
 
 std::int64_t TieredKVStore::fast_resident_bytes() const noexcept {
-  return static_cast<std::int64_t>(fast_resident_count()) * token_bytes();
+  const ExclusiveLock own(owner_);
+  return static_cast<std::int64_t>(fast_resident_.size()) * token_bytes();
 }
 
 void TieredKVStore::attach_ledger(FastTierLedger* ledger) noexcept {
+  const ExclusiveLock own(owner_);
+  const std::int64_t resident =
+      static_cast<std::int64_t>(fast_resident_.size()) * token_bytes();
+  const std::int64_t reserved =
+      static_cast<std::int64_t>(in_flight_.size()) * token_bytes();
   if (ledger_ != nullptr) {
-    ledger_->add(-fast_resident_bytes());
-    ledger_->add_reserved(-in_flight_bytes());
+    ledger_->add(-resident);
+    ledger_->add_reserved(-reserved);
   }
   ledger_ = ledger;
   if (ledger_ != nullptr) {
-    ledger_->add(fast_resident_bytes());
-    ledger_->add_reserved(in_flight_bytes());
+    ledger_->add(resident);
+    ledger_->add_reserved(reserved);
   }
 }
 

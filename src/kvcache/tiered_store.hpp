@@ -13,6 +13,7 @@
 #include "kvcache/kv_store.hpp"
 #include "obs/trace.hpp"
 #include "util/common.hpp"
+#include "util/thread_safety.hpp"
 
 namespace ckv {
 
@@ -88,6 +89,16 @@ class FastTierLedger {
 /// `ensure_resident` pulls missing ones into the fast tier (evicting by
 /// explicit calls only — eviction policy belongs to the caller, e.g. the
 /// cluster-granularity cache of §IV-D).
+///
+/// Concurrency contract: *single-owner*. A TieredKVStore belongs to one
+/// session's selector; the scheduler's parallel fan-out steps sessions
+/// concurrently but never shares a store between them — the only
+/// cross-session state is the attached FastTierLedger, whose counters are
+/// commutative atomics. The placement sets and transfer stats are
+/// CKV_GUARDED_BY an ExclusiveContext (compile-time capability, no
+/// runtime lock): every mutation path must claim exclusive ownership, so
+/// a future refactor that shares a store across workers fails the clang
+/// -Wthread-safety CI leg instead of corrupting reservation accounting.
 class TieredKVStore {
  public:
   /// element_bytes = 2 models fp16 storage as in the paper.
@@ -174,21 +185,36 @@ class TieredKVStore {
 
   [[nodiscard]] const KVStore& store() const noexcept { return store_; }
   [[nodiscard]] KVStore& store() noexcept { return store_; }
-  [[nodiscard]] const TransferStats& stats() const noexcept { return stats_; }
-  void reset_stats() noexcept { stats_ = TransferStats{}; }
+  [[nodiscard]] const TransferStats& stats() const noexcept {
+    const ExclusiveLock own(owner_);
+    return stats_;
+  }
+  void reset_stats() noexcept {
+    const ExclusiveLock own(owner_);
+    stats_ = TransferStats{};
+  }
 
  private:
   /// All residency mutations funnel through these two so the ledger can
   /// never drift from the set.
-  bool mark_fast(Index position);
-  bool unmark_fast(Index position);
+  bool mark_fast(Index position) CKV_REQUIRES(owner_);
+  bool unmark_fast(Index position) CKV_REQUIRES(owner_);
+  /// Lands one in-flight fetch (reserved -> resident on the ledger);
+  /// shared by complete_fetch and the demand path in ensure_resident.
+  bool land_fetch(Index position) CKV_REQUIRES(owner_);
+  /// Cancel core shared by cancel_fetch and cancel_all_fetches.
+  Index cancel_fetch_impl(std::span<const Index> positions,
+                          obs::FetchCancelReason reason) CKV_REQUIRES(owner_);
 
   KVStore store_;
   Index element_bytes_;
-  std::unordered_set<Index> fast_resident_;
-  std::unordered_set<Index> in_flight_;  ///< issued, not yet landed/canceled
-  TransferStats stats_;
-  FastTierLedger* ledger_ = nullptr;
+  /// Static stand-in for the owning session (see the class comment).
+  mutable ExclusiveContext owner_;
+  std::unordered_set<Index> fast_resident_ CKV_GUARDED_BY(owner_);
+  /// Issued, not yet landed/canceled.
+  std::unordered_set<Index> in_flight_ CKV_GUARDED_BY(owner_);
+  TransferStats stats_ CKV_GUARDED_BY(owner_);
+  FastTierLedger* ledger_ CKV_GUARDED_BY(owner_) = nullptr;
 };
 
 }  // namespace ckv

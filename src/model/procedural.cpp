@@ -134,6 +134,7 @@ void HeadStream::pin_focus(Index step_begin, Index step_end,
     }
   }
   expects(!topic_counts.empty(), "HeadStream::pin_focus: positions have no topics");
+  // ckv-lint: allow(unordered-iter) -- ranked is fully sorted below with a total order
   std::vector<std::pair<Index, Index>> ranked(topic_counts.begin(), topic_counts.end());
   std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
     if (a.second != b.second) {

@@ -95,6 +95,7 @@ void json_number(std::ostream& out, double value) {
 }  // namespace
 
 void MetricsRegistry::write_json(std::ostream& out) const {
+  const ExclusiveLock own(owner_);
   out << "{\n  \"counters\": {";
   bool first = true;
   for (const auto& [name, counter] : counters_) {
@@ -141,6 +142,7 @@ void MetricsRegistry::write_json(std::ostream& out) const {
 }
 
 void MetricsRegistry::write_csv(std::ostream& out) const {
+  const ExclusiveLock own(owner_);
   out << "kind,name,field,value\n";
   const auto row = [&out](const char* kind, const std::string& name,
                           const char* field, double value) {

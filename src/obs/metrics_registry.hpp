@@ -18,6 +18,7 @@
 
 #include "tensor/stats.hpp"
 #include "util/common.hpp"
+#include "util/thread_safety.hpp"
 
 namespace ckv::obs {
 
@@ -106,24 +107,43 @@ class Histogram {
 /// and live for the registry's lifetime; references stay valid across
 /// later insertions (std::map nodes are stable). Export walks names in
 /// lexicographic order so dumps are diffable.
+///
+/// Concurrency contract: *thread-compatible, externally synchronized*. A
+/// registry is confined to the scheduler thread — ServeMetrics records
+/// only from the tick's serial commit phase, never from pool workers
+/// (docs/SCHEDULING.md). The maps are CKV_GUARDED_BY an ExclusiveContext
+/// (a compile-time-only capability, no runtime lock): the clang CI leg
+/// rejects any new access path that does not explicitly claim exclusive
+/// ownership, which is how "don't record from a worker" stays a build
+/// error instead of a TSan finding. Note the claim covers the *maps*;
+/// instrument references handed out by the accessors inherit the same
+/// contract by documentation (the analysis cannot follow them).
 class MetricsRegistry {
  public:
   [[nodiscard]] Counter& counter(const std::string& name) {
+    const ExclusiveLock own(owner_);
     return counters_[name];
   }
-  [[nodiscard]] Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  [[nodiscard]] Gauge& gauge(const std::string& name) {
+    const ExclusiveLock own(owner_);
+    return gauges_[name];
+  }
   [[nodiscard]] Histogram& histogram(const std::string& name) {
+    const ExclusiveLock own(owner_);
     return histograms_[name];
   }
 
   [[nodiscard]] const std::map<std::string, Counter>& counters() const noexcept {
+    const ExclusiveLock own(owner_);
     return counters_;
   }
   [[nodiscard]] const std::map<std::string, Gauge>& gauges() const noexcept {
+    const ExclusiveLock own(owner_);
     return gauges_;
   }
   [[nodiscard]] const std::map<std::string, Histogram>& histograms()
       const noexcept {
+    const ExclusiveLock own(owner_);
     return histograms_;
   }
 
@@ -135,9 +155,11 @@ class MetricsRegistry {
   void write_csv(std::ostream& out) const;
 
  private:
-  std::map<std::string, Counter> counters_;
-  std::map<std::string, Gauge> gauges_;
-  std::map<std::string, Histogram> histograms_;
+  /// Static stand-in for the owning thread (see the class comment).
+  mutable ExclusiveContext owner_;
+  std::map<std::string, Counter> counters_ CKV_GUARDED_BY(owner_);
+  std::map<std::string, Gauge> gauges_ CKV_GUARDED_BY(owner_);
+  std::map<std::string, Histogram> histograms_ CKV_GUARDED_BY(owner_);
 };
 
 }  // namespace ckv::obs

@@ -42,7 +42,7 @@ const char* to_string(FetchCancelReason reason) noexcept {
 
 void Tracer::enable(std::size_t capacity) {
   expects(capacity > 0, "Tracer::enable: capacity must be positive");
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   ring_.assign(capacity, TraceEvent{});
   head_ = 0;
   size_ = 0;
@@ -55,7 +55,7 @@ void Tracer::enable(std::size_t capacity) {
 
 void Tracer::disable() noexcept {
   enabled_.store(false, std::memory_order_relaxed);
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   ring_.clear();
   ring_.shrink_to_fit();
   head_ = 0;
@@ -66,7 +66,7 @@ void Tracer::set_track_name(std::int64_t track, const std::string& name) {
   if (!enabled()) {
     return;
   }
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   track_names_[track] = name;
 }
 
@@ -96,7 +96,7 @@ void Tracer::record(TraceEvent::Phase phase, const char* name, std::int64_t trac
   event.virtual_us = virtual_ms * 1000.0;
   event.wall_ns = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(wall).count());
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   if (!enabled_.load(std::memory_order_relaxed) || ring_.empty()) {
     return;  // lost the race with disable()
   }
@@ -120,7 +120,7 @@ void Tracer::record(TraceEvent::Phase phase, const char* name, std::int64_t trac
 }
 
 std::vector<TraceEvent> Tracer::events() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   std::vector<TraceEvent> out;
   out.reserve(size_);
   // Oldest first: when full, the oldest slot is head_ (the next overwrite
@@ -133,22 +133,22 @@ std::vector<TraceEvent> Tracer::events() const {
 }
 
 std::size_t Tracer::size() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   return size_;
 }
 
 std::size_t Tracer::capacity() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   return ring_.size();
 }
 
 std::uint64_t Tracer::dropped() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   return dropped_;
 }
 
 std::string Tracer::name_of(std::uint16_t id) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   return id < names_.size() ? names_[id] : std::string{};
 }
 
@@ -216,7 +216,7 @@ void Tracer::write_chrome_trace(std::ostream& out) const {
   std::map<std::int64_t, std::string> track_names;
   std::vector<std::string> names;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const LockGuard lock(mutex_);
     sorted.reserve(size_);
     const std::size_t begin = size_ == ring_.size() && !ring_.empty() ? head_ : 0;
     for (std::size_t i = 0; i < size_; ++i) {

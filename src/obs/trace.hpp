@@ -24,12 +24,12 @@
 #include <cstdint>
 #include <initializer_list>
 #include <map>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
 
 #include "util/common.hpp"
+#include "util/thread_safety.hpp"
 
 namespace ckv::obs {
 
@@ -191,18 +191,23 @@ class Tracer {
  private:
   void record(TraceEvent::Phase phase, const char* name, std::int64_t track,
               double virtual_ms, std::initializer_list<Arg> args);
-  std::uint16_t intern_locked(const char* name);
+  std::uint16_t intern_locked(const char* name) CKV_REQUIRES(mutex_);
 
   std::atomic<bool> enabled_{false};
 
-  mutable std::mutex mutex_;
-  std::vector<TraceEvent> ring_;
-  std::size_t head_ = 0;  ///< next write slot
-  std::size_t size_ = 0;
-  std::uint64_t dropped_ = 0;
-  std::vector<std::string> names_;              ///< id -> name
-  std::map<std::string, std::uint16_t> ids_;    ///< name -> id
-  std::map<std::int64_t, std::string> track_names_;
+  // Every record/export path locks mutex_ internally; the capability
+  // annotations make the clang CI leg reject any new code path that
+  // touches the ring or the intern tables without it.
+  mutable Mutex mutex_;
+  std::vector<TraceEvent> ring_ CKV_GUARDED_BY(mutex_);
+  std::size_t head_ CKV_GUARDED_BY(mutex_) = 0;  ///< next write slot
+  std::size_t size_ CKV_GUARDED_BY(mutex_) = 0;
+  std::uint64_t dropped_ CKV_GUARDED_BY(mutex_) = 0;
+  /// id -> name
+  std::vector<std::string> names_ CKV_GUARDED_BY(mutex_);
+  /// name -> id
+  std::map<std::string, std::uint16_t> ids_ CKV_GUARDED_BY(mutex_);
+  std::map<std::int64_t, std::string> track_names_ CKV_GUARDED_BY(mutex_);
 };
 
 /// The process-global tracer every instrumented layer records into.

@@ -125,6 +125,11 @@ StepBreakdown BatchScheduler::step_cost(const Session& session) const {
 }
 
 std::int64_t BatchScheduler::fast_tier_bytes() const {
+  const ExclusiveLock serial(serial_phase_);
+  return fast_tier_bytes_locked();
+}
+
+std::int64_t BatchScheduler::fast_tier_bytes_locked() const {
   if (config_.tiered_residency) {
     // Every running session's per-head stores feed the shared ledger, so
     // global residency is a single read — enforcement calls this in a
@@ -142,7 +147,8 @@ std::int64_t BatchScheduler::fast_tier_bytes() const {
 
 void BatchScheduler::admit_arrivals() {
   while (queue_.has_arrival(now_ms_)) {
-    if (config_.max_running > 0 && running_count() >= config_.max_running) {
+    if (config_.max_running > 0 &&
+        static_cast<Index>(running_.size()) >= config_.max_running) {
       return;
     }
     if (config_.fast_tier_budget_bytes > 0) {
@@ -246,7 +252,7 @@ void BatchScheduler::enforce_budget(Session* just_stepped) {
   if (config_.fast_tier_budget_bytes == 0) {
     return;
   }
-  if (fast_tier_bytes() > config_.fast_tier_budget_bytes) {
+  if (fast_tier_bytes_locked() > config_.fast_tier_budget_bytes) {
     // Coldest first: sessions whose last progress (decode step or prefill
     // chunk) is oldest release before warmer ones (never-advanced sorts
     // coldest of all; ties keep admission order). The session that just
@@ -273,7 +279,7 @@ void BatchScheduler::enforce_budget(Session* just_stepped) {
     // counts — exactly what a synchronous-fetch run would produce.
     auto& tr = obs::tracer();
     for (Session* victim : victims) {
-      if (fast_tier_bytes() <= config_.fast_tier_budget_bytes) {
+      if (fast_tier_bytes_locked() <= config_.fast_tier_budget_bytes) {
         break;
       }
       // Store-level cancel instants attribute to the victim's track.
@@ -285,7 +291,7 @@ void BatchScheduler::enforce_budget(Session* just_stepped) {
     }
     // Phase 2 — real preemption of the coldest sessions' resident KV.
     for (Session* victim : victims) {
-      if (fast_tier_bytes() <= config_.fast_tier_budget_bytes) {
+      if (fast_tier_bytes_locked() <= config_.fast_tier_budget_bytes) {
         break;
       }
       tr.set_track(session_track(*victim));
@@ -297,7 +303,7 @@ void BatchScheduler::enforce_budget(Session* just_stepped) {
     tr.set_track(0);
   }
   ensures(config_.fast_tier_budget_bytes == 0 ||
-              fast_tier_bytes() <= config_.fast_tier_budget_bytes,
+              fast_tier_bytes_locked() <= config_.fast_tier_budget_bytes,
           "BatchScheduler: fast-tier budget exceeded after enforcement");
 }
 
@@ -460,6 +466,10 @@ void BatchScheduler::commit_item(AdvanceItem& item, double completed_ms) {
 }
 
 bool BatchScheduler::tick() {
+  // The tick body IS the serial phase; the only escape is the wave
+  // fan-out below, whose lambda runs advance_item (unannotated on
+  // purpose — see batch_scheduler.hpp) on pool workers.
+  const ExclusiveLock serial(serial_phase_);
   if (running_.empty() && queue_.empty()) {
     return false;
   }
@@ -480,7 +490,7 @@ bool BatchScheduler::tick() {
   // retirement churn cannot starve anyone).
   std::vector<Session*> prefillers;
   std::vector<Session*> decoders;
-  const Index batch = running_count();
+  const Index batch = static_cast<Index>(running_.size());
   for (Index i = 0; i < batch; ++i) {
     Session* session = running_[(round_robin_offset_ + i) % batch].get();
     if (session->state() == SessionState::kPrefilling) {
@@ -632,7 +642,14 @@ bool BatchScheduler::tick() {
     // the exact serial order. When the guard admits at most one item the
     // scheduler degenerates to the literal serial step+commit
     // interleaving, preserving byte-identity under contention too.
+    // Wall-clock here measures host speedup only; every billed duration
+    // stays on the virtual clock (docs/PERFORMANCE.md determinism
+    // contract), so this read cannot leak into any deterministic output.
+    // ckv-lint: allow(wall-clock) -- advance_wall_ms is a host-side metric
     const auto wall_begin = std::chrono::steady_clock::now();
+    // The fan-out lambda must not touch serial-phase state (clang enforces
+    // it); the tick's start time crosses the boundary by value.
+    const double tick_begin_ms = now_ms_;
     Index fanned_out = 0;
     std::size_t next = 0;
     while (next < items.size()) {
@@ -641,7 +658,8 @@ bool BatchScheduler::tick() {
         if (config_.fast_tier_budget_bytes == 0) {
           wave_end = items.size();  // unlimited budget: one wave, no guard
         } else {
-          std::int64_t headroom = config_.fast_tier_budget_bytes - fast_tier_bytes();
+          std::int64_t headroom =
+              config_.fast_tier_budget_bytes - fast_tier_bytes_locked();
           while (wave_end < items.size()) {
             const std::int64_t bound = advance_growth_bound_bytes(items[wave_end]);
             if (bound > headroom) {
@@ -677,7 +695,7 @@ bool BatchScheduler::tick() {
               if (wtr.enabled()) {
                 wtr.set_track_name(worker_track,
                                    "worker " + std::to_string(slot));
-                wtr.begin_at("advance", worker_track, now_ms_,
+                wtr.begin_at("advance", worker_track, tick_begin_ms,
                              {{"session", items[i].session->request().id}});
               }
               advance_item(items[i], completed_ms);
@@ -695,6 +713,7 @@ bool BatchScheduler::tick() {
       }
       next = wave_end;
     }
+    // ckv-lint: allow(wall-clock) -- closes the host-side metric above
     const double advance_wall_ms =
         std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - wall_begin)
@@ -710,13 +729,13 @@ bool BatchScheduler::tick() {
 
   retire_finished();
   tr.set_virtual_now_ms(now_ms_);
-  tr.counter("fast-tier-bytes", fast_tier_bytes());
+  tr.counter("fast-tier-bytes", fast_tier_bytes_locked());
   if (config_.tiered_residency) {
     tr.counter("reserved-bytes", ledger_.reserved_bytes());
   }
   tr.counter("queue-depth", queue_.size());
-  tr.counter("running-sessions", running_count());
-  metrics_.record_occupancy(fast_tier_bytes());
+  tr.counter("running-sessions", static_cast<Index>(running_.size()));
+  metrics_.record_occupancy(fast_tier_bytes_locked());
   return !(running_.empty() && queue_.empty());
 }
 

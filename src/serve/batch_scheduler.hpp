@@ -35,6 +35,7 @@
 #include "serve/session.hpp"
 #include "sim/latency_model.hpp"
 #include "util/common.hpp"
+#include "util/thread_safety.hpp"
 
 namespace ckv {
 
@@ -113,17 +114,30 @@ class BatchScheduler {
   void run();
 
   /// Current virtual time (ms) on the scheduler's clock.
-  [[nodiscard]] double now_ms() const noexcept { return now_ms_; }
+  [[nodiscard]] double now_ms() const noexcept {
+    const ExclusiveLock serial(serial_phase_);
+    return now_ms_;
+  }
   /// Admitted, unfinished sessions (prefilling + decoding).
   [[nodiscard]] Index running_count() const noexcept {
+    const ExclusiveLock serial(serial_phase_);
     return static_cast<Index>(running_.size());
   }
   /// Requests still waiting for admission.
-  [[nodiscard]] Index queued_count() const noexcept { return queue_.size(); }
+  [[nodiscard]] Index queued_count() const noexcept {
+    const ExclusiveLock serial(serial_phase_);
+    return queue_.size();
+  }
   /// Sessions retired so far.
-  [[nodiscard]] Index finished_count() const noexcept { return finished_count_; }
+  [[nodiscard]] Index finished_count() const noexcept {
+    const ExclusiveLock serial(serial_phase_);
+    return finished_count_;
+  }
   /// Ticks executed so far.
-  [[nodiscard]] Index ticks() const noexcept { return ticks_; }
+  [[nodiscard]] Index ticks() const noexcept {
+    const ExclusiveLock serial(serial_phase_);
+    return ticks_;
+  }
 
   /// Global fast-tier footprint right now, summed over running sessions:
   /// resident bytes plus bytes reserved by in-flight prefetches — an
@@ -135,15 +149,22 @@ class BatchScheduler {
   /// summed value; equals fast_tier_bytes() when every method is tiered).
   [[nodiscard]] const FastTierLedger& ledger() const noexcept { return ledger_; }
 
-  [[nodiscard]] const ServeMetrics& metrics() const noexcept { return metrics_; }
+  [[nodiscard]] const ServeMetrics& metrics() const noexcept {
+    const ExclusiveLock serial(serial_phase_);
+    return metrics_;
+  }
   /// Mutable access for exporters that append driver-side instruments
   /// (e.g. parallel.worker<i>.* counters) before dumping the registry.
-  [[nodiscard]] ServeMetrics& metrics() noexcept { return metrics_; }
+  [[nodiscard]] ServeMetrics& metrics() noexcept {
+    const ExclusiveLock serial(serial_phase_);
+    return metrics_;
+  }
   [[nodiscard]] const BatchSchedulerConfig& config() const noexcept { return config_; }
 
   /// Running sessions, admission order (testing hook: invariant checks
   /// walk these to assert sink residency).
   [[nodiscard]] const std::vector<std::unique_ptr<Session>>& running() const noexcept {
+    const ExclusiveLock serial(serial_phase_);
     return running_;
   }
 
@@ -174,17 +195,27 @@ class BatchScheduler {
     StepResult step;  ///< decode outcome (decoders only)
   };
 
-  void admit_arrivals();
-  void enforce_budget(Session* just_stepped);
-  void retire_finished();
+  void admit_arrivals() CKV_REQUIRES(serial_phase_);
+  void enforce_budget(Session* just_stepped) CKV_REQUIRES(serial_phase_);
+  void retire_finished() CKV_REQUIRES(serial_phase_);
   /// Runs one item's prefill chunk / decode step at `completed_ms`,
   /// setting the calling thread's tracer context to the session's track
   /// (safe from pool workers — the ambient context is per-thread).
+  ///
+  /// Deliberately *not* CKV_REQUIRES(serial_phase_): this is the one
+  /// scheduler method pool workers may run concurrently, and the analysis
+  /// proves it touches no serial-phase state (any new read of a
+  /// CKV_GUARDED_BY(serial_phase_) member here is a clang CI error — the
+  /// compile-time form of "workers stay out of the commit phase").
   void advance_item(AdvanceItem& item, double completed_ms);
   /// The item's order-sensitive tail, serial-only: trace edges, metrics,
   /// the ledger cross-check and the budget-enforcement checkpoint, in the
   /// exact order the serial scheduler interleaves them between steps.
-  void commit_item(AdvanceItem& item, double completed_ms);
+  void commit_item(AdvanceItem& item, double completed_ms)
+      CKV_REQUIRES(serial_phase_);
+  /// fast_tier_bytes() for callers already inside the serial phase.
+  [[nodiscard]] std::int64_t fast_tier_bytes_locked() const
+      CKV_REQUIRES(serial_phase_);
   /// Conservative upper bound on the fast-tier bytes this advancement can
   /// add (nothing subtracted for releases). The fan-out guard admits a
   /// wave only while the summed bounds fit the budget headroom, which
@@ -213,24 +244,36 @@ class BatchScheduler {
   /// Emits the session's resume trace edge when it makes progress after a
   /// preemption (first step whose preemption count moved past what the
   /// scheduler last saw).
-  void mark_resume_if_preempted(const Session& session);
+  void mark_resume_if_preempted(const Session& session)
+      CKV_REQUIRES(serial_phase_);
 
-  RequestQueue queue_;
+  /// The tick's serial phase as a compile-time capability: everything a
+  /// worker must not touch while the wave fan-out is in flight is
+  /// CKV_GUARDED_BY(serial_phase_). tick() claims it for the tick body;
+  /// advance_item (the only code that runs on pool workers) does not, so
+  /// the clang -Wthread-safety leg statically separates the parallel
+  /// advance phase from the serial commit phase. No runtime lock — ticks
+  /// are single-threaded by contract; this makes the contract checkable.
+  mutable ExclusiveContext serial_phase_;
+
+  RequestQueue queue_ CKV_GUARDED_BY(serial_phase_);
   SelectorFactory factory_;
   SessionConfig session_config_;
   LatencyModel latency_;
   BatchSchedulerConfig config_;
 
-  std::vector<std::unique_ptr<Session>> running_;
+  std::vector<std::unique_ptr<Session>> running_ CKV_GUARDED_BY(serial_phase_);
+  /// Not guarded: workers' stores feed it through commutative relaxed
+  /// atomics during the fan-out (see FastTierLedger).
   FastTierLedger ledger_;
-  ServeMetrics metrics_;
-  double now_ms_ = 0.0;
-  Index ticks_ = 0;
-  Index finished_count_ = 0;
-  Index round_robin_offset_ = 0;
+  ServeMetrics metrics_ CKV_GUARDED_BY(serial_phase_);
+  double now_ms_ CKV_GUARDED_BY(serial_phase_) = 0.0;
+  Index ticks_ CKV_GUARDED_BY(serial_phase_) = 0;
+  Index finished_count_ CKV_GUARDED_BY(serial_phase_) = 0;
+  Index round_robin_offset_ CKV_GUARDED_BY(serial_phase_) = 0;
   /// Preemption count last observed per running session id — the
   /// scheduler's memory for preempt -> resume trace edges.
-  std::unordered_map<Index, Index> preempt_seen_;
+  std::unordered_map<Index, Index> preempt_seen_ CKV_GUARDED_BY(serial_phase_);
 };
 
 }  // namespace ckv

@@ -1,0 +1,179 @@
+// Clang thread-safety (capability) annotations for the repo's concurrency
+// contract, compiled to nothing under gcc. Under clang the CI leg builds
+// with -Wthread-safety -Werror, so a write to a CKV_GUARDED_BY member
+// without its capability, or a call to a CKV_REQUIRES function outside the
+// right section, is a *compile error* — the determinism substrate
+// (docs/PERFORMANCE.md) is enforced before any test schedules a race.
+//
+// Two kinds of capability are used in this codebase:
+//
+//  1. Real locks — ckv::Mutex / ckv::LockGuard / ckv::UniqueLock wrap the
+//     std primitives with acquire/release annotations, so the analysis
+//     tracks which mutex protects which member (obs::Tracer's ring, the
+//     worker pool's job state).
+//
+//  2. ExclusiveContext — a capability with *no runtime lock*, modeling
+//     state that is externally synchronized by design: single-owner
+//     objects (TieredKVStore belongs to one session), or state confined
+//     to a serial phase (BatchScheduler's commit phase, MetricsRegistry
+//     on the scheduler thread). Public entry points claim the context
+//     with a scoped ExclusiveLock (a no-op at runtime); internal helpers
+//     declare CKV_REQUIRES on it. The analysis then proves that no code
+//     path — today's or a future refactor's — touches the guarded state
+//     without consciously claiming exclusivity, which is exactly the
+//     contract the scheduler's parallel fan-out depends on.
+//
+// The full capability model is documented in docs/STATIC_ANALYSIS.md.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__)
+#define CKV_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define CKV_THREAD_ANNOTATION__(x)  // gcc: annotations compile away
+#endif
+
+/// Declares a class to be a capability (lockable) type.
+#define CKV_CAPABILITY(x) CKV_THREAD_ANNOTATION__(capability(x))
+/// Declares an RAII class whose lifetime holds a capability.
+#define CKV_SCOPED_CAPABILITY CKV_THREAD_ANNOTATION__(scoped_lockable)
+/// The member is protected by the given capability.
+#define CKV_GUARDED_BY(x) CKV_THREAD_ANNOTATION__(guarded_by(x))
+/// The pointee is protected by the given capability.
+#define CKV_PT_GUARDED_BY(x) CKV_THREAD_ANNOTATION__(pt_guarded_by(x))
+/// Lock-ordering documentation (checked under -Wthread-safety-beta).
+#define CKV_ACQUIRED_BEFORE(...) \
+  CKV_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+#define CKV_ACQUIRED_AFTER(...) \
+  CKV_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+/// The function must be called with the capability held (and keeps it).
+#define CKV_REQUIRES(...) \
+  CKV_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#define CKV_REQUIRES_SHARED(...) \
+  CKV_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+/// The function acquires the capability (its own, or the named one).
+#define CKV_ACQUIRE(...) \
+  CKV_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define CKV_ACQUIRE_SHARED(...) \
+  CKV_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+/// The function releases the capability.
+#define CKV_RELEASE(...) \
+  CKV_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#define CKV_RELEASE_SHARED(...) \
+  CKV_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+/// The function acquires the capability iff it returns the given value.
+#define CKV_TRY_ACQUIRE(...) \
+  CKV_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+/// The function must be called *without* the capability held.
+#define CKV_EXCLUDES(...) CKV_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+/// Runtime assertion that the capability is held (no acquire emitted).
+#define CKV_ASSERT_CAPABILITY(x) CKV_THREAD_ANNOTATION__(assert_capability(x))
+/// The function returns a reference to the given capability.
+#define CKV_RETURN_CAPABILITY(x) CKV_THREAD_ANNOTATION__(lock_returned(x))
+/// Escape hatch: the function's body is intentionally unchecked. Every use
+/// must carry a comment explaining the synchronization protocol that makes
+/// it sound (see docs/STATIC_ANALYSIS.md).
+#define CKV_NO_THREAD_SAFETY_ANALYSIS \
+  CKV_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+namespace ckv {
+
+/// std::mutex with capability annotations: members it protects declare
+/// CKV_GUARDED_BY(mutex_), and the analysis verifies every access happens
+/// under a LockGuard/UniqueLock (or in a CKV_REQUIRES function).
+class CKV_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() CKV_ACQUIRE() { raw_.lock(); }
+  void unlock() CKV_RELEASE() { raw_.unlock(); }
+  bool try_lock() CKV_TRY_ACQUIRE(true) { return raw_.try_lock(); }
+
+ private:
+  friend class UniqueLock;
+  std::mutex raw_;
+};
+
+/// std::lock_guard equivalent over ckv::Mutex.
+class CKV_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& mutex) CKV_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~LockGuard() CKV_RELEASE() { mutex_.unlock(); }
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// std::unique_lock equivalent over ckv::Mutex, for condition-variable
+/// waits (CondVar::wait needs a lock it can drop and retake).
+class CKV_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mutex) CKV_ACQUIRE(mutex) : lock_(mutex.raw_) {}
+  ~UniqueLock() CKV_RELEASE() {}
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// std::condition_variable over ckv::UniqueLock. wait() drops and retakes
+/// the lock internally; the analysis treats the capability as held across
+/// the call (the standard modeling — guarded state must be re-checked
+/// after wait returns, which the wait loops do by construction).
+class CondVar {
+ public:
+  void wait(UniqueLock& lock) { cv_.wait(lock.lock_); }
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+/// A capability with no runtime lock: models *externally synchronized*
+/// state. Acquiring it costs nothing and synchronizes nothing — it is a
+/// purely static claim ("this code runs while the object is exclusively
+/// owned / inside the serial phase") that lets CKV_GUARDED_BY members be
+/// checked on classes whose thread-safety is a usage contract rather than
+/// an internal lock. The claim itself is the documentation; the analysis
+/// enforces that every touch of the guarded state makes it.
+class CKV_CAPABILITY("exclusive context") ExclusiveContext {
+ public:
+  ExclusiveContext() = default;
+  ExclusiveContext(const ExclusiveContext&) = delete;
+  ExclusiveContext& operator=(const ExclusiveContext&) = delete;
+  // Stateless, so moving is a no-op; movable so owning classes (e.g.
+  // ServeMetrics' registry) keep their defaulted move operations.
+  ExclusiveContext(ExclusiveContext&&) noexcept {}
+  ExclusiveContext& operator=(ExclusiveContext&&) noexcept { return *this; }
+
+  void acquire() CKV_ACQUIRE() {}
+  void release() CKV_RELEASE() {}
+};
+
+/// Scoped claim of an ExclusiveContext (no-op at runtime).
+class CKV_SCOPED_CAPABILITY ExclusiveLock {
+ public:
+  explicit ExclusiveLock(ExclusiveContext& context) CKV_ACQUIRE(context)
+      : context_(context) {
+    context_.acquire();
+  }
+  ~ExclusiveLock() CKV_RELEASE() { context_.release(); }
+  ExclusiveLock(const ExclusiveLock&) = delete;
+  ExclusiveLock& operator=(const ExclusiveLock&) = delete;
+
+ private:
+  ExclusiveContext& context_;
+};
+
+}  // namespace ckv

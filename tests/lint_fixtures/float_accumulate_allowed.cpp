@@ -1,0 +1,9 @@
+// Fixture: same offense as float_accumulate_violate.cpp, silenced by a
+// standalone suppression covering the statement below.
+#include <numeric>
+#include <vector>
+
+float fixture_sum(const std::vector<float>& values) {
+  // ckv-lint: allow(float-accumulate) -- fixture exercising suppression
+  return std::accumulate(values.begin(), values.end(), 0.0F);
+}

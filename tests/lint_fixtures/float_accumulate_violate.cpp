@@ -1,0 +1,9 @@
+// Fixture: trips [float-accumulate] — a left-fold over floats bakes the
+// reduction order into the result; sums must go through the fixed-lane
+// kernels in src/tensor/vec_ops.
+#include <numeric>
+#include <vector>
+
+float fixture_sum(const std::vector<float>& values) {
+  return std::accumulate(values.begin(), values.end(), 0.0F);
+}

@@ -1,0 +1,8 @@
+// Fixture: same offense as raw_thread_violate.cpp, silenced by the
+// inline suppression-comment form.
+#include <thread>
+
+void fixture_spawn() {
+  std::thread worker([] {});  // ckv-lint: allow(raw-thread) -- fixture
+  worker.join();
+}

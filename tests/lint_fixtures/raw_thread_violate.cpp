@@ -1,0 +1,8 @@
+// Fixture: trips [raw-thread] — parallelism outside src/util/parallel
+// escapes the pool's worker-count and determinism knobs (CKV_THREADS).
+#include <thread>
+
+void fixture_spawn() {
+  std::thread worker([] {});
+  worker.join();
+}

@@ -1,0 +1,15 @@
+// Fixture: same offense as unordered_iter_violate.cpp, silenced by a
+// standalone suppression (the consumer here is order-free: a sum).
+#include <unordered_map>
+
+int fixture_order_free_sum() {
+  std::unordered_map<int, int> counts;
+  counts[3] = 1;
+  counts[7] = 2;
+  int total = 0;
+  // ckv-lint: allow(unordered-iter) -- summation is order-free
+  for (const auto& [key, value] : counts) {
+    total += value;
+  }
+  return total;
+}

@@ -1,0 +1,15 @@
+// Fixture: trips [unordered-iter] — the emitted key order is the hash
+// table's bucket order, which varies across standard libraries.
+#include <unordered_map>
+#include <vector>
+
+std::vector<int> fixture_bucket_order_keys() {
+  std::unordered_map<int, int> counts;
+  counts[3] = 1;
+  counts[7] = 2;
+  std::vector<int> keys;
+  for (const auto& [key, value] : counts) {
+    keys.push_back(key);
+  }
+  return keys;
+}

@@ -1,0 +1,8 @@
+// Fixture: same offense as unseeded_rng_violate.cpp, silenced by the
+// inline suppression-comment form (covers its own line only).
+#include <random>
+
+int fixture_noise() {
+  std::random_device entropy;  // ckv-lint: allow(unseeded-rng) -- fixture
+  return static_cast<int>(entropy());
+}

@@ -1,0 +1,8 @@
+// Fixture: trips [unseeded-rng] — ambient entropy outside the seeded
+// wrapper in src/tensor/rng.hpp makes runs unreproducible.
+#include <random>
+
+int fixture_noise() {
+  std::random_device entropy;
+  return static_cast<int>(entropy());
+}

@@ -1,0 +1,9 @@
+// Fixture: same offense as wall_clock_violate.cpp, silenced by the
+// standalone suppression-comment form (covers the statement below it).
+#include <chrono>
+
+double fixture_wall_seconds() {
+  // ckv-lint: allow(wall-clock) -- fixture exercising the suppression
+  const auto t0 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t0.time_since_epoch()).count();
+}

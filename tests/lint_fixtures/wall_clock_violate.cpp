@@ -1,0 +1,8 @@
+// Fixture: trips [wall-clock] when attributed to a path outside
+// src/obs/ and bench/ (deterministic code must stay on the virtual clock).
+#include <chrono>
+
+double fixture_wall_seconds() {
+  const auto t0 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t0.time_since_epoch()).count();
+}

@@ -58,8 +58,8 @@ TEST(ArgParser, TypeErrorsRejected) {
   auto args = make_parser();
   const char* argv[] = {"tool", "--budget", "abc", "--rate", "x.y"};
   args.parse(5, argv);
-  EXPECT_THROW(args.get_index("budget"), std::invalid_argument);
-  EXPECT_THROW(args.get_double("rate"), std::invalid_argument);
+  EXPECT_THROW((void)args.get_index("budget"), std::invalid_argument);
+  EXPECT_THROW((void)args.get_double("rate"), std::invalid_argument);
 }
 
 TEST(ArgParser, DuplicateRegistrationRejected) {
@@ -70,8 +70,8 @@ TEST(ArgParser, DuplicateRegistrationRejected) {
 
 TEST(ArgParser, UnregisteredAccessRejected) {
   auto args = make_parser();
-  EXPECT_THROW(args.get_string("nope"), std::invalid_argument);
-  EXPECT_THROW(args.get_switch("nope"), std::invalid_argument);
+  EXPECT_THROW((void)args.get_string("nope"), std::invalid_argument);
+  EXPECT_THROW((void)args.get_switch("nope"), std::invalid_argument);
 }
 
 TEST(ArgParser, HelpMentionsEveryOption) {

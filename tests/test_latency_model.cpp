@@ -170,7 +170,7 @@ TEST(LatencyModel, PrefetchStepNeverSlowerThanSyncAtSameTraffic) {
   // and bills a visible remainder, but never a negative one.
   const auto flooded = model.clusterkv_prefetch_step(8192, 1024, 0.1, 500.0, 102);
   EXPECT_GE(flooded.total_ms(), covered.total_ms());
-  EXPECT_THROW(model.clusterkv_prefetch_step(8192, 1024, 0.1, -0.1, 102),
+  EXPECT_THROW((void)model.clusterkv_prefetch_step(8192, 1024, 0.1, -0.1, 102),
                std::invalid_argument);
 }
 
@@ -179,7 +179,7 @@ TEST(LatencyModel, MissRateIncreasesStepTime) {
   const double hit_heavy = model.clusterkv_step(32768, 1024, 0.2, 400).total_ms();
   const double miss_heavy = model.clusterkv_step(32768, 1024, 0.8, 400).total_ms();
   EXPECT_LT(hit_heavy, miss_heavy);
-  EXPECT_THROW(model.clusterkv_step(32768, 1024, 1.5, 400), std::invalid_argument);
+  EXPECT_THROW((void)model.clusterkv_step(32768, 1024, 1.5, 400), std::invalid_argument);
 }
 
 TEST(LatencyModel, BreakdownComponentsNonNegative) {

@@ -274,8 +274,8 @@ TEST(ProceduralModel, BoundsChecked) {
   ProceduralParams p = default_params();
   p.head_dim = 16;
   ProceduralContextModel model(shape, p, 79, 10);
-  EXPECT_THROW(model.head(1, 0), std::invalid_argument);
-  EXPECT_THROW(model.head(0, 1), std::invalid_argument);
+  EXPECT_THROW((void)model.head(1, 0), std::invalid_argument);
+  EXPECT_THROW((void)model.head(0, 1), std::invalid_argument);
 }
 
 }  // namespace

@@ -36,8 +36,8 @@ TEST(Matrix, AppendRowAdoptsWidth) {
 
 TEST(Matrix, OutOfRangeThrows) {
   Matrix m(2, 2);
-  EXPECT_THROW(m.row(2), std::invalid_argument);
-  EXPECT_THROW(m.at(0, 2), std::invalid_argument);
+  EXPECT_THROW((void)m.row(2), std::invalid_argument);
+  EXPECT_THROW((void)m.at(0, 2), std::invalid_argument);
   EXPECT_THROW((void)m.row(-1), std::invalid_argument);
 }
 

@@ -150,8 +150,8 @@ TEST(SelectorBankTest, ShapeAndValidation) {
   EXPECT_EQ(bank.num_layers(), 2);
   EXPECT_EQ(bank.num_heads(), 3);
   EXPECT_EQ(bank.method_name(), "Full KV");
-  EXPECT_THROW(bank.at(2, 0), std::invalid_argument);
-  EXPECT_THROW(bank.at(0, 3), std::invalid_argument);
+  EXPECT_THROW((void)bank.at(2, 0), std::invalid_argument);
+  EXPECT_THROW((void)bank.at(0, 3), std::invalid_argument);
 }
 
 }  // namespace
