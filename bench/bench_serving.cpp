@@ -71,6 +71,9 @@ struct ServingSetup {
   TraceConfig trace;
   std::int64_t fast_budget_bytes = 0;
   std::uint64_t seed = 2025;
+  /// Modeled slow->fast link bandwidth for the transfer-engine row
+  /// (--link-gbps); 0 picks the hardware model's gather rate.
+  double link_gbps = 0.0;
 };
 
 /// Prefetch depth of the serving default: the budget selects ~6 clusters
@@ -155,6 +158,20 @@ std::vector<MethodRun> serving_methods(const ServingSetup& setup,
   methods.push_back({"ClusterKV (prefetch)",
                      make_clusterkv_factory(prefetch_ckv, setup.seed),
                      prefetch_config});
+
+  // Same prefetch policy over the explicit bandwidth-contended wire
+  // (sim/transfer_engine): demand misses and speculative copies of every
+  // running session share one queue at --link-gbps, so the dm-stall /
+  // link-util / late-pf columns surface what the closed-form prefetch row
+  // hides — concurrent sessions contending for slow->fast bandwidth. With
+  // a single session and an idle wire this row reproduces the closed-form
+  // prefetch row (the --check-transfer guard pins the 1% equivalence).
+  BatchSchedulerConfig engine_config = prefetch_config;
+  engine_config.use_transfer_engine = true;
+  engine_config.link_gbps = setup.link_gbps;
+  methods.push_back({"ClusterKV (engine)",
+                     make_clusterkv_factory(prefetch_ckv, setup.seed),
+                     engine_config});
 
   methods.push_back({"ClusterKV (repair)",
                      make_clusterkv_factory(setup.clusterkv, setup.seed),
@@ -396,6 +413,139 @@ int check_prefetch(const ServingSetup& base_setup, const LatencyModel& latency) 
   return ok ? 0 : 1;
 }
 
+/// Tolerance of the --check-transfer single-session guard: with one
+/// session and an idle wire the engine row must reproduce the closed-form
+/// prefetch row's throughput to within this relative margin (the two paths
+/// bill the same bytes at the same rate; only queue contention may differ).
+constexpr double kTransferEquivalenceTol = 0.01;
+
+/// Narrow link used by the contention leg of --check-transfer and the
+/// determinism CI smoke: slow enough that 16 concurrent sessions pile a
+/// visible demand backlog onto the wire.
+constexpr double kContendedLinkGbps = 2.5;
+
+/// Finds a named row config so guard runs reuse the exact table configs.
+const MethodRun* find_method(const std::vector<MethodRun>& methods,
+                             const std::string& name) {
+  for (const auto& method : methods) {
+    if (method.name == name) {
+      return &method;
+    }
+  }
+  return nullptr;
+}
+
+/// CI smoke for the transfer engine, three legs:
+///   1. single-session equivalence — one request on an idle wire must
+///      match the closed-form prefetch row's throughput within 1%;
+///   2. contention — at a fixed narrow link the mean per-step demand
+///      stall must grow when the fleet grows from 1 to 16 sessions;
+///   3. bandwidth monotonicity — fleet throughput must be non-decreasing
+///      in --link-gbps (a faster wire can never slow serving down).
+int check_transfer(const ServingSetup& setup, const LatencyModel& latency) {
+  const auto methods = serving_methods(setup, /*clusterkv_only=*/true);
+  const MethodRun* closed = find_method(methods, "ClusterKV (prefetch)");
+  const MethodRun* engine = find_method(methods, "ClusterKV (engine)");
+  if (closed == nullptr || engine == nullptr) {
+    std::cout << "FAIL: bench rows renamed; --check-transfer needs the "
+                 "prefetch and engine rows\n";
+    return 1;
+  }
+  const auto run = [&](const MethodRun& method, const TraceConfig& tc,
+                       double link_gbps) {
+    BatchSchedulerConfig config = method.scheduler;
+    if (config.use_transfer_engine) {
+      config.link_gbps = link_gbps;
+    }
+    BatchScheduler scheduler(make_poisson_trace(tc, setup.seed), method.factory,
+                             setup.session, latency, config);
+    scheduler.run();
+    struct Out {
+      double tps = 0.0;
+      double stall_ms = 0.0;
+      std::int64_t stall_steps = 0;
+      double link_util = 0.0;
+    } out;
+    const auto& m = scheduler.metrics();
+    out.tps = m.throughput_tps();
+    out.stall_ms = m.demand_stall_ms_total();
+    out.stall_steps = m.demand_stall_steps();
+    out.link_util =
+        m.makespan_ms() > 0.0 ? m.link_busy_ms_total() / m.makespan_ms() : 0.0;
+    return out;
+  };
+  bool ok = true;
+
+  TraceConfig solo_tc = setup.trace;
+  solo_tc.num_requests = 1;
+  solo_tc.offered_rps = 6.0;
+  const auto closed_solo = run(*closed, solo_tc, 0.0);
+  const auto engine_solo = run(*engine, solo_tc, 0.0);
+  const double rel = closed_solo.tps > 0.0
+                         ? std::abs(engine_solo.tps - closed_solo.tps) / closed_solo.tps
+                         : 0.0;
+  std::cout << "single session: closed-form " << format_double(closed_solo.tps, 2)
+            << " tok/s, engine " << format_double(engine_solo.tps, 2)
+            << " tok/s (rel diff " << format_double(rel, 4) << ")\n";
+  if (rel > kTransferEquivalenceTol) {
+    std::cout << "FAIL: single-session engine row drifted more than "
+              << format_double(kTransferEquivalenceTol * 100.0, 0)
+              << "% from the closed-form prefetch row\n";
+    ok = false;
+  }
+
+  TraceConfig fleet_tc = setup.trace;
+  fleet_tc.offered_rps = 1000.0;  // the whole fleet arrives at once
+  const auto solo_narrow = run(*engine, solo_tc, kContendedLinkGbps);
+  const auto fleet_narrow = run(*engine, fleet_tc, kContendedLinkGbps);
+  const double solo_mean =
+      solo_narrow.stall_steps > 0
+          ? solo_narrow.stall_ms / static_cast<double>(solo_narrow.stall_steps)
+          : 0.0;
+  const double fleet_mean =
+      fleet_narrow.stall_steps > 0
+          ? fleet_narrow.stall_ms / static_cast<double>(fleet_narrow.stall_steps)
+          : 0.0;
+  std::cout << "contention @ " << format_double(kContendedLinkGbps, 1)
+            << " GB/s: mean demand stall " << format_double(solo_mean, 3)
+            << " ms/step solo -> " << format_double(fleet_mean, 3) << " ms/step at "
+            << setup.trace.num_requests << " sessions (link util "
+            << format_double(fleet_narrow.link_util, 2) << ")\n";
+  if (fleet_mean <= solo_mean) {
+    std::cout << "FAIL: demand stall did not grow with concurrent sessions — "
+                 "the wire is not contended\n";
+    ok = false;
+  }
+
+  double prev_tps = 0.0;
+  double prev_gbps = 0.0;
+  bool first = true;
+  for (const double gbps : {2.5, 5.0, 10.0, 25.0}) {
+    const auto out = run(*engine, fleet_tc, gbps);
+    std::cout << "link " << format_double(gbps, 1) << " GB/s: "
+              << format_double(out.tps, 2) << " tok/s, demand stall "
+              << format_double(out.stall_ms, 1) << " ms\n";
+    if (!first && out.tps + 1e-9 < prev_tps) {
+      std::cout << "FAIL: throughput fell from " << format_double(prev_tps, 2)
+                << " tok/s at " << format_double(prev_gbps, 1) << " GB/s to "
+                << format_double(out.tps, 2) << " tok/s at "
+                << format_double(gbps, 1) << " GB/s — must be non-decreasing "
+                << "in link bandwidth\n";
+      ok = false;
+    }
+    prev_tps = out.tps;
+    prev_gbps = gbps;
+    first = false;
+  }
+
+  if (ok) {
+    std::cout << "OK: engine matches closed-form solo (rel diff "
+              << format_double(rel, 4) << "), stalls grow with fleet size, and "
+              << "throughput is monotone in link bandwidth\n";
+  }
+  return ok ? 0 : 1;
+}
+
 /// One table row, kept numeric for the BENCH_SERVING.json dump.
 struct ServingRow {
   std::string method;
@@ -420,6 +570,11 @@ struct ServingRow {
   double pf_waste_enf = 0.0;
   double pf_waste_rel = 0.0;
   double recall = 0.0;
+  // Transfer-engine columns (zero unless the row models the wire).
+  bool has_engine = false;
+  double demand_stall_ms = 0.0;
+  double link_utilization = 0.0;
+  std::int64_t late_pf_tokens = 0;
   // Wall-time diagnostics (host clock — table-only, kept out of the JSON
   // rows so the determinism byte-diff never sees them).
   double cell_wall_s = 0.0;
@@ -455,6 +610,13 @@ ServingRow make_serving_row(const std::string& name, double load,
     row.pf_waste_rel = m.prefetch_waste_rate(obs::FetchCancelReason::kSessionRelease);
   }
   row.recall = m.mean_recall();
+  row.has_engine = m.demand_stall_steps() > 0 || m.link_drained_bytes_total() > 0.0;
+  if (row.has_engine) {
+    row.demand_stall_ms = m.demand_stall_ms_total();
+    row.link_utilization =
+        m.makespan_ms() > 0.0 ? m.link_busy_ms_total() / m.makespan_ms() : 0.0;
+    row.late_pf_tokens = m.late_prefetch_tokens_total();
+  }
   row.fanout_fraction = m.fanout_fraction();
   return row;
 }
@@ -540,6 +702,7 @@ std::string json_number(double v) {
 /// scaling measurement) live in the separate "fanout" object so the
 /// determinism contract never sees a host timestamp.
 void write_json(const std::vector<ServingRow>& rows,
+                const std::vector<ServingRow>& sweep,
                 const FanoutScaling& scaling, const std::string& path) {
   std::ofstream out(path);
   out << "{\n  \"rows\": [\n";
@@ -569,8 +732,25 @@ void write_json(const std::vector<ServingRow>& rows,
         << (r.has_prefetch ? json_number(r.pf_waste_enf) : "null")
         << ", \"prefetch_waste_release\": "
         << (r.has_prefetch ? json_number(r.pf_waste_rel) : "null")
+        << ", \"demand_stall_ms\": "
+        << (r.has_engine ? json_number(r.demand_stall_ms) : "null")
+        << ", \"link_utilization\": "
+        << (r.has_engine ? json_number(r.link_utilization) : "null")
+        << ", \"late_prefetch_tokens\": "
+        << (r.has_engine ? std::to_string(r.late_pf_tokens) : "null")
         << ", \"recall_at_b\": " << json_number(r.recall) << "}"
         << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"link_sweep\": [\n";
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const ServingRow& r = sweep[i];
+    out << "    {\"link_gbps\": " << json_number(r.load)
+        << ", \"tok_per_s\": " << json_number(r.tps)
+        << ", \"demand_stall_ms\": " << json_number(r.demand_stall_ms)
+        << ", \"link_utilization\": " << json_number(r.link_utilization)
+        << ", \"late_prefetch_tokens\": " << r.late_pf_tokens
+        << ", \"p95_itl_ms\": " << json_number(r.p95_itl_ms) << "}"
+        << (i + 1 < sweep.size() ? "," : "") << "\n";
   }
   out << "  ],\n  \"fanout\": {\"workers\": " << scaling.workers
       << ", \"hw_cores\": " << scaling.hw_cores
@@ -601,6 +781,14 @@ int main(int argc, char** argv) {
                   "CI smoke: fail if the async-prefetch hit rate drops below "
                   "the committed floor, throughput falls below sync fetch, or "
                   "selection is not bit-identical to sync");
+  args.add_switch("check-transfer",
+                  "CI smoke: fail if the transfer-engine row drifts >1% from "
+                  "the closed-form row on a single session, if demand stall "
+                  "does not grow with fleet size, or if throughput is not "
+                  "monotone in link bandwidth");
+  args.add_option("link-gbps", "0",
+                  "modeled slow->fast link bandwidth for the transfer-engine "
+                  "row (GB/s; 0 = the hardware model's gather rate)");
   args.add_option("seed", "2025",
                   "experiment seed; every RNG in this bench (trace, contexts, "
                   "clustering) derives from it");
@@ -611,13 +799,17 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const auto setup = make_setup(static_cast<std::uint64_t>(args.get_index("seed")));
+  auto setup = make_setup(static_cast<std::uint64_t>(args.get_index("seed")));
+  setup.link_gbps = args.get_double_in("link-gbps", 0.0, 1e6);
   const LatencyModel latency(HardwareModel::ada6000(), ModelConfig::llama31_8b());
   if (args.get_switch("check-recall")) {
     return check_recall(setup, latency);
   }
   if (args.get_switch("check-prefetch")) {
     return check_prefetch(setup, latency);
+  }
+  if (args.get_switch("check-transfer")) {
+    return check_transfer(setup, latency);
   }
 
   bench::print_header("Serving: throughput & latency vs offered load",
@@ -633,8 +825,8 @@ int main(int argc, char** argv) {
                    "p95 TTFT (s)", "p95 TTFT short (s)", "p50 ITL (ms)",
                    "p95 ITL (ms)", "p99 step ITL (ms)", "queue wait (s)",
                    "max queue", "preempt", "repair (ms)", "hit rate", "pf hit",
-                   "pf waste", "pf mis", "pf enf", "pf rel", "recall@B",
-                   "fanout", "wall (s)"});
+                   "pf waste", "pf mis", "pf enf", "pf rel", "dm stall (s)",
+                   "link util", "late pf", "recall@B", "fanout", "wall (s)"});
 
   const std::string trace_path = args.get_string("trace");
   // Cells are independent simulations (own scheduler, own engines, own
@@ -718,6 +910,12 @@ int main(int argc, char** argv) {
                      row.has_prefetch ? format_double(row.pf_waste_mis, 2) : "-",
                      row.has_prefetch ? format_double(row.pf_waste_enf, 2) : "-",
                      row.has_prefetch ? format_double(row.pf_waste_rel, 2) : "-",
+                     row.has_engine
+                         ? format_double(row.demand_stall_ms / 1000.0, 2)
+                         : "-",
+                     row.has_engine ? format_double(row.link_utilization, 2)
+                                    : "-",
+                     row.has_engine ? std::to_string(row.late_pf_tokens) : "-",
                      format_double(row.recall, 3),
                      format_double(row.fanout_fraction, 2),
                      format_double(row.cell_wall_s, 1)});
@@ -742,8 +940,44 @@ int main(int argc, char** argv) {
                "host clock, not part of the determinism contract — the "
                "speedup ceiling is the hardware core count)\n";
 
+  // Link-bandwidth sweep: the engine row at the top load across a range of
+  // wire rates. The whole point of modeling the wire explicitly — the same
+  // fleet degrades as the shared link narrows, which no closed-form
+  // per-session term can show. Virtual-clock columns only, so the sweep is
+  // byte-identical at every worker count and safe to keep in the JSON.
+  std::vector<ServingRow> sweep_rows;
+  {
+    const double sweep_load = 12.0;
+    TraceConfig trace_config = setup.trace;
+    trace_config.offered_rps = sweep_load;
+    const auto trace = make_poisson_trace(trace_config, setup.seed);
+    const auto methods = serving_methods(setup, /*clusterkv_only=*/true);
+    const MethodRun* engine = find_method(methods, "ClusterKV (engine)");
+    TextTable sweep_table({"link (GB/s)", "tok/s", "dm stall (s)", "link util",
+                           "late pf", "p95 ITL (ms)"});
+    for (const double gbps : {2.5, 5.0, 10.0, 25.0}) {
+      BatchSchedulerConfig config = engine->scheduler;
+      config.link_gbps = gbps;
+      BatchScheduler scheduler(trace, engine->factory, setup.session, latency,
+                               config);
+      scheduler.run();
+      ServingRow row = make_serving_row(engine->name, gbps, scheduler.metrics());
+      sweep_table.add_row({format_double(gbps, 1), format_double(row.tps, 1),
+                           format_double(row.demand_stall_ms / 1000.0, 2),
+                           format_double(row.link_utilization, 2),
+                           std::to_string(row.late_pf_tokens),
+                           format_double(row.p95_itl_ms, 1)});
+      sweep_rows.push_back(row);
+    }
+    std::cout << "\nLink-bandwidth sweep (ClusterKV (engine) @ "
+              << format_double(sweep_load, 0)
+              << " req/s): contention degradation as the shared slow->fast "
+                 "wire narrows\n"
+              << sweep_table.to_string();
+  }
+
   if (args.get_switch("json")) {
-    write_json(rows, scaling, "BENCH_SERVING.json");
+    write_json(rows, sweep_rows, scaling, "BENCH_SERVING.json");
     std::cout << "wrote BENCH_SERVING.json\n";
   }
   return 0;

@@ -11,6 +11,7 @@ void TransferStats::merge(const TransferStats& other) noexcept {
   bytes_to_slow += other.bytes_to_slow;
   fetch_events += other.fetch_events;
   tokens_fetched += other.tokens_fetched;
+  demand_landed += other.demand_landed;
   tokens_offloaded += other.tokens_offloaded;
   tokens_prefetch_issued += other.tokens_prefetch_issued;
   tokens_prefetch_canceled += other.tokens_prefetch_canceled;
@@ -115,8 +116,13 @@ Index TieredKVStore::ensure_resident(std::span<const Index> positions) {
             "TieredKVStore::ensure_resident: position out of range");
     if (in_flight_.contains(p)) {
       // The demand path caught up with an issued copy: land it. Its PCIe
-      // bytes were counted at issue, so only placement changes here.
+      // bytes were counted at issue (no re-count), but the copy is now on
+      // the demand critical path — it counts as a demand fetch so callers
+      // bill its remaining completion time instead of treating it as free.
       if (land_fetch(p)) {
+        ++stats_.tokens_fetched;
+        ++stats_.demand_landed;
+        ++moved;
         obs::tracer().instant(
             "fetch-complete", {{"tokens", 1}, {"bytes", token_bytes()}});
       }

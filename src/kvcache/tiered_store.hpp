@@ -23,6 +23,12 @@ struct TransferStats {
   std::int64_t bytes_to_slow = 0;    ///< fast -> slow (offload after prefill/decode)
   std::int64_t fetch_events = 0;     ///< number of ensure_resident calls that moved data
   std::int64_t tokens_fetched = 0;   ///< tokens demand-moved slow -> fast
+  /// Subset of tokens_fetched whose copy was already in flight when the
+  /// demand path asked for it: the speculative fetch landed on the demand
+  /// critical path, so the caller still owes its (engine-modeled)
+  /// remaining completion time — landing is not free, only its PCIe bytes
+  /// were pre-counted at issue.
+  std::int64_t demand_landed = 0;
   std::int64_t tokens_offloaded = 0; ///< tokens moved fast -> slow
   /// Async prefetch traffic (begin_fetch/cancel_fetch). Issued fetches
   /// count their PCIe bytes in bytes_to_fast at issue time — the copy

@@ -17,10 +17,16 @@ ServeMetrics::ServeMetrics()
       queue_depth_(&registry_.gauge("serve.queue_depth")),
       arrival_ms_(&registry_.gauge("serve.arrival_ms")),
       finish_ms_(&registry_.gauge("serve.finish_ms")),
+      demand_stall_ms_total_(&registry_.counter("serve.demand_stall_ms_total")),
+      demand_stall_steps_(&registry_.counter("serve.demand_stall_steps")),
+      link_drained_bytes_(&registry_.counter("serve.link_drained_bytes")),
+      link_busy_ms_(&registry_.counter("serve.link_busy_ms")),
+      late_prefetch_tokens_(&registry_.counter("serve.late_prefetch_tokens")),
       ttft_hist_(&registry_.histogram("serve.ttft_ms")),
       inter_token_hist_(&registry_.histogram("serve.inter_token_ms")),
       fetch_bytes_hist_(&registry_.histogram("serve.fetch_bytes")),
-      repair_hist_(&registry_.histogram("serve.repair_ms")) {}
+      repair_hist_(&registry_.histogram("serve.repair_ms")),
+      demand_stall_hist_(&registry_.histogram("serve.demand_stall_ms")) {}
 
 void ServeMetrics::record_session(SessionRecord record) {
   expects(record.finish_ms >= record.first_token_ms &&
@@ -87,6 +93,25 @@ void ServeMetrics::record_advance_wall(double wall_ms, Index fanned_out,
 void ServeMetrics::record_fetch_bytes(std::int64_t bytes) {
   expects(bytes >= 0, "ServeMetrics::record_fetch_bytes: negative bytes");
   fetch_bytes_hist_->record(static_cast<double>(bytes));
+}
+
+void ServeMetrics::record_demand_stall(double stall_ms) {
+  expects(stall_ms >= 0.0, "ServeMetrics::record_demand_stall: negative stall");
+  demand_stall_ms_total_->add(stall_ms);
+  demand_stall_steps_->add(std::int64_t{1});
+  demand_stall_hist_->record(stall_ms);
+}
+
+void ServeMetrics::record_transfer_tick(double drained_bytes, double busy_ms) {
+  expects(drained_bytes >= 0.0 && busy_ms >= 0.0,
+          "ServeMetrics::record_transfer_tick: negative drain");
+  link_drained_bytes_->add(drained_bytes);
+  link_busy_ms_->add(busy_ms);
+}
+
+void ServeMetrics::record_late_prefetch(std::int64_t tokens) {
+  expects(tokens >= 0, "ServeMetrics::record_late_prefetch: negative tokens");
+  late_prefetch_tokens_->add(tokens);
 }
 
 std::int64_t ServeMetrics::total_tokens() const noexcept {
@@ -301,6 +326,26 @@ double ServeMetrics::repair_ms_total() const noexcept {
 
 Index ServeMetrics::repair_ticks() const noexcept {
   return static_cast<Index>(repair_ticks_->as_int());
+}
+
+double ServeMetrics::demand_stall_ms_total() const noexcept {
+  return demand_stall_ms_total_->value();
+}
+
+std::int64_t ServeMetrics::demand_stall_steps() const noexcept {
+  return demand_stall_steps_->as_int();
+}
+
+double ServeMetrics::link_drained_bytes_total() const noexcept {
+  return link_drained_bytes_->value();
+}
+
+double ServeMetrics::link_busy_ms_total() const noexcept {
+  return link_busy_ms_->value();
+}
+
+std::int64_t ServeMetrics::late_prefetch_tokens_total() const noexcept {
+  return late_prefetch_tokens_->as_int();
 }
 
 double ServeMetrics::advance_wall_ms_total() const noexcept {

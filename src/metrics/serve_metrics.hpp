@@ -127,6 +127,23 @@ class ServeMetrics {
   /// (synchronous slow->fast traffic that stalled the step).
   void record_fetch_bytes(std::int64_t bytes);
 
+  // ---- transfer-engine instrumentation (sim/transfer_engine) ----
+
+  /// Records one decode step's engine-modeled demand stall: the virtual ms
+  /// the session waited for its demand bytes to reach the front of the
+  /// contended slow->fast queue and cross the wire. Grows with queue
+  /// position, which is what makes fleet contention visible per session.
+  void record_demand_stall(double stall_ms);
+
+  /// Records one tick's wire activity: bytes the engine drained and the
+  /// virtual ms the link spent transferring (link utilization numerator).
+  void record_transfer_tick(double drained_bytes, double busy_ms);
+
+  /// Records speculative-fetch tokens whose copy had not finished draining
+  /// when the selection wanted them (late prefetch: the hit converts back
+  /// into demand traffic on the engine's queue).
+  void record_late_prefetch(std::int64_t tokens);
+
   /// All retired sessions, retirement order.
   [[nodiscard]] const std::vector<SessionRecord>& records() const noexcept {
     return records_;
@@ -205,6 +222,20 @@ class ServeMetrics {
   [[nodiscard]] double repair_ms_total() const noexcept;
   [[nodiscard]] Index repair_ticks() const noexcept;
 
+  // ---- transfer-engine aggregates (zero when the engine is off) ----
+
+  /// Summed engine-modeled demand stall over every decode step, and the
+  /// step count behind it (mean stall = total / steps).
+  [[nodiscard]] double demand_stall_ms_total() const noexcept;
+  [[nodiscard]] std::int64_t demand_stall_steps() const noexcept;
+  /// Bytes the transfer engine drained across the run.
+  [[nodiscard]] double link_drained_bytes_total() const noexcept;
+  /// Virtual ms the modeled wire spent transferring (divide by makespan
+  /// for link utilization).
+  [[nodiscard]] double link_busy_ms_total() const noexcept;
+  /// Prefetch-hit tokens that arrived late (converted back to demand).
+  [[nodiscard]] std::int64_t late_prefetch_tokens_total() const noexcept;
+
   // ---- wall-clock advance-phase accounting (host time, not billed) ----
 
   /// Total host milliseconds spent in tick advance phases.
@@ -250,10 +281,16 @@ class ServeMetrics {
   obs::Gauge* queue_depth_;
   obs::Gauge* arrival_ms_;
   obs::Gauge* finish_ms_;
+  obs::Counter* demand_stall_ms_total_;
+  obs::Counter* demand_stall_steps_;
+  obs::Counter* link_drained_bytes_;
+  obs::Counter* link_busy_ms_;
+  obs::Counter* late_prefetch_tokens_;
   obs::Histogram* ttft_hist_;
   obs::Histogram* inter_token_hist_;
   obs::Histogram* fetch_bytes_hist_;
   obs::Histogram* repair_hist_;
+  obs::Histogram* demand_stall_hist_;
   std::vector<SessionRecord> records_;
 };
 

@@ -53,6 +53,12 @@ inline constexpr int kFetchCancelReasonCount = 3;
 /// above any plausible request id so the spaces cannot collide.
 inline constexpr std::int64_t kWorkerTrackBase = std::int64_t{1} << 20;
 
+/// Dedicated track for the slow->fast transfer engine's link spans
+/// (sim/transfer_engine): one below the worker base, far above any
+/// session track, so the wire's occupancy renders as its own lane in
+/// Perfetto without colliding with either namespace.
+inline constexpr std::int64_t kTransferTrack = kWorkerTrackBase - 1;
+
 /// One recorded event. Virtual timestamps are microseconds on the
 /// scheduler clock (Chrome's native "ts" unit); wall_ns is the
 /// steady-clock dual taken at record time. Names and argument names are

@@ -42,6 +42,19 @@ BatchScheduler::BatchScheduler(std::vector<ServeRequest> trace,
           "BatchScheduler: prefetch requires tiered residency (the untiered "
           "residency sum cannot see in-flight reserved bytes, so the budget "
           "invariant would not cover transfers on the wire)");
+  expects(config.link_gbps >= 0.0,
+          "BatchScheduler: link_gbps must be >= 0 (0 = hardware gather rate)");
+  expects(!config.use_transfer_engine ||
+              (config.method == LatencyModel::Method::kClusterKV &&
+               config.tiered_residency),
+          "BatchScheduler: the transfer engine models ClusterKV's tiered "
+          "slow->fast fetch traffic; it requires method kClusterKV with "
+          "tiered_residency");
+  if (config_.use_transfer_engine) {
+    transfer_link_gbps_ = config_.link_gbps > 0.0 ? config_.link_gbps
+                                                  : latency_.link_gather_gbps();
+    transfer_engine_ = std::make_unique<TransferEngine>(transfer_link_gbps_);
+  }
   const double budget_cap = static_cast<double>(config_.fast_tier_budget_bytes) *
                             config_.admission_overcommit;
   for (auto& request : trace) {
@@ -103,6 +116,12 @@ StepBreakdown BatchScheduler::step_cost(const Session& session) const {
       const double miss_rate = 1.0 - session.cache_hit_rate();
       const Index clusters =
           std::max<Index>(1, context / std::max<Index>(1, config_.tokens_per_cluster));
+      if (config_.use_transfer_engine) {
+        // Compute-only step: the fetch stall is billed from the transfer
+        // engine's contended queue in the tick pre-pass (one shared wire),
+        // not by the closed-form per-session division.
+        return latency_.clusterkv_step(context, budget, 0.0, clusters);
+      }
       if (config_.prefetch_clusters > 0) {
         // Overlap-aware split: only the misses the prediction failed to
         // cover stall; issued speculative traffic (hits + waste) hides
@@ -285,6 +304,9 @@ void BatchScheduler::enforce_budget(Session* just_stepped) {
       // Store-level cancel instants attribute to the victim's track.
       tr.set_track(session_track(*victim));
       const Index canceled = victim->cancel_prefetches();
+      // The wire-level mirror: the victim's speculative request leaves the
+      // engine's queue too, refunding its un-drained capacity.
+      cancel_session_spec(*victim);
       if (canceled > 0) {
         tr.instant("enforce-cancel", {{"fetches", canceled}});
       }
@@ -324,6 +346,8 @@ void BatchScheduler::retire_finished() {
     tr.set_track(session_track(session));
     tr.set_virtual_now_ms(now_ms_);
     session.cancel_prefetches(obs::FetchCancelReason::kSessionRelease);
+    cancel_session_spec(session);
+    transfer_links_.erase(session.request().id);
     SessionRecord record;
     record.id = session.request().id;
     record.prompt_len = session.request().prompt_len;
@@ -369,6 +393,112 @@ void BatchScheduler::mark_resume_if_preempted(const Session& session) {
   if (session.preemptions() > seen) {
     obs::tracer().instant("resume", {{"preemptions", session.preemptions()}});
     seen = session.preemptions();
+  }
+}
+
+double BatchScheduler::model_bytes_per_step_token() const {
+  return static_cast<double>(latency_.fetch_bytes_per_token()) /
+         static_cast<double>(session_config_.shape.total_heads());
+}
+
+double BatchScheduler::projected_demand_bytes(const Session& session) const {
+  const Index context = session.request().prompt_len + session.tokens_generated();
+  const double attended =
+      static_cast<double>(std::min<Index>(session_config_.engine.budget, context));
+  // The same measured rate the closed-form path bills with, so a lone
+  // session on an idle wire reproduces the closed-form transfer term
+  // exactly (the single-session calibration contract).
+  const double demand_rate = config_.prefetch_clusters > 0
+                                 ? session.demand_miss_rate()
+                                 : 1.0 - session.cache_hit_rate();
+  return demand_rate * attended *
+         static_cast<double>(latency_.fetch_bytes_per_token());
+}
+
+void BatchScheduler::resolve_session_transfers(Session& session,
+                                               const StepResult& step) {
+  const double bytes_per_token = model_bytes_per_step_token();
+  TransferLink& link = transfer_links_[session.request().id];
+  if (link.spec_id != 0) {
+    // The selection just revealed the outstanding speculation's hit/waste
+    // split. Hits the wire finished are free (the overlap worked); hits
+    // still queued are *late* — the copy must complete on the demand
+    // path, so the backlog it creates stalls upcoming steps. Never-drained
+    // waste refunds its reserved wire capacity.
+    const double hit_bytes =
+        static_cast<double>(step.tokens_prefetch_hit) * bytes_per_token;
+    const TransferEngine::SpecResolution resolution =
+        transfer_engine_->resolve_spec(link.spec_id, hit_bytes);
+    if (resolution.late_hit_bytes > 0.0) {
+      transfer_engine_->enqueue(session.request().id,
+                                TransferEngine::Priority::kDemand,
+                                resolution.late_hit_bytes);
+      metrics_.record_late_prefetch(static_cast<std::int64_t>(
+          resolution.late_hit_bytes / bytes_per_token + 0.5));
+      obs::tracer().instant("prefetch-late",
+                            {{"bytes", static_cast<std::int64_t>(
+                                  resolution.late_hit_bytes)}});
+    }
+    link = TransferLink{};
+  }
+  const Index demand_tokens = step.tokens_fetched - step.tokens_prefetch_hit;
+  if (demand_tokens > 0) {
+    transfer_engine_->enqueue(session.request().id,
+                              TransferEngine::Priority::kDemand,
+                              static_cast<double>(demand_tokens) * bytes_per_token);
+  }
+  if (step.tokens_prefetch_issued > 0) {
+    link.spec_id = transfer_engine_->enqueue(
+        session.request().id, TransferEngine::Priority::kSpeculative,
+        static_cast<double>(step.tokens_prefetch_issued) * bytes_per_token);
+    link.spec_tokens = step.tokens_prefetch_issued;
+  }
+}
+
+void BatchScheduler::cancel_session_spec(const Session& session) {
+  if (transfer_engine_ == nullptr) {
+    return;
+  }
+  const auto it = transfer_links_.find(session.request().id);
+  if (it == transfer_links_.end() || it->second.spec_id == 0) {
+    return;
+  }
+  transfer_engine_->cancel(it->second.spec_id);
+  it->second = TransferLink{};
+}
+
+void BatchScheduler::drain_transfer_engine(double completed_ms) {
+  const double drained_before = transfer_engine_->drained_bytes_total();
+  const double busy_before = transfer_engine_->busy_ms_total();
+  const double window_begin_ms = transfer_engine_->clock_ms();
+  const std::vector<TransferEngine::Completion> completions =
+      transfer_engine_->drain_until(completed_ms);
+  const double drained = transfer_engine_->drained_bytes_total() - drained_before;
+  const double busy = transfer_engine_->busy_ms_total() - busy_before;
+  metrics_.record_transfer_tick(drained, busy);
+  auto& tr = obs::tracer();
+  if (tr.enabled() && busy > 0.0) {
+    // One contiguous busy window per tick (the wire works front-to-back
+    // from the window's opening), with per-request completion spans laid
+    // out sequentially inside it. Ends clamp to the outer span so
+    // floating-point accumulation drift cannot unbalance the track's
+    // (ts-sorted) span stack.
+    const double window_end_ms = window_begin_ms + busy;
+    tr.begin_at("link-busy", obs::kTransferTrack, window_begin_ms,
+                {{"bytes", static_cast<std::int64_t>(drained)},
+                 {"queued", transfer_engine_->queue_depth()}});
+    for (const TransferEngine::Completion& done : completions) {
+      const char* name = done.priority == TransferEngine::Priority::kDemand
+                             ? "demand-transfer"
+                             : "spec-transfer";
+      const double begin = std::max(done.start_ms, window_begin_ms);
+      const double end = std::clamp(done.end_ms, begin, window_end_ms);
+      tr.begin_at(name, obs::kTransferTrack, begin,
+                  {{"session", done.client},
+                   {"bytes", static_cast<std::int64_t>(done.bytes)}});
+      tr.end_at(name, obs::kTransferTrack, end);
+    }
+    tr.end_at("link-busy", obs::kTransferTrack, window_end_ms);
   }
 }
 
@@ -458,6 +588,14 @@ void BatchScheduler::commit_item(AdvanceItem& item, double completed_ms) {
       metrics_.record_fetch_bytes(static_cast<std::int64_t>(demand) *
                                   session_token_bytes(session_config_));
     }
+    if (transfer_engine_ != nullptr) {
+      // Wire-level bookkeeping for the step the session just took: resolve
+      // the previous speculation, queue this step's demand misses and its
+      // newly issued speculative traffic. Runs in the exact serial commit
+      // order, so enqueue sequence — and therefore drain order — is
+      // byte-identical at any worker count.
+      resolve_session_transfers(*session, item.step);
+    }
     tr.instant("decode-step", {{"token", session->tokens_generated()},
                                {"fetched", item.step.tokens_fetched}});
     mark_resume_if_preempted(*session);
@@ -475,10 +613,17 @@ bool BatchScheduler::tick() {
   }
   if (running_.empty() && !queue_.has_arrival(now_ms_)) {
     now_ms_ = queue_.next_arrival_ms();  // idle: jump to the next arrival
+    if (transfer_engine_ != nullptr) {
+      // The wire keeps draining (and its clock monotone) across the jump.
+      drain_transfer_engine(now_ms_);
+    }
   }
   auto& tr = obs::tracer();
   if (tr.enabled() && ticks_ == 0) {
     tr.set_track_name(0, "scheduler");
+    if (transfer_engine_ != nullptr) {
+      tr.set_track_name(obs::kTransferTrack, "transfer-engine");
+    }
   }
   tr.set_track(0);
   tr.set_virtual_now_ms(now_ms_);
@@ -512,12 +657,31 @@ bool BatchScheduler::tick() {
     double decode_ms = 0.0;  // decode share of tick_ms (phase sub-span)
     const bool repair_billed = config_.method == LatencyModel::Method::kClusterKV &&
                                config_.repair_refine_iterations > 0;
+    // Engine-mode demand billing: the wire serves one contended queue, so
+    // a decoder's stall is the completion time of the backlog plus every
+    // demand request at or ahead of its position — later decoders wait
+    // longer, which is exactly how fleet contention becomes visible. The
+    // tick bills the queue's makespan (the last decoder's stall) once; the
+    // per-decoder stalls feed the metrics. All inputs are pre-advance
+    // state, keeping the pre-pass a pure function of the schedule.
+    double demand_bytes_ahead =
+        transfer_engine_ != nullptr
+            ? transfer_engine_->queued_bytes(TransferEngine::Priority::kDemand)
+            : 0.0;
+    double demand_stall_tail_ms = 0.0;
     for (std::size_t i = 0; i < decoders.size(); ++i) {
       const StepBreakdown b = step_cost(*decoders[i]);
       if (i == 0) {
         tick_ms += b.weights_ms + b.overhead_ms;
       }
       tick_ms += b.total_ms() - b.weights_ms - b.overhead_ms;
+      if (transfer_engine_ != nullptr) {
+        demand_bytes_ahead += projected_demand_bytes(*decoders[i]);
+        const double stall_ms =
+            latency_.contended_fetch_ms(demand_bytes_ahead, transfer_link_gbps_);
+        metrics_.record_demand_stall(stall_ms);
+        demand_stall_tail_ms = stall_ms;
+      }
       if (repair_billed && config_.repair_decode_interval > 0 &&
           (decoders[i]->tokens_generated() + 1) % config_.repair_decode_interval == 0) {
         // Periodic decode-side repair pass (mirrors the engine's trigger in
@@ -539,6 +703,7 @@ bool BatchScheduler::tick() {
         }
       }
     }
+    tick_ms += demand_stall_tail_ms;
     decode_ms = tick_ms;
     std::vector<Index> chunks(prefillers.size(), 0);
     for (std::size_t i = 0; i < prefillers.size(); ++i) {
@@ -722,6 +887,12 @@ bool BatchScheduler::tick() {
                                  static_cast<Index>(items.size()));
     tr.set_track(0);
     tr.end_at("tick", 0, completed_ms);
+    if (transfer_engine_ != nullptr) {
+      // Spend the tick's wire capacity on everything queued (including the
+      // demand and speculation the commit phase just enqueued — those
+      // copies overlapped the step compute the tick billed).
+      drain_transfer_engine(completed_ms);
+    }
     now_ms_ = completed_ms;
     round_robin_offset_ = (round_robin_offset_ + 1) % batch;
     metrics_.record_tick(tick_ms, batch, queue_.size());
@@ -735,6 +906,11 @@ bool BatchScheduler::tick() {
   }
   tr.counter("queue-depth", queue_.size());
   tr.counter("running-sessions", static_cast<Index>(running_.size()));
+  if (transfer_engine_ != nullptr) {
+    tr.counter("transfer-queue-depth", transfer_engine_->queue_depth());
+    tr.counter("link-drained-bytes",
+               static_cast<std::int64_t>(transfer_engine_->drained_bytes_total()));
+  }
   metrics_.record_occupancy(fast_tier_bytes_locked());
   return !(running_.empty() && queue_.empty());
 }

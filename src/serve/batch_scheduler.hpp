@@ -25,6 +25,7 @@
 // bytes stay at slice scale, matching the configured budget.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -34,6 +35,7 @@
 #include "serve/request_queue.hpp"
 #include "serve/session.hpp"
 #include "sim/latency_model.hpp"
+#include "sim/transfer_engine.hpp"
 #include "util/common.hpp"
 #include "util/thread_safety.hpp"
 
@@ -85,6 +87,19 @@ struct BatchSchedulerConfig {
   /// Residency-wise nothing changes here: in-flight fetch bytes reach the
   /// budget through the ledger's reserved counter regardless.
   Index prefetch_clusters = 0;
+  /// Model the slow->fast link as an explicit bandwidth-contended queue
+  /// (sim/transfer_engine) instead of per-session bytes/bandwidth
+  /// division: each tick's demand stall becomes the engine's modeled
+  /// completion time for the fleet's queued demand bytes (drain order
+  /// demand > speculative, FIFO within a class), so concurrent sessions'
+  /// misses and prefetches contend for the wire. Requires kClusterKV with
+  /// tiered_residency — the engine models that method's tiered fetch
+  /// traffic. Off by default: every existing row keeps the closed-form
+  /// per-session billing byte-identically.
+  bool use_transfer_engine = false;
+  /// Link bandwidth for the transfer engine (GB/s); 0 = the hardware
+  /// model's pcie_gather_gbps. Sweeping this down makes contention bite.
+  double link_gbps = 0.0;
   /// Fan session advancement out to the persistent worker pool. Sessions
   /// are independent (own engine, own RNG, own stores; the shared ledger
   /// is commutative atomics), so a tick may step them concurrently —
@@ -247,6 +262,38 @@ class BatchScheduler {
   void mark_resume_if_preempted(const Session& session)
       CKV_REQUIRES(serial_phase_);
 
+  // ---- transfer-engine mode (config_.use_transfer_engine) ----
+
+  /// One session's outstanding speculative transfer on the engine's queue:
+  /// issued at the decode commit that billed the prefetch, resolved into
+  /// hits / late hits / refunded waste at the session's next decode
+  /// commit, or canceled by enforcement / retirement.
+  struct TransferLink {
+    std::uint64_t spec_id = 0;
+    Index spec_tokens = 0;
+  };
+
+  /// Model-scale wire bytes of one head-summed step-token count unit
+  /// (StepResult counts sum over layers x heads of the slice, so one full
+  /// token's fetch equals total_heads of them).
+  [[nodiscard]] double model_bytes_per_step_token() const;
+  /// Demand bytes this decoder is projected to put on the wire this step
+  /// (its measured demand rate x attended tokens, model scale) — the
+  /// engine-mode billing pre-pass input, a pure function of pre-tick state.
+  [[nodiscard]] double projected_demand_bytes(const Session& session) const;
+  /// Decode-commit engine bookkeeping: resolves the session's outstanding
+  /// speculation against the step's observed hits (late hits re-enqueue as
+  /// demand), enqueues the step's demand misses, and issues this step's
+  /// speculative traffic.
+  void resolve_session_transfers(Session& session, const StepResult& step)
+      CKV_REQUIRES(serial_phase_);
+  /// Drops the session's outstanding speculative request from the engine
+  /// (mirrors Session::cancel_prefetches at the wire level).
+  void cancel_session_spec(const Session& session) CKV_REQUIRES(serial_phase_);
+  /// Advances the engine's wire to `completed_ms`, records per-tick drain
+  /// metrics and emits the transfer-track spans.
+  void drain_transfer_engine(double completed_ms) CKV_REQUIRES(serial_phase_);
+
   /// The tick's serial phase as a compile-time capability: everything a
   /// worker must not touch while the wave fan-out is in flight is
   /// CKV_GUARDED_BY(serial_phase_). tick() claims it for the tick body;
@@ -274,6 +321,16 @@ class BatchScheduler {
   /// Preemption count last observed per running session id — the
   /// scheduler's memory for preempt -> resume trace edges.
   std::unordered_map<Index, Index> preempt_seen_ CKV_GUARDED_BY(serial_phase_);
+  /// The contended slow->fast wire (null unless use_transfer_engine). All
+  /// engine state advances in the serial phase on the virtual clock.
+  std::unique_ptr<TransferEngine> transfer_engine_ CKV_GUARDED_BY(serial_phase_);
+  /// Effective engine link rate (GB/s) — config_.link_gbps or the
+  /// hardware gather rate; cached so billing and the engine agree exactly.
+  double transfer_link_gbps_ = 0.0;
+  /// Outstanding speculative transfer per running session id (keyed
+  /// access only — never iterated, so order cannot leak anywhere).
+  std::unordered_map<Index, TransferLink> transfer_links_
+      CKV_GUARDED_BY(serial_phase_);
 };
 
 }  // namespace ckv

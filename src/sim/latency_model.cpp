@@ -169,8 +169,17 @@ StepBreakdown LatencyModel::clusterkv_prefetch_step(
       static_cast<double>(model_.kv_bytes_per_token(wire_bytes));
   // The async copies overlap the step's own computation (weights, KV
   // reads, scoring, overheads); only a fetch outlasting all of it shows.
+  // Demand misses and speculative copies share one wire, so the demand
+  // gather's *full* occupancy (miss bytes / rate, before its own overlap
+  // discount) eats into the window the prefetch can hide under — the two
+  // transfers serialize on the link instead of each hiding under the
+  // other's compute.
   const double compute_ms = b.total_ms() - b.transfer_ms;
-  b.transfer_ms += overlapped_fetch_ms(prefetch_bytes, compute_ms);
+  const double miss_bytes = demand_miss_rate * attended *
+                            static_cast<double>(model_.kv_bytes_per_token(wire_bytes));
+  const double demand_wire_ms = miss_bytes / (hw_.pcie_gather_gbps * 1e6);
+  b.transfer_ms +=
+      overlapped_fetch_ms(prefetch_bytes, compute_ms - demand_wire_ms);
   return b;
 }
 
@@ -185,7 +194,10 @@ StepBreakdown LatencyModel::quest_step(Index context_len, Index budget,
                                        model_.kv_bytes_per_token(element_bytes_)),
                         hw_.attention_bw_efficiency);
   // Page metadata: per-channel max and min vectors per page per KV head.
-  const double pages = static_cast<double>(context_len) / static_cast<double>(page_size);
+  // A partial trailing page stores full min/max vectors and is scored like
+  // any other, so the page count rounds up.
+  const double pages =
+      std::ceil(static_cast<double>(context_len) / static_cast<double>(page_size));
   const double metadata_bytes = pages * 2.0 * static_cast<double>(model_.head_dim) *
                                 element_bytes_ *
                                 static_cast<double>(model_.num_kv_heads) *

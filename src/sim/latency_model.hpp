@@ -12,6 +12,7 @@
 // tracked separately; see docs/PERFORMANCE.md).
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "model/model_config.hpp"
@@ -54,6 +55,38 @@ class LatencyModel {
                Index element_bytes = 2);
 
   [[nodiscard]] const ModelConfig& model() const noexcept { return model_; }
+
+  // ---- transfer-engine support (sim/transfer_engine) ----
+  // The engine models the slow->fast wire explicitly; these expose the
+  // hardware terms the closed-form paths bill with, so the two stay one
+  // parameterization (single-session engine rows must reproduce the
+  // closed-form columns).
+
+  /// Modeled slow->fast gather bandwidth (GB/s).
+  [[nodiscard]] double link_gather_gbps() const noexcept {
+    return hw_.pcie_gather_gbps;
+  }
+  /// Fraction of fetch time hidden under compute by the gather pipeline.
+  [[nodiscard]] double transfer_overlap() const noexcept {
+    return hw_.transfer_overlap;
+  }
+  /// Wire bytes of one fetched token's KV entry at model scale (the byte
+  /// unit every closed-form transfer term bills with); 0 = storage width.
+  [[nodiscard]] std::int64_t fetch_bytes_per_token(
+      Index transfer_element_bytes = 0) const noexcept {
+    return model_.kv_bytes_per_token(
+        transfer_element_bytes > 0 ? transfer_element_bytes : element_bytes_);
+  }
+  /// Visible stall of `bytes` of demand traffic on a shared link running
+  /// at `link_gbps` (0 = the hardware gather rate): the closed-form
+  /// transfer term's formula with the wire rate as a knob, applied by the
+  /// scheduler to engine-modeled queue occupancy instead of per-session
+  /// bytes.
+  [[nodiscard]] double contended_fetch_ms(double bytes,
+                                          double link_gbps = 0.0) const noexcept {
+    const double gbps = link_gbps > 0.0 ? link_gbps : hw_.pcie_gather_gbps;
+    return (1.0 - hw_.transfer_overlap) * bytes / (gbps * 1e6);
+  }
 
   // ---- prefill ----
 

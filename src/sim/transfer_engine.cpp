@@ -1,0 +1,159 @@
+#include "sim/transfer_engine.hpp"
+
+#include <algorithm>
+
+namespace ckv {
+
+namespace {
+
+/// Completion tolerance for the floating-point byte countdown: capacity
+/// subtraction rounds in the low bits, and a request must not survive on a
+/// sub-byte residue. Deterministic — the same arithmetic runs every time.
+constexpr double kByteEpsilon = 1e-6;
+
+}  // namespace
+
+TransferEngine::TransferEngine(double link_gbps)
+    : rate_bytes_per_ms_(link_gbps * 1e6) {
+  expects(link_gbps > 0.0, "TransferEngine: link_gbps must be positive");
+}
+
+std::uint64_t TransferEngine::enqueue(Index client, Priority priority,
+                                      double bytes) {
+  expects(bytes >= 0.0, "TransferEngine::enqueue: negative bytes");
+  Request request;
+  request.id = next_id_++;
+  request.client = client;
+  request.priority = priority;
+  request.bytes = bytes;
+  queue_for(priority).push_back(request);
+  return request.id;
+}
+
+TransferEngine::Request* TransferEngine::find(std::uint64_t id) noexcept {
+  for (auto* queue : {&demand_, &spec_, &landed_spec_}) {
+    for (auto& request : *queue) {
+      if (request.id == id) {
+        return &request;
+      }
+    }
+  }
+  return nullptr;
+}
+
+void TransferEngine::erase(std::uint64_t id) noexcept {
+  for (auto* queue : {&demand_, &spec_, &landed_spec_}) {
+    for (auto it = queue->begin(); it != queue->end(); ++it) {
+      if (it->id == id) {
+        queue->erase(it);
+        return;
+      }
+    }
+  }
+}
+
+double TransferEngine::cancel(std::uint64_t id) {
+  Request* request = find(id);
+  if (request == nullptr) {
+    return 0.0;
+  }
+  const double refunded = std::max(0.0, request->bytes - request->drained);
+  erase(id);
+  return refunded;
+}
+
+TransferEngine::SpecResolution TransferEngine::resolve_spec(std::uint64_t id,
+                                                            double hit_bytes) {
+  expects(hit_bytes >= 0.0, "TransferEngine::resolve_spec: negative hits");
+  SpecResolution resolution;
+  Request* request = find(id);
+  if (request == nullptr) {
+    return resolution;
+  }
+  expects(request->priority == Priority::kSpeculative,
+          "TransferEngine::resolve_spec: request is not speculative");
+  const double hits = std::min(hit_bytes, request->bytes);
+  // Drained capacity covers the hit bytes first: the prediction's useful
+  // part is what the issuing step wanted on the wire earliest, so waste
+  // only counts as transferred once every hit byte has crossed.
+  resolution.late_hit_bytes = std::max(0.0, hits - request->drained);
+  resolution.refunded_bytes = std::max(
+      0.0, request->bytes - request->drained - resolution.late_hit_bytes);
+  erase(id);
+  return resolution;
+}
+
+std::vector<TransferEngine::Completion> TransferEngine::drain_until(
+    double now_ms) {
+  expects(now_ms >= clock_ms_,
+          "TransferEngine::drain_until: the virtual clock cannot run "
+          "backwards");
+  std::vector<Completion> completions;
+  double capacity = (now_ms - clock_ms_) * rate_bytes_per_ms_;
+  // The wire starts where the previous drain left off if it was busy then,
+  // otherwise work begins the moment this window opens. Queued-but-idle
+  // time before clock_ms_ never transfers bytes: idle capacity is lost.
+  double cursor = clock_ms_;
+  for (Priority priority : {Priority::kDemand, Priority::kSpeculative}) {
+    auto& queue = queue_for(priority);
+    while (!queue.empty() && capacity > 0.0) {
+      Request& request = queue.front();
+      const double remaining = request.bytes - request.drained;
+      const double take = std::min(remaining, capacity);
+      if (request.start_ms < 0.0) {
+        request.start_ms = cursor;
+      }
+      request.drained += take;
+      capacity -= take;
+      cursor += take / rate_bytes_per_ms_;
+      drained_bytes_total_ += take;
+      busy_ms_total_ += take / rate_bytes_per_ms_;
+      if (request.bytes - request.drained > kByteEpsilon) {
+        break;  // capacity exhausted mid-request; progress carries over
+      }
+      Completion done;
+      done.id = request.id;
+      done.client = request.client;
+      done.priority = request.priority;
+      done.bytes = request.bytes;
+      done.start_ms = request.start_ms;
+      done.end_ms = cursor;
+      completions.push_back(done);
+      if (priority == Priority::kSpeculative) {
+        // A landed speculation is still unresolved: its hit/waste split
+        // waits for the next selection (resolve_spec), so the request
+        // parks instead of vanishing.
+        landed_spec_.push_back(request);
+      }
+      queue.pop_front();
+    }
+    if (capacity <= 0.0) {
+      break;
+    }
+  }
+  clock_ms_ = now_ms;
+  return completions;
+}
+
+double TransferEngine::queued_bytes() const noexcept {
+  return queued_bytes(Priority::kDemand) + queued_bytes(Priority::kSpeculative);
+}
+
+double TransferEngine::queued_bytes(Priority priority) const noexcept {
+  const auto& queue = priority == Priority::kDemand ? demand_ : spec_;
+  double bytes = 0.0;
+  for (const auto& request : queue) {
+    bytes += request.bytes - request.drained;
+  }
+  return bytes;
+}
+
+Index TransferEngine::queue_depth() const noexcept {
+  return static_cast<Index>(demand_.size() + spec_.size());
+}
+
+double TransferEngine::demand_backlog_ms() const noexcept {
+  return queued_bytes(Priority::kDemand) / rate_bytes_per_ms_;
+}
+
+}  // namespace ckv

@@ -192,7 +192,12 @@ TEST(TieredKVStore, FetchLifecycleReservesAndLandsBytes) {
   EXPECT_EQ(store.stats().tokens_prefetch_canceled, 1);
 }
 
-TEST(TieredKVStore, EnsureResidentCompletesInFlightWithoutDoubleCount) {
+// Regression pin: a demand fetch that catches an in-flight speculative
+// copy used to report 0 moved tokens and leave tokens_fetched untouched,
+// so callers billed zero transfer time for a copy that may have just been
+// issued. It now counts as a demand fetch (under the demand_landed split)
+// while its PCIe bytes stay counted once, at issue.
+TEST(TieredKVStore, EnsureResidentCountsLandedInFlightAsDemand) {
   TieredKVStore store(4);
   Matrix keys(3, 4);
   Matrix values(3, 4);
@@ -201,13 +206,28 @@ TEST(TieredKVStore, EnsureResidentCompletesInFlightWithoutDoubleCount) {
   const std::vector<Index> p0{0};
   store.begin_fetch(p0);
   const auto issued_bytes = store.stats().bytes_to_fast;
-  // The demand path catches up with the issued copy: it lands, no bytes
-  // are re-counted and no demand fetch is recorded.
-  EXPECT_EQ(store.ensure_resident(p0), 0);
+  // The demand path catches up with the issued copy: it lands and counts
+  // as a demand-moved token, but its bytes are not re-counted.
+  EXPECT_EQ(store.ensure_resident(p0), 1);
   EXPECT_TRUE(store.is_fast_resident(0));
   EXPECT_EQ(store.in_flight_count(), 0);
   EXPECT_EQ(store.stats().bytes_to_fast, issued_bytes);
-  EXPECT_EQ(store.stats().tokens_fetched, 0);
+  EXPECT_EQ(store.stats().tokens_fetched, 1);
+  EXPECT_EQ(store.stats().demand_landed, 1);
+
+  // A plain demand fetch is not a landing: the split stays disjoint.
+  const std::vector<Index> p1{1};
+  EXPECT_EQ(store.ensure_resident(p1), 1);
+  EXPECT_EQ(store.stats().tokens_fetched, 2);
+  EXPECT_EQ(store.stats().demand_landed, 1);
+  EXPECT_EQ(store.stats().bytes_to_fast, issued_bytes + store.token_bytes());
+
+  // merge() carries the new counter.
+  TransferStats merged;
+  merged.merge(store.stats());
+  merged.merge(store.stats());
+  EXPECT_EQ(merged.demand_landed, 2);
+  EXPECT_EQ(merged.tokens_fetched, 4);
 }
 
 TEST(TieredKVStore, CancelAllAndDetachClearReservation) {

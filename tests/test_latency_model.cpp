@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "model/model_config.hpp"
 #include "sim/latency_model.hpp"
 
@@ -172,6 +174,70 @@ TEST(LatencyModel, PrefetchStepNeverSlowerThanSyncAtSameTraffic) {
   EXPECT_GE(flooded.total_ms(), covered.total_ms());
   EXPECT_THROW((void)model.clusterkv_prefetch_step(8192, 1024, 0.1, -0.1, 102),
                std::invalid_argument);
+}
+
+TEST(LatencyModel, PrefetchOverlapWindowExcludesDemandWireTime) {
+  // Regression pin: clusterkv_prefetch_step used to hide speculative bytes
+  // under the *demand-miss-inflated* step (compute window = total - own
+  // transfer), letting prefetch and demand each overlap the other's wire
+  // occupancy. Demand and prefetch share one link serially: the demand
+  // gather's full wire time shrinks the window the prefetch can hide in.
+  const auto model = llama_model();
+  const Index context = 8192;
+  const Index budget = 1024;
+  const Index clusters = 102;
+  const double demand_rate = 0.4;
+
+  const auto sync = model.clusterkv_step(context, budget, demand_rate, clusters);
+  const double compute_ms = sync.total_ms() - sync.transfer_ms;
+  const double bytes_per_token =
+      static_cast<double>(model.fetch_bytes_per_token());
+  const double attended = static_cast<double>(std::min(budget, context));
+  const double wire_rate = model.link_gather_gbps() * 1e6;  // bytes/ms
+  const double demand_wire_ms = demand_rate * attended * bytes_per_token / wire_rate;
+
+  // Pick an issue volume whose wire time lands strictly between the
+  // demand-shrunk window and the full compute window: the corrected
+  // formula bills a visible remainder, the buggy one billed zero.
+  const double target_wire_ms = compute_ms - 0.5 * demand_wire_ms;
+  ASSERT_GT(target_wire_ms, compute_ms - demand_wire_ms);
+  ASSERT_LT(target_wire_ms, compute_ms);
+  const double issue_rate =
+      target_wire_ms * wire_rate / (attended * bytes_per_token);
+
+  const auto step = model.clusterkv_prefetch_step(context, budget, demand_rate,
+                                                  issue_rate, clusters);
+  const double expected_extra =
+      target_wire_ms - (compute_ms - demand_wire_ms);  // = 0.5 * demand_wire_ms
+  EXPECT_NEAR(step.transfer_ms, sync.transfer_ms + expected_extra, 1e-9);
+  // The buggy window (full compute) would have hidden everything.
+  EXPECT_GT(step.transfer_ms,
+            sync.transfer_ms +
+                model.overlapped_fetch_ms(issue_rate * attended * bytes_per_token,
+                                          compute_ms) +
+                1e-9);
+  // The degenerate contract survives the fix: no speculation, no change.
+  const auto degenerate =
+      model.clusterkv_prefetch_step(context, budget, demand_rate, 0.0, clusters);
+  EXPECT_DOUBLE_EQ(degenerate.total_ms(), sync.total_ms());
+}
+
+TEST(LatencyModel, QuestStepBillsPartialTrailingPageAsFull) {
+  // Regression pin: pages = context / page_size was fractional, under-
+  // billing metadata reads and scoring for a partial trailing page that
+  // stores full min/max vectors. The count now rounds up.
+  const auto model = llama_model();
+  const Index page = 16;
+  // 6 full pages + 1 token: bills like 7 pages, not 6.0625.
+  const auto partial = model.quest_step(6 * page + 1, 1024, page);
+  const auto full7 = model.quest_step(7 * page, 1024, page);
+  EXPECT_DOUBLE_EQ(partial.metadata_ms, full7.metadata_ms);
+  EXPECT_DOUBLE_EQ(partial.selection_ms, full7.selection_ms);
+  const auto full6 = model.quest_step(6 * page, 1024, page);
+  EXPECT_GT(partial.metadata_ms, full6.metadata_ms);
+  EXPECT_GT(partial.selection_ms, full6.selection_ms);
+  // Exact multiples are unchanged by the ceil.
+  EXPECT_DOUBLE_EQ(full6.metadata_ms * 7.0, full7.metadata_ms * 6.0);
 }
 
 TEST(LatencyModel, MissRateIncreasesStepTime) {

@@ -744,6 +744,11 @@ struct FleetSnapshot {
   double pf_rel = 0.0;
   double repair_total = 0.0;
   double conc_max = 0.0;
+  double stall_total = 0.0;
+  double link_drained = 0.0;
+  double link_busy = 0.0;
+  std::int64_t stall_steps = 0;
+  std::int64_t late_pf = 0;
   std::int64_t tokens = 0;
   std::int64_t issued = 0;
   std::int64_t hits = 0;
@@ -774,6 +779,11 @@ FleetSnapshot take_snapshot(const ServeMetrics& m) {
   s.pf_rel = m.prefetch_waste_rate(obs::FetchCancelReason::kSessionRelease);
   s.repair_total = m.repair_ms_total();
   s.conc_max = m.concurrency().max();
+  s.stall_total = m.demand_stall_ms_total();
+  s.stall_steps = m.demand_stall_steps();
+  s.link_drained = m.link_drained_bytes_total();
+  s.link_busy = m.link_busy_ms_total();
+  s.late_pf = m.late_prefetch_tokens_total();
   s.tokens = m.total_tokens();
   s.issued = m.prefetch_issued_total();
   s.hits = m.prefetch_hits_total();
@@ -835,6 +845,11 @@ void expect_snapshots_identical(const FleetSnapshot& a, const FleetSnapshot& b,
   EXPECT_EQ(a.pf_rel, b.pf_rel) << label;
   EXPECT_EQ(a.repair_total, b.repair_total) << label;
   EXPECT_EQ(a.conc_max, b.conc_max) << label;
+  EXPECT_EQ(a.stall_total, b.stall_total) << label;
+  EXPECT_EQ(a.stall_steps, b.stall_steps) << label;
+  EXPECT_EQ(a.link_drained, b.link_drained) << label;
+  EXPECT_EQ(a.link_busy, b.link_busy) << label;
+  EXPECT_EQ(a.late_pf, b.late_pf) << label;
   EXPECT_EQ(a.tokens, b.tokens) << label;
   EXPECT_EQ(a.issued, b.issued) << label;
   EXPECT_EQ(a.hits, b.hits) << label;
@@ -884,6 +899,15 @@ TEST(FleetDeterminism, MetricsAndRecordsIdenticalAcrossWorkerCounts) {
     BatchSchedulerConfig prefetch_cfg = base;
     prefetch_cfg.prefetch_clusters = 3;
     variants.push_back({"prefetch", prefetch_ckv, prefetch_cfg});
+
+    // Transfer engine on a deliberately narrow link: the wire backlog,
+    // late-prefetch conversion and per-tick stall billing all engage, and
+    // every one of them must replay byte-identically from the serial
+    // commit phase at any worker count.
+    BatchSchedulerConfig engine_cfg = prefetch_cfg;
+    engine_cfg.use_transfer_engine = true;
+    engine_cfg.link_gbps = 0.5;
+    variants.push_back({"engine", prefetch_ckv, engine_cfg});
   }
 
   const auto trace = varied_trace();
@@ -986,6 +1010,84 @@ TEST(FleetDeterminism, RoundRobinProgressIdenticalSerialVsParallel) {
   expect_snapshots_identical(take_snapshot(serial.metrics()),
                              take_snapshot(parallel.metrics()),
                              "serial vs parallel fleet");
+}
+
+// ---- transfer-engine serving behavior --------------------------------------
+
+ClusterKVConfig prefetch_engine_ckv() {
+  ClusterKVConfig ckv = small_ckv_config();
+  ckv.prefetch_clusters = 3;
+  ckv.prefetch_prior_decay = 0.5;
+  return ckv;
+}
+
+FleetSnapshot run_engine_fleet(const std::vector<ServeRequest>& trace,
+                               double link_gbps) {
+  const auto session = small_session_config();
+  const ClusterKVConfig ckv = prefetch_engine_ckv();
+  BatchSchedulerConfig config = tiered_scheduler_config(ckv, session);
+  config.prefetch_clusters = 3;
+  config.use_transfer_engine = true;
+  config.link_gbps = link_gbps;
+  BatchScheduler scheduler(trace, make_clusterkv_factory(ckv, 7), session,
+                           test_latency(), config);
+  scheduler.run();
+  EXPECT_EQ(scheduler.finished_count(), static_cast<Index>(trace.size()));
+  return take_snapshot(scheduler.metrics());
+}
+
+/// The engine's reason to exist: shrinking the modeled wire makes the
+/// shared-queue backlog visible as demand stall and stretches the fleet
+/// makespan, while a generous wire leaves transfers effectively free.
+TEST(TransferEngineServe, StallGrowsAsLinkNarrows) {
+  const auto trace = varied_trace();
+  const FleetSnapshot wide = run_engine_fleet(trace, 50.0);
+  const FleetSnapshot narrow = run_engine_fleet(trace, 0.05);
+  EXPECT_GT(narrow.stall_total, wide.stall_total);
+  EXPECT_GE(narrow.makespan, wide.makespan);
+  EXPECT_GT(narrow.stall_steps, 0);
+  // The wire actually carried traffic in both runs.
+  EXPECT_GT(wide.link_drained, 0.0);
+  EXPECT_GT(narrow.link_busy, 0.0);
+}
+
+/// Contention comes from queue position: with more sessions decoding
+/// concurrently, later decoders bill the demand bytes queued ahead of
+/// them, so the per-step demand stall grows with fleet size even though
+/// each session's own traffic is unchanged.
+TEST(TransferEngineServe, MeanStallGrowsWithConcurrentSessions) {
+  const FleetSnapshot solo = run_engine_fleet(fixed_trace(1, 200, 6, 0.0), 1.0);
+  const FleetSnapshot fleet = run_engine_fleet(fixed_trace(6, 200, 6, 0.0), 1.0);
+  ASSERT_GT(solo.stall_steps, 0);
+  ASSERT_GT(fleet.stall_steps, 0);
+  const double solo_mean =
+      solo.stall_total / static_cast<double>(solo.stall_steps);
+  const double fleet_mean =
+      fleet.stall_total / static_cast<double>(fleet.stall_steps);
+  EXPECT_GT(fleet_mean, solo_mean);
+  EXPECT_GT(fleet.stall_total, solo.stall_total);
+}
+
+/// Guard rails on the config surface: the engine models the ClusterKV
+/// tiered slow->fast path and refuses to attach to anything else.
+TEST(TransferEngineServe, ConfigValidation) {
+  const auto session = small_session_config();
+  const ClusterKVConfig ckv = prefetch_engine_ckv();
+  const auto trace = fixed_trace(1, 64, 2, 0.0);
+
+  BatchSchedulerConfig bad_link = tiered_scheduler_config(ckv, session);
+  bad_link.use_transfer_engine = true;
+  bad_link.link_gbps = -1.0;
+  EXPECT_THROW(BatchScheduler(trace, make_clusterkv_factory(ckv, 7), session,
+                              test_latency(), bad_link),
+               std::invalid_argument);
+
+  BatchSchedulerConfig not_tiered = tiered_scheduler_config(ckv, session);
+  not_tiered.use_transfer_engine = true;
+  not_tiered.tiered_residency = false;
+  EXPECT_THROW(BatchScheduler(trace, make_clusterkv_factory(ckv, 7), session,
+                              test_latency(), not_tiered),
+               std::invalid_argument);
 }
 
 }  // namespace

@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/transfer_engine.hpp"
+
+namespace ckv {
+namespace {
+
+// 10 GB/s = 1e7 bytes per virtual millisecond; round numbers below are
+// chosen so every drain boundary is exact in double arithmetic.
+constexpr double kGbps = 10.0;
+constexpr double kBytesPerMs = kGbps * 1e6;
+
+using Priority = TransferEngine::Priority;
+
+TEST(TransferEngine, SingleRequestCompletionMatchesWireTime) {
+  TransferEngine eng(kGbps);
+  const auto id = eng.enqueue(7, Priority::kDemand, 5.0 * kBytesPerMs);
+  EXPECT_EQ(id, 1u);
+  EXPECT_DOUBLE_EQ(eng.queued_bytes(), 5.0 * kBytesPerMs);
+  EXPECT_EQ(eng.queue_depth(), 1);
+  EXPECT_DOUBLE_EQ(eng.demand_backlog_ms(), 5.0);
+
+  const auto done = eng.drain_until(10.0);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].id, id);
+  EXPECT_EQ(done[0].client, 7);
+  EXPECT_DOUBLE_EQ(done[0].start_ms, 0.0);
+  EXPECT_DOUBLE_EQ(done[0].end_ms, 5.0);  // wire time, not tick end
+  EXPECT_DOUBLE_EQ(eng.busy_ms_total(), 5.0);
+  EXPECT_DOUBLE_EQ(eng.drained_bytes_total(), 5.0 * kBytesPerMs);
+  EXPECT_EQ(eng.queue_depth(), 0);
+}
+
+TEST(TransferEngine, DemandPreemptsEarlierSpeculative) {
+  TransferEngine eng(kGbps);
+  const auto spec = eng.enqueue(1, Priority::kSpeculative, 4.0 * kBytesPerMs);
+  const auto demand = eng.enqueue(2, Priority::kDemand, 4.0 * kBytesPerMs);
+  // Demand enqueued second still crosses first; the spec copy queues
+  // behind it and its completion time reflects the contention.
+  const auto done = eng.drain_until(8.0);
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0].id, demand);
+  EXPECT_DOUBLE_EQ(done[0].start_ms, 0.0);
+  EXPECT_DOUBLE_EQ(done[0].end_ms, 4.0);
+  EXPECT_EQ(done[1].id, spec);
+  EXPECT_DOUBLE_EQ(done[1].start_ms, 4.0);
+  EXPECT_DOUBLE_EQ(done[1].end_ms, 8.0);
+}
+
+TEST(TransferEngine, FifoWithinPriorityByEnqueueSeq) {
+  TransferEngine eng(kGbps);
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 4; ++i) {
+    ids.push_back(eng.enqueue(i, Priority::kDemand, 1.0 * kBytesPerMs));
+  }
+  const auto done = eng.drain_until(4.0);
+  ASSERT_EQ(done.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(done[i].id, ids[static_cast<std::size_t>(i)]);
+    EXPECT_DOUBLE_EQ(done[i].end_ms, static_cast<double>(i + 1));
+  }
+}
+
+TEST(TransferEngine, PartialDrainCarriesProgressAcrossTicks) {
+  TransferEngine eng(kGbps);
+  const auto id = eng.enqueue(1, Priority::kDemand, 6.0 * kBytesPerMs);
+  EXPECT_TRUE(eng.drain_until(4.0).empty());  // 4 of 6 ms drained
+  EXPECT_DOUBLE_EQ(eng.queued_bytes(), 2.0 * kBytesPerMs);
+  EXPECT_DOUBLE_EQ(eng.demand_backlog_ms(), 2.0);
+  EXPECT_EQ(eng.queue_depth(), 1);
+
+  const auto done = eng.drain_until(7.0);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].id, id);
+  EXPECT_DOUBLE_EQ(done[0].start_ms, 0.0);
+  EXPECT_DOUBLE_EQ(done[0].end_ms, 6.0);
+  EXPECT_DOUBLE_EQ(eng.busy_ms_total(), 6.0);
+}
+
+TEST(TransferEngine, IdleCapacityIsLostNotBanked) {
+  TransferEngine eng(kGbps);
+  EXPECT_TRUE(eng.drain_until(100.0).empty());  // quiet wire
+  const auto id = eng.enqueue(1, Priority::kDemand, 3.0 * kBytesPerMs);
+  // The earlier idle window must not let this finish before 103 ms.
+  EXPECT_TRUE(eng.drain_until(102.0).empty());
+  const auto done = eng.drain_until(103.0);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].id, id);
+  EXPECT_DOUBLE_EQ(done[0].start_ms, 100.0);
+  EXPECT_DOUBLE_EQ(done[0].end_ms, 103.0);
+  EXPECT_DOUBLE_EQ(eng.busy_ms_total(), 3.0);
+}
+
+TEST(TransferEngine, CancelRefundsUndrainedBytesOnly) {
+  TransferEngine eng(kGbps);
+  const auto front = eng.enqueue(1, Priority::kDemand, 2.0 * kBytesPerMs);
+  const auto victim = eng.enqueue(2, Priority::kDemand, 4.0 * kBytesPerMs);
+  const auto rear = eng.enqueue(3, Priority::kDemand, 2.0 * kBytesPerMs);
+  // Drain 3 ms: front done, victim has 1 of 4 ms drained.
+  const auto first = eng.drain_until(3.0);
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(first[0].id, front);
+
+  EXPECT_DOUBLE_EQ(eng.cancel(victim), 3.0 * kBytesPerMs);
+  EXPECT_DOUBLE_EQ(eng.cancel(victim), 0.0);  // unknown id now
+  EXPECT_DOUBLE_EQ(eng.cancel(9999), 0.0);
+
+  // The rear request inherits the refunded wire immediately.
+  const auto done = eng.drain_until(5.0);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].id, rear);
+  EXPECT_DOUBLE_EQ(done[0].end_ms, 5.0);
+  EXPECT_DOUBLE_EQ(eng.queued_bytes(), 0.0);
+}
+
+TEST(TransferEngine, ResolveSpecSplitsLateHitsAndRefund) {
+  TransferEngine eng(kGbps);
+  const auto id = eng.enqueue(1, Priority::kSpeculative, 10.0 * kBytesPerMs);
+  eng.drain_until(4.0);  // 4 of 10 ms drained
+
+  // 7 ms of hits against 4 ms drained: drained capacity covers hits
+  // first, so 3 ms of hits are late and the 3 ms never-drained
+  // non-hits are refunded waste.
+  const auto res = eng.resolve_spec(id, 7.0 * kBytesPerMs);
+  EXPECT_DOUBLE_EQ(res.late_hit_bytes, 3.0 * kBytesPerMs);
+  EXPECT_DOUBLE_EQ(res.refunded_bytes, 3.0 * kBytesPerMs);
+  EXPECT_EQ(eng.queue_depth(), 0);
+  EXPECT_DOUBLE_EQ(eng.queued_bytes(), 0.0);
+}
+
+TEST(TransferEngine, ResolveFullyLandedSpecReportsNoLateBytes) {
+  TransferEngine eng(kGbps);
+  const auto id = eng.enqueue(1, Priority::kSpeculative, 2.0 * kBytesPerMs);
+  const auto done = eng.drain_until(5.0);
+  ASSERT_EQ(done.size(), 1u);  // fully landed, parked until resolution
+  const auto res = eng.resolve_spec(id, 2.0 * kBytesPerMs);
+  EXPECT_DOUBLE_EQ(res.late_hit_bytes, 0.0);
+  EXPECT_DOUBLE_EQ(res.refunded_bytes, 0.0);
+
+  // Resolving an unknown id is a no-op split.
+  const auto gone = eng.resolve_spec(id, 1.0);
+  EXPECT_DOUBLE_EQ(gone.late_hit_bytes, 0.0);
+  EXPECT_DOUBLE_EQ(gone.refunded_bytes, 0.0);
+}
+
+TEST(TransferEngine, UndrainedSpecResolvesToLatePlusRefund) {
+  TransferEngine eng(kGbps);
+  const auto id = eng.enqueue(1, Priority::kSpeculative, 5.0 * kBytesPerMs);
+  // No drain at all: every hit byte is late, the rest refunds.
+  const auto res = eng.resolve_spec(id, 2.0 * kBytesPerMs);
+  EXPECT_DOUBLE_EQ(res.late_hit_bytes, 2.0 * kBytesPerMs);
+  EXPECT_DOUBLE_EQ(res.refunded_bytes, 3.0 * kBytesPerMs);
+}
+
+TEST(TransferEngine, QueuedBytesByPriority) {
+  TransferEngine eng(kGbps);
+  eng.enqueue(1, Priority::kDemand, 3.0 * kBytesPerMs);
+  eng.enqueue(2, Priority::kSpeculative, 5.0 * kBytesPerMs);
+  EXPECT_DOUBLE_EQ(eng.queued_bytes(Priority::kDemand), 3.0 * kBytesPerMs);
+  EXPECT_DOUBLE_EQ(eng.queued_bytes(Priority::kSpeculative), 5.0 * kBytesPerMs);
+  EXPECT_DOUBLE_EQ(eng.queued_bytes(), 8.0 * kBytesPerMs);
+  EXPECT_DOUBLE_EQ(eng.demand_backlog_ms(), 3.0);  // spec bytes excluded
+}
+
+TEST(TransferEngine, DeterministicReplayProducesIdenticalCompletions) {
+  auto run = [] {
+    TransferEngine eng(kGbps / 4.0);
+    std::vector<TransferEngine::Completion> all;
+    std::uint64_t spec = 0;
+    for (int tick = 1; tick <= 12; ++tick) {
+      if (tick % 3 == 1) {
+        eng.enqueue(tick, Priority::kDemand, 1.5 * kBytesPerMs);
+      }
+      if (tick % 4 == 1) {
+        spec = eng.enqueue(tick, Priority::kSpeculative, 2.5 * kBytesPerMs);
+      }
+      if (tick % 5 == 0 && spec != 0) {
+        eng.resolve_spec(spec, 1.0 * kBytesPerMs);
+        spec = 0;
+      }
+      auto done = eng.drain_until(static_cast<double>(tick) * 2.0);
+      all.insert(all.end(), done.begin(), done.end());
+    }
+    return all;
+  };
+  const auto a = run();
+  const auto b = run();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id);
+    EXPECT_EQ(a[i].client, b[i].client);
+    EXPECT_DOUBLE_EQ(a[i].bytes, b[i].bytes);
+    EXPECT_DOUBLE_EQ(a[i].start_ms, b[i].start_ms);
+    EXPECT_DOUBLE_EQ(a[i].end_ms, b[i].end_ms);
+  }
+}
+
+TEST(TransferEngine, InvalidArgumentsThrow) {
+  EXPECT_THROW(TransferEngine(0.0), std::invalid_argument);
+  EXPECT_THROW(TransferEngine(-1.0), std::invalid_argument);
+  TransferEngine eng(kGbps);
+  EXPECT_THROW(eng.enqueue(1, Priority::kDemand, -1.0), std::invalid_argument);
+  const auto demand_id = eng.enqueue(1, Priority::kDemand, 4.0);
+  EXPECT_THROW(eng.resolve_spec(demand_id, 1.0), std::invalid_argument);  // not spec
+  const auto id = eng.enqueue(1, Priority::kSpeculative, 4.0);
+  EXPECT_THROW(eng.resolve_spec(id, -1.0), std::invalid_argument);
+  // Hits above the request total clamp to the total rather than throwing.
+  const auto clamped = eng.resolve_spec(id, 8.0);
+  EXPECT_DOUBLE_EQ(clamped.late_hit_bytes, 4.0);
+  EXPECT_DOUBLE_EQ(clamped.refunded_bytes, 0.0);
+  eng.drain_until(1.0);
+  EXPECT_THROW(eng.drain_until(0.5), std::invalid_argument);  // clock reversal
+}
+
+TEST(TransferEngine, ZeroByteRequestCompletesImmediately) {
+  TransferEngine eng(kGbps);
+  const auto id = eng.enqueue(1, Priority::kDemand, 0.0);
+  const auto done = eng.drain_until(1.0);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].id, id);
+  EXPECT_DOUBLE_EQ(done[0].end_ms, done[0].start_ms);
+  EXPECT_DOUBLE_EQ(eng.busy_ms_total(), 0.0);
+}
+
+}  // namespace
+}  // namespace ckv

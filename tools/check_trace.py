@@ -19,14 +19,21 @@ virtual timestamps are monotone per track and every advance span closes.
 --expect-worker-tracks asserts a minimum number of distinct worker
 tracks, so CI can prove a parallel tick actually fanned out.
 
+The transfer engine emits its link-busy / per-transfer spans on one
+dedicated track at tid == TRANSFER_TRACK ((1 << 20) - 1, matching
+obs::kTransferTrack, below the worker range). --expect-transfer-track
+asserts that track exists with at least one event, so CI can prove an
+engine-enabled run actually modeled wire traffic.
+
 Usage: check_trace.py <trace.json> [--min-events N]
-                      [--expect-worker-tracks N]
+                      [--expect-worker-tracks N] [--expect-transfer-track]
 """
 import argparse
 import json
 import sys
 
 WORKER_TRACK_BASE = 1 << 20  # mirrors obs::kWorkerTrackBase
+TRANSFER_TRACK = (1 << 20) - 1  # mirrors obs::kTransferTrack
 
 
 def fail(message):
@@ -49,6 +56,12 @@ def main():
         default=0,
         help="minimum distinct pool-worker tracks (tid >= 1<<20) expected; "
         "0 skips the check",
+    )
+    parser.add_argument(
+        "--expect-transfer-track",
+        action="store_true",
+        help="require the transfer-engine track (tid == (1<<20)-1) to exist "
+        "with at least one event",
     )
     args = parser.parse_args()
 
@@ -116,6 +129,15 @@ def main():
         fail(
             f"only {len(worker_tracks)} worker tracks (tid >= 1<<20), "
             f"expected >= {args.expect_worker_tracks} — did the tick fan out?"
+        )
+
+    transfer_tracks = {
+        track for track in last_ts if track[1] == TRANSFER_TRACK
+    }
+    if args.expect_transfer_track and not transfer_tracks:
+        fail(
+            "no events on the transfer-engine track (tid == (1<<20)-1) — "
+            "did the run enable the transfer engine and carry any traffic?"
         )
 
     print(

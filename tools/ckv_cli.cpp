@@ -302,6 +302,14 @@ int run_serve(int argc, const char* const* argv) {
                   "the prediction blend");
   args.add_option("prefetch-prior-decay", "0.5",
                   "async prefetch: per-step EMA decay of the prior (in [0, 1))");
+  args.add_switch("transfer-engine",
+                  "model the slow->fast link as an explicit bandwidth-"
+                  "contended queue (sim/transfer_engine): concurrent "
+                  "sessions' demand misses and speculative prefetches "
+                  "contend for the wire; clusterkv only");
+  args.add_option("link-gbps", "0",
+                  "modeled slow->fast link bandwidth for --transfer-engine "
+                  "(GB/s; 0 = the hardware model's gather rate)");
   args.add_option("max-running", "0",
                   "hard cap on concurrently running sessions (0 = unlimited)");
   args.add_switch("serial-tick",
@@ -388,6 +396,13 @@ int run_serve(int argc, const char* const* argv) {
         "--prefetch-clusters only applies to clusterkv (other methods have "
         "no cluster cache to prefetch into)");
   }
+  if (method != "clusterkv" && args.get_switch("transfer-engine")) {
+    throw std::invalid_argument(
+        "--transfer-engine only applies to clusterkv (it models the tiered "
+        "slow->fast fetch path)");
+  }
+  scheduler_config.use_transfer_engine = args.get_switch("transfer-engine");
+  scheduler_config.link_gbps = args.get_double_in("link-gbps", 0.0, 1e6);
   scheduler_config.fast_tier_budget_bytes = static_cast<std::int64_t>(
       args.get_double("budget-mult") *
       static_cast<double>((prompt + decode) * session_token_bytes(session_config) *
