@@ -413,6 +413,18 @@ int check_prefetch(const ServingSetup& base_setup, const LatencyModel& latency) 
   return ok ? 0 : 1;
 }
 
+/// Committed bounds for the --check-faults CI guard (docs/ROBUSTNESS.md):
+/// under the chaos preset the faulted engine row must keep this share of
+/// its fault-free throughput, and under the harsher degraded-path leg the
+/// share of decode steps served resident-only must stay below this
+/// ceiling (degradation is a last resort, not the steady state).
+constexpr double kFaultedThroughputFloor = 0.80;
+constexpr double kDegradedRateCeiling = 0.10;
+/// Failure rate of the harsher --check-faults leg: high enough that
+/// retry exhaustion (dead fetches -> degraded steps) actually fires in a
+/// 16-request run, which the milder chaos preset cannot guarantee.
+constexpr double kHarshFetchFailureRate = 0.45;
+
 /// Tolerance of the --check-transfer single-session guard: with one
 /// session and an idle wire the engine row must reproduce the closed-form
 /// prefetch row's throughput to within this relative margin (the two paths
@@ -542,6 +554,179 @@ int check_transfer(const ServingSetup& setup, const LatencyModel& latency) {
     std::cout << "OK: engine matches closed-form solo (rel diff "
               << format_double(rel, 4) << "), stalls grow with fleet size, and "
               << "throughput is monotone in link bandwidth\n";
+  }
+  return ok ? 0 : 1;
+}
+
+/// One chaos-table row: the transfer-engine config under a seeded fault
+/// plan, with the degradation ledger next to the usual quality columns.
+struct FaultRow {
+  double load = 0.0;
+  double tps = 0.0;
+  double fault_free_tps = 0.0;
+  double retention = 0.0;  ///< tps / fault_free_tps
+  std::int64_t faults = 0;
+  std::int64_t retried_ok = 0;
+  std::int64_t dead_fetches = 0;
+  std::int64_t degraded_steps = 0;
+  double degraded_rate = 0.0;  ///< degraded steps / committed decode steps
+  double retry_ms = 0.0;
+  std::int64_t aborts = 0;
+  std::int64_t shed = 0;
+  std::int64_t wire_retries = 0;
+  std::int64_t wire_failures = 0;
+  double recall = 0.0;
+  std::int64_t sessions = 0;
+};
+
+std::int64_t decode_steps_total(const ServeMetrics& m) {
+  std::int64_t steps = 0;
+  for (const auto& record : m.records()) {
+    steps += record.decode_len;
+  }
+  return steps;
+}
+
+FaultRow make_fault_row(double load, const ServeMetrics& m,
+                        double fault_free_tps) {
+  FaultRow row;
+  row.load = load;
+  row.tps = m.throughput_tps();
+  row.fault_free_tps = fault_free_tps;
+  row.retention = fault_free_tps > 0.0 ? row.tps / fault_free_tps : 0.0;
+  row.faults = m.fault_fetch_faults_total();
+  row.retried_ok = m.fault_retried_ok_total();
+  row.dead_fetches = m.dead_fetches_total();
+  row.degraded_steps = m.degraded_steps_total();
+  const std::int64_t steps = decode_steps_total(m);
+  row.degraded_rate =
+      steps > 0 ? static_cast<double>(row.degraded_steps) /
+                      static_cast<double>(steps)
+                : 0.0;
+  row.retry_ms = m.fault_retry_ms_total();
+  row.aborts = m.fault_aborts_total();
+  row.shed = m.shed_sessions_total();
+  row.wire_retries = m.wire_retries_total();
+  row.wire_failures = m.wire_failures_total();
+  row.recall = m.mean_recall();
+  row.sessions = static_cast<std::int64_t>(m.records().size());
+  return row;
+}
+
+/// Runs the engine row once at the given load under the given fault plan
+/// (or fault-free when the plan is disabled) and folds the metrics into a
+/// FaultRow (ServeMetrics itself is pinned to its scheduler).
+FaultRow run_engine_cell(const ServingSetup& setup, const LatencyModel& latency,
+                         double load, const FaultPlan& plan,
+                         double fault_free_tps) {
+  TraceConfig trace_config = setup.trace;
+  trace_config.offered_rps = load;
+  const auto methods = serving_methods(setup, /*clusterkv_only=*/true);
+  const MethodRun* engine = find_method(methods, "ClusterKV (engine)");
+  expects(engine != nullptr, "bench_serving: engine row missing");
+  BatchSchedulerConfig config = engine->scheduler;
+  config.fault_plan = plan;
+  BatchScheduler scheduler(make_poisson_trace(trace_config, setup.seed),
+                           engine->factory, setup.session, latency, config);
+  scheduler.run();
+  return make_fault_row(load, scheduler.metrics(), fault_free_tps);
+}
+
+/// Sanity identities every faulted run must satisfy; shared by the chaos
+/// table (--faults) and the CI guard (--check-faults).
+bool fault_identities_hold(const FaultRow& row) {
+  bool ok = true;
+  if (row.faults != row.retried_ok + row.dead_fetches) {
+    std::cout << "FAIL: fault accounting leak — " << row.faults
+              << " faulted fetches but " << row.retried_ok << " recovered + "
+              << row.dead_fetches << " dead\n";
+    ok = false;
+  }
+  if (row.dead_fetches != row.degraded_steps) {
+    std::cout << "FAIL: every dead fetch must degrade exactly one step ("
+              << row.dead_fetches << " dead vs " << row.degraded_steps
+              << " degraded)\n";
+    ok = false;
+  }
+  return ok;
+}
+
+/// CI chaos guard, two legs on the transfer-engine row at mid load:
+///   1. chaos preset — the committed fault mix must retry-to-success or
+///      degrade every injected fault (accounting identities), and the
+///      faulted row must keep >= 80% of fault-free throughput;
+///   2. harsh leg — a failure rate high enough to exhaust retries, so the
+///      degraded resident-only path demonstrably runs, stays within the
+///      committed degraded-step ceiling, and still finishes every session.
+int check_faults(const ServingSetup& setup, const LatencyModel& latency,
+                 std::uint64_t fault_seed) {
+  bool ok = true;
+  const double load = 6.0;
+  const FaultRow free_row =
+      run_engine_cell(setup, latency, load, FaultPlan{}, 0.0);
+
+  const FaultPlan chaos = FaultPlan::chaos(fault_seed);
+  const FaultRow chaos_row =
+      run_engine_cell(setup, latency, load, chaos, free_row.tps);
+  std::cout << "chaos leg: " << chaos_row.faults << " faulted fetches ("
+            << chaos_row.retried_ok << " recovered, " << chaos_row.dead_fetches
+            << " dead), " << chaos_row.wire_retries << " wire retries, "
+            << chaos_row.aborts << " aborts, " << chaos_row.shed
+            << " shed, tok/s " << format_double(chaos_row.tps, 1) << " vs "
+            << format_double(chaos_row.fault_free_tps, 1)
+            << " fault-free (retention "
+            << format_double(chaos_row.retention, 3) << ")\n";
+  ok = fault_identities_hold(chaos_row) && ok;
+  if (chaos_row.faults == 0 && chaos_row.wire_retries == 0) {
+    std::cout << "FAIL: chaos preset injected nothing — the fault path is "
+                 "not exercised\n";
+    ok = false;
+  }
+  if (chaos_row.retention < kFaultedThroughputFloor) {
+    std::cout << "FAIL: faulted throughput retention "
+              << format_double(chaos_row.retention, 3) << " < committed floor "
+              << format_double(kFaultedThroughputFloor, 2) << "\n";
+    ok = false;
+  }
+
+  FaultPlan harsh = chaos;
+  harsh.fetch_failure_rate = kHarshFetchFailureRate;
+  const FaultRow harsh_row =
+      run_engine_cell(setup, latency, load, harsh, free_row.tps);
+  std::cout << "harsh leg: " << harsh_row.dead_fetches << " dead fetches -> "
+            << harsh_row.degraded_steps << " degraded steps (rate "
+            << format_double(harsh_row.degraded_rate, 4) << "), "
+            << harsh_row.sessions << " sessions finished\n";
+  ok = fault_identities_hold(harsh_row) && ok;
+  if (harsh_row.degraded_steps == 0) {
+    std::cout << "FAIL: harsh leg never exhausted retries — the degraded "
+                 "resident-only path is not exercised\n";
+    ok = false;
+  }
+  if (harsh_row.degraded_rate > kDegradedRateCeiling) {
+    std::cout << "FAIL: degraded-step rate "
+              << format_double(harsh_row.degraded_rate, 4)
+              << " > committed ceiling "
+              << format_double(kDegradedRateCeiling, 2) << "\n";
+    ok = false;
+  }
+  // Conservation: every offered request either retires through the normal
+  // path (aborted or not) or was shed at admission — none vanish.
+  for (const FaultRow* row : {&chaos_row, &harsh_row}) {
+    if (row->sessions + row->shed !=
+        static_cast<std::int64_t>(setup.trace.num_requests)) {
+      std::cout << "FAIL: " << row->sessions << " retired + " << row->shed
+                << " shed != " << setup.trace.num_requests << " offered\n";
+      ok = false;
+    }
+  }
+  if (ok) {
+    std::cout << "OK: every injected fault recovered or degraded gracefully, "
+              << "retention " << format_double(chaos_row.retention, 3)
+              << " >= " << format_double(kFaultedThroughputFloor, 2)
+              << ", degraded-step rate "
+              << format_double(harsh_row.degraded_rate, 4) << " <= "
+              << format_double(kDegradedRateCeiling, 2) << "\n";
   }
   return ok ? 0 : 1;
 }
@@ -703,6 +888,7 @@ std::string json_number(double v) {
 /// determinism contract never sees a host timestamp.
 void write_json(const std::vector<ServingRow>& rows,
                 const std::vector<ServingRow>& sweep,
+                const std::vector<FaultRow>& fault_rows,
                 const FanoutScaling& scaling, const std::string& path) {
   std::ofstream out(path);
   out << "{\n  \"rows\": [\n";
@@ -752,7 +938,32 @@ void write_json(const std::vector<ServingRow>& rows,
         << ", \"p95_itl_ms\": " << json_number(r.p95_itl_ms) << "}"
         << (i + 1 < sweep.size() ? "," : "") << "\n";
   }
-  out << "  ],\n  \"fanout\": {\"workers\": " << scaling.workers
+  out << "  ],\n";
+  // Only present under --faults, so the fault-free JSON stays byte-for-byte
+  // what it was before fault injection existed.
+  if (!fault_rows.empty()) {
+    out << "  \"fault_rows\": [\n";
+    for (std::size_t i = 0; i < fault_rows.size(); ++i) {
+      const FaultRow& r = fault_rows[i];
+      out << "    {\"load_rps\": " << json_number(r.load)
+          << ", \"tok_per_s\": " << json_number(r.tps)
+          << ", \"fault_free_tok_per_s\": " << json_number(r.fault_free_tps)
+          << ", \"throughput_retention\": " << json_number(r.retention)
+          << ", \"fault_fetch_faults\": " << r.faults
+          << ", \"retry_recovered\": " << r.retried_ok
+          << ", \"dead_fetches\": " << r.dead_fetches
+          << ", \"degraded_steps\": " << r.degraded_steps
+          << ", \"degraded_rate\": " << json_number(r.degraded_rate)
+          << ", \"retry_ms\": " << json_number(r.retry_ms)
+          << ", \"aborts\": " << r.aborts << ", \"shed_sessions\": " << r.shed
+          << ", \"wire_retries\": " << r.wire_retries
+          << ", \"wire_failures\": " << r.wire_failures
+          << ", \"recall_at_b\": " << json_number(r.recall) << "}"
+          << (i + 1 < fault_rows.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n";
+  }
+  out << "  \"fanout\": {\"workers\": " << scaling.workers
       << ", \"hw_cores\": " << scaling.hw_cores
       << ", \"serial_advance_wall_ms\": "
       << json_number(scaling.serial_advance_wall_ms)
@@ -786,6 +997,19 @@ int main(int argc, char** argv) {
                   "the closed-form row on a single session, if demand stall "
                   "does not grow with fleet size, or if throughput is not "
                   "monotone in link bandwidth");
+  args.add_switch("faults",
+                  "also run the seeded chaos rows: the transfer-engine config "
+                  "under FaultPlan::chaos(--fault-seed) at every load, with "
+                  "the degradation ledger as extra columns and a fault_rows "
+                  "array in the JSON");
+  args.add_switch("check-faults",
+                  "CI chaos guard: fail if fault accounting leaks, if the "
+                  "faulted engine row keeps < 80% of fault-free throughput, "
+                  "if the degraded resident-only path never runs under the "
+                  "harsh leg, or if its rate exceeds the committed ceiling");
+  args.add_option("fault-seed", "7777",
+                  "seed of the deterministic fault plan used by --faults and "
+                  "--check-faults");
   args.add_option("link-gbps", "0",
                   "modeled slow->fast link bandwidth for the transfer-engine "
                   "row (GB/s; 0 = the hardware model's gather rate)");
@@ -810,6 +1034,10 @@ int main(int argc, char** argv) {
   }
   if (args.get_switch("check-transfer")) {
     return check_transfer(setup, latency);
+  }
+  const auto fault_seed = static_cast<std::uint64_t>(args.get_index("fault-seed"));
+  if (args.get_switch("check-faults")) {
+    return check_faults(setup, latency, fault_seed);
   }
 
   bench::print_header("Serving: throughput & latency vs offered load",
@@ -976,8 +1204,46 @@ int main(int argc, char** argv) {
               << sweep_table.to_string();
   }
 
+  // Chaos rows: the engine config under the seeded fault plan, one row per
+  // load, against the fault-free engine row from the main table. The
+  // degradation column ("degr rate") is the share of decode steps served
+  // resident-only because a demand fetch exhausted its retries.
+  std::vector<FaultRow> fault_rows;
+  if (args.get_switch("faults")) {
+    const FaultPlan chaos = FaultPlan::chaos(fault_seed);
+    TextTable fault_table({"load (req/s)", "tok/s", "fault-free", "retention",
+                           "faults", "recovered", "dead", "degr rate",
+                           "retry (ms)", "aborts", "shed", "wire retry",
+                           "wire fail", "recall@B"});
+    for (const double load : {2.0, 6.0, 12.0}) {
+      double fault_free_tps = 0.0;
+      for (const ServingRow& row : rows) {
+        if (row.method == "ClusterKV (engine)" && row.load == load) {
+          fault_free_tps = row.tps;
+        }
+      }
+      const FaultRow row =
+          run_engine_cell(setup, latency, load, chaos, fault_free_tps);
+      fault_table.add_row(
+          {format_double(load, 1), format_double(row.tps, 1),
+           format_double(row.fault_free_tps, 1), format_double(row.retention, 3),
+           std::to_string(row.faults), std::to_string(row.retried_ok),
+           std::to_string(row.dead_fetches), format_double(row.degraded_rate, 4),
+           format_double(row.retry_ms, 1), std::to_string(row.aborts),
+           std::to_string(row.shed), std::to_string(row.wire_retries),
+           std::to_string(row.wire_failures), format_double(row.recall, 3)});
+      fault_rows.push_back(row);
+    }
+    std::cout << "\nChaos rows (ClusterKV (engine) under FaultPlan::chaos("
+              << fault_seed
+              << ")): transient fetch faults retried with backoff, exhausted "
+                 "retries degrade to resident-only selection, plus link "
+                 "brownouts, mid-decode aborts and admission bursts\n"
+              << fault_table.to_string();
+  }
+
   if (args.get_switch("json")) {
-    write_json(rows, sweep_rows, scaling, "BENCH_SERVING.json");
+    write_json(rows, sweep_rows, fault_rows, scaling, "BENCH_SERVING.json");
     std::cout << "wrote BENCH_SERVING.json\n";
   }
   return 0;

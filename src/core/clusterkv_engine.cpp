@@ -224,8 +224,41 @@ SelectionResult ClusterKVEngine::select(std::span<const float> query, Index budg
 
   if (centroids_.cluster_count() > 0 && cluster_budget > 0) {
     const auto scores = centroids_.scores(query, config_.selection_metric);
-    const auto selection =
-        select_clusters(scores, centroids_.cluster_sizes(), cluster_budget);
+    ClusterSelection selection;
+    if (degraded_step_) {
+      // Degraded (fault) step: the slow tier is unreachable, so selection
+      // runs over a filtered parallel view of only the clusters whose
+      // every token is already fast-resident — filtering *before*
+      // select_clusters keeps the budget/trim arithmetic identical to a
+      // normal step over a smaller candidate set, and guarantees the
+      // cache step below finds nothing to fetch. In-flight prefetches are
+      // excluded too (an in-flight token is not yet resident).
+      const auto sizes = centroids_.cluster_sizes();
+      std::vector<float> kept_scores;
+      std::vector<Index> kept_sizes;
+      std::vector<Index> kept_ids;
+      for (Index c = 0; c < centroids_.cluster_count(); ++c) {
+        bool resident = true;
+        for (const Index token : centroids_.tokens_of(c)) {
+          if (!tiered_.is_fast_resident(token)) {
+            resident = false;
+            break;
+          }
+        }
+        if (resident) {
+          kept_scores.push_back(scores[static_cast<std::size_t>(c)]);
+          kept_sizes.push_back(sizes[static_cast<std::size_t>(c)]);
+          kept_ids.push_back(c);
+        }
+      }
+      selection = select_clusters(kept_scores, kept_sizes, cluster_budget);
+      for (Index& c : selection.clusters) {
+        c = kept_ids[static_cast<std::size_t>(c)];  // back to real ids
+      }
+    } else {
+      selection =
+          select_clusters(scores, centroids_.cluster_sizes(), cluster_budget);
+    }
     const auto indexed = gather_selected_tokens(centroids_, selection, cluster_budget);
 
     // Resolve the prefetches issued after the previous step: selected
@@ -242,11 +275,21 @@ SelectionResult ClusterKVEngine::select(std::span<const float> query, Index budg
     indices.insert(indices.end(), indexed.token_positions.begin(),
                    indexed.token_positions.end());
     result.representations_scored = centroids_.cluster_count();
-    result.tokens_fetched = cache_step.misses;
-    result.tokens_cache_hit = cache_step.hits;
-    result.tokens_prefetch_hit = cache_step.prefetch_hits;
+    if (degraded_step_) {
+      // No byte crossed the wire: every attended token was fast-resident
+      // (window misses here are cache-window bookkeeping over resident
+      // tokens, e.g. after a cleared window — ensure_resident moved
+      // nothing). Billing them as fetches would charge phantom traffic.
+      result.tokens_fetched = 0;
+      result.tokens_cache_hit = cache_step.hits + cache_step.misses;
+      result.tokens_prefetch_hit = 0;
+    } else {
+      result.tokens_fetched = cache_step.misses;
+      result.tokens_cache_hit = cache_step.hits;
+      result.tokens_prefetch_hit = cache_step.prefetch_hits;
+    }
 
-    if (prefetcher_.enabled()) {
+    if (prefetcher_.enabled() && !degraded_step_) {
       // Predict the next step's clusters from this query's scores plus
       // the recency/frequency prior, and issue their fetches so the
       // copies overlap this step's attention. Pure metadata: neither the

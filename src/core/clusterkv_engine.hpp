@@ -120,6 +120,15 @@ class ClusterKVEngine : public KVSelector {
     tiered_.attach_ledger(ledger);
   }
 
+  /// Graceful degradation: while set, select() restricts cluster
+  /// candidates to clusters whose every token is already fast-resident
+  /// and issues no slow-tier traffic at all (no demand fetches, no
+  /// speculation). Sinks and pending tokens stay attended — they are
+  /// resident by construction — so budget/sink invariants hold exactly.
+  /// The scheduler sets this for the one step whose demand fetch died and
+  /// clears it in the same serial commit.
+  void set_degraded_step(bool degraded) override { degraded_step_ = degraded; }
+
   /// True when the config enables async cluster prefetch.
   [[nodiscard]] bool prefetch_enabled() const noexcept {
     return prefetcher_.enabled();
@@ -210,6 +219,7 @@ class ClusterKVEngine : public KVSelector {
   std::vector<Index> pending_positions_;  ///< generated, not yet clustered
   std::vector<ClusterBatch> batches_;     ///< registration-order flush batches
   Index decode_steps_ = 0;                ///< observe_decode calls so far
+  bool degraded_step_ = false;            ///< resident-only selection mode
   Index repair_passes_ = 0;
   std::int64_t clustering_flops_ = 0;
   std::int64_t repair_flops_ = 0;

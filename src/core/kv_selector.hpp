@@ -142,6 +142,14 @@ class KVSelector {
   /// Registers a shared fast-tier byte ledger (nullptr detaches). No-op
   /// for methods without tiered placement.
   virtual void attach_fast_tier_ledger(FastTierLedger* ledger);
+
+  /// Graceful degradation (fault injection): while set, the next select()
+  /// must not issue any slow-tier traffic — it restricts itself to
+  /// fast-resident state and skips speculation. The scheduler sets this
+  /// for exactly one step when a session's demand fetch is declared dead,
+  /// and clears it in the same serial commit. No-op for methods without a
+  /// tiered store (they never fetch, so every step is already resident).
+  virtual void set_degraded_step(bool degraded) { (void)degraded; }
 };
 
 /// Creates one selector instance for a given (layer, head); head_dim is

@@ -51,7 +51,73 @@ void ServeMetrics::record_session(SessionRecord record) {
       .add(record.prefetch_canceled_enforce_tokens);
   registry_.counter("serve.prefetch_canceled_release_tokens")
       .add(record.prefetch_canceled_release_tokens);
+  // Fault counters register only when nonzero: a fault-free run's metrics
+  // export must stay byte-identical to a build without fault injection.
+  if (record.aborted) {
+    registry_.counter("serve.fault_aborts").add(std::int64_t{1});
+  }
+  if (record.degraded_steps > 0) {
+    registry_.counter("serve.degraded_steps").add(record.degraded_steps);
+  }
   records_.push_back(std::move(record));
+}
+
+void ServeMetrics::record_fault_fetch(Index retries, double penalty_ms,
+                                      bool dead) {
+  expects(retries >= 0 && penalty_ms >= 0.0,
+          "ServeMetrics::record_fault_fetch: negative retry accounting");
+  if (retries == 0 && !dead) {
+    return;  // the fetch never faulted
+  }
+  ++fault_fetch_faults_;
+  registry_.counter("serve.fault_fetch_faults").add(std::int64_t{1});
+  if (retries > 0) {
+    fault_retries_ += retries;
+    fault_retry_ms_ += penalty_ms;
+    registry_.counter("serve.retry_attempts").add(retries);
+    registry_.counter("serve.retry_ms_total").add(penalty_ms);
+  }
+  if (dead) {
+    ++dead_fetches_;
+    registry_.counter("serve.fault_dead_fetches").add(std::int64_t{1});
+  } else {
+    ++fault_retried_ok_;
+    registry_.counter("serve.retry_recovered").add(std::int64_t{1});
+  }
+}
+
+void ServeMetrics::record_wire_retries(Index retries) {
+  expects(retries >= 0, "ServeMetrics::record_wire_retries: negative count");
+  if (retries > 0) {
+    wire_retries_ += retries;
+    registry_.counter("serve.fault_wire_retries").add(retries);
+  }
+}
+
+void ServeMetrics::record_wire_failure() {
+  ++wire_failures_;
+  registry_.counter("serve.fault_wire_failures").add(std::int64_t{1});
+}
+
+void ServeMetrics::record_shed_session() {
+  ++shed_sessions_;
+  registry_.counter("serve.shed_sessions").add(std::int64_t{1});
+}
+
+Index ServeMetrics::degraded_steps_total() const noexcept {
+  Index steps = 0;
+  for (const auto& record : records_) {
+    steps += record.degraded_steps;
+  }
+  return steps;
+}
+
+Index ServeMetrics::fault_aborts_total() const noexcept {
+  Index aborts = 0;
+  for (const auto& record : records_) {
+    aborts += record.aborted ? 1 : 0;
+  }
+  return aborts;
 }
 
 void ServeMetrics::record_occupancy(std::int64_t fast_bytes) {

@@ -57,6 +57,20 @@ struct SessionRecord {
   std::int64_t prefetch_canceled_enforce_tokens = 0;
   std::int64_t prefetch_canceled_release_tokens = 0;
 
+  // ---- fault injection (all zero on the fault-free path; decode_len is
+  // the tokens actually generated, so an aborted session's throughput
+  // contribution is what it really produced) ----
+
+  /// True when the session ended via a mid-decode abort.
+  bool aborted = false;
+  /// Decode steps served in degraded (resident-only) selection mode.
+  Index degraded_steps = 0;
+  /// Billed fetch-retry attempts and their total backoff stall.
+  Index fault_retries = 0;
+  double fault_retry_ms = 0.0;
+  /// Demand fetches declared dead (retries/deadline exhausted).
+  Index dead_fetches = 0;
+
   /// Time spent queued before admission.
   [[nodiscard]] double queue_wait_ms() const noexcept {
     return admit_ms - arrival_ms;
@@ -143,6 +157,56 @@ class ServeMetrics {
   /// when the selection wanted them (late prefetch: the hit converts back
   /// into demand traffic on the engine's queue).
   void record_late_prefetch(std::int64_t tokens);
+
+  // ---- fault injection (serve.fault_* / serve.retry_* / degraded /
+  // shed). Counters register lazily on first nonzero record so the
+  // fault-free metrics export stays byte-identical to a pre-fault build.
+
+  /// Records the resolved fate of one faulted demand fetch: `retries`
+  /// billed retry attempts costing `penalty_ms` of backoff stall, `dead`
+  /// when the fetch was declared dead (the step then degrades). A call
+  /// with retries == 0 and !dead is a no-op (fault-free fetch).
+  void record_fault_fetch(Index retries, double penalty_ms, bool dead);
+
+  /// Records wire-level transfer retries reported by the engine.
+  void record_wire_retries(Index retries);
+  /// Records one demand transfer that failed after exhausting wire retries.
+  void record_wire_failure();
+  /// Records one queued arrival shed after waiting past the plan's bound.
+  void record_shed_session();
+
+  /// Fleet fault aggregates (plain mirrors — reading them never creates
+  /// registry instruments, so exports stay untouched by queries).
+  [[nodiscard]] Index degraded_steps_total() const noexcept;
+  [[nodiscard]] Index fault_aborts_total() const noexcept;
+  [[nodiscard]] Index shed_sessions_total() const noexcept {
+    return shed_sessions_;
+  }
+  [[nodiscard]] Index fault_retries_total() const noexcept {
+    return fault_retries_;
+  }
+  [[nodiscard]] double fault_retry_ms_total() const noexcept {
+    return fault_retry_ms_;
+  }
+  /// Demand fetches that hit at least one transient fault...
+  [[nodiscard]] Index fault_fetch_faults_total() const noexcept {
+    return fault_fetch_faults_;
+  }
+  /// ...of which this many recovered via retry...
+  [[nodiscard]] Index fault_retried_ok_total() const noexcept {
+    return fault_retried_ok_;
+  }
+  /// ...and this many were declared dead (== degraded steps, each dead
+  /// fetch degrades exactly one step).
+  [[nodiscard]] Index dead_fetches_total() const noexcept {
+    return dead_fetches_;
+  }
+  [[nodiscard]] Index wire_retries_total() const noexcept {
+    return wire_retries_;
+  }
+  [[nodiscard]] Index wire_failures_total() const noexcept {
+    return wire_failures_;
+  }
 
   /// All retired sessions, retirement order.
   [[nodiscard]] const std::vector<SessionRecord>& records() const noexcept {
@@ -292,6 +356,16 @@ class ServeMetrics {
   obs::Histogram* repair_hist_;
   obs::Histogram* demand_stall_hist_;
   std::vector<SessionRecord> records_;
+  // Fault-path mirrors (registry instruments register lazily on first
+  // nonzero record; accessors read these so they never create one).
+  Index shed_sessions_ = 0;
+  Index fault_retries_ = 0;
+  double fault_retry_ms_ = 0.0;
+  Index fault_fetch_faults_ = 0;
+  Index fault_retried_ok_ = 0;
+  Index dead_fetches_ = 0;
+  Index wire_retries_ = 0;
+  Index wire_failures_ = 0;
 };
 
 }  // namespace ckv

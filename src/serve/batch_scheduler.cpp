@@ -55,6 +55,29 @@ BatchScheduler::BatchScheduler(std::vector<ServeRequest> trace,
                                                   : latency_.link_gather_gbps();
     transfer_engine_ = std::make_unique<TransferEngine>(transfer_link_gbps_);
   }
+  if (config_.fault_plan.enabled) {
+    config_.fault_plan.validate();
+    expects(config_.method == LatencyModel::Method::kClusterKV &&
+                config_.tiered_residency,
+            "BatchScheduler: fault injection requires kClusterKV with "
+            "tiered_residency (graceful degradation falls back to "
+            "resident-only cluster selection)");
+    expects(config_.use_transfer_engine ||
+                (config_.fault_plan.brownout_period_ms == 0.0 &&
+                 config_.fault_plan.wire_failure_rate == 0.0),
+            "BatchScheduler: link brownouts and wire failures model the "
+            "transfer engine's wire; enable use_transfer_engine");
+    fault_injector_ = std::make_unique<FaultInjector>(config_.fault_plan);
+    if (transfer_engine_ != nullptr &&
+        config_.fault_plan.wire_failure_rate > 0.0) {
+      transfer_engine_->set_fault_hook(
+          [injector = fault_injector_.get()](std::uint64_t id, Index client,
+                                             Index attempt) {
+            return injector->wire_fails(id, client, attempt);
+          },
+          config_.fault_plan.wire_max_retries);
+    }
+  }
   const double budget_cap = static_cast<double>(config_.fast_tier_budget_bytes) *
                             config_.admission_overcommit;
   for (auto& request : trace) {
@@ -164,10 +187,35 @@ std::int64_t BatchScheduler::fast_tier_bytes_locked() const {
   return bytes;
 }
 
+bool BatchScheduler::shed_blocked_head() {
+  if (fault_injector_ == nullptr ||
+      fault_injector_->plan().shed_wait_ms <= 0.0) {
+    return false;
+  }
+  const ServeRequest& head = queue_.front();
+  if (now_ms_ - head.arrival_ms <= fault_injector_->plan().shed_wait_ms) {
+    return false;
+  }
+  // Overload shedding: the head has waited past the plan's bound while
+  // admission stayed blocked — drop it (counted, traced) instead of
+  // letting the queue grow without bound. FIFO order means everything
+  // behind it waited less, so at most the head sheds per examination.
+  obs::tracer().instant_at("shed", 0, now_ms_,
+                           {{"request", head.id},
+                            {"waited_ms", static_cast<std::int64_t>(
+                                 now_ms_ - head.arrival_ms)}});
+  queue_.pop();
+  metrics_.record_shed_session();
+  return true;
+}
+
 void BatchScheduler::admit_arrivals() {
   while (queue_.has_arrival(now_ms_)) {
     if (config_.max_running > 0 &&
         static_cast<Index>(running_.size()) >= config_.max_running) {
+      if (shed_blocked_head()) {
+        continue;
+      }
       return;
     }
     if (config_.fast_tier_budget_bytes > 0) {
@@ -181,11 +229,22 @@ void BatchScheduler::admit_arrivals() {
         reserved += projected_bytes(session->request());
         residual += residual_bytes(session->request());
       }
-      const double cap = static_cast<double>(config_.fast_tier_budget_bytes) *
-                         config_.admission_overcommit;
+      double cap = static_cast<double>(config_.fast_tier_budget_bytes) *
+                   config_.admission_overcommit;
+      if (fault_injector_ != nullptr && !running_.empty()) {
+        // Overload burst: the byte cap tightens inside the window, so
+        // admission stalls and the queue backs up — the load the shed
+        // bound then acts on. Only with a non-empty batch: an idle
+        // scheduler must always admit (the idle-jump would otherwise
+        // deadlock against a squeezed cap).
+        cap *= fault_injector_->admission_factor_at(now_ms_);
+      }
       if (static_cast<double>(reserved + projected_bytes(queue_.front())) > cap ||
           residual + residual_bytes(queue_.front()) >
               config_.fast_tier_budget_bytes) {
+        if (shed_blocked_head()) {
+          continue;
+        }
         return;  // FIFO: the head blocks until residency frees up
       }
     }
@@ -351,7 +410,16 @@ void BatchScheduler::retire_finished() {
     SessionRecord record;
     record.id = session.request().id;
     record.prompt_len = session.request().prompt_len;
-    record.decode_len = session.request().decode_len;
+    // An aborted session's decode_len is what it actually produced:
+    // throughput and inter-token math must count real tokens, not the
+    // request's never-reached target.
+    record.decode_len =
+        session.aborted() ? session.tokens_generated() : session.request().decode_len;
+    record.aborted = session.aborted();
+    record.degraded_steps = session.degraded_steps();
+    record.fault_retries = session.fault_retries();
+    record.fault_retry_ms = session.fault_retry_ms();
+    record.dead_fetches = session.dead_fetches();
     record.arrival_ms = session.arrival_ms();
     record.admit_ms = session.admit_ms();
     record.prefill_done_ms = session.prefill_done_ms();
@@ -476,6 +544,17 @@ void BatchScheduler::drain_transfer_engine(double completed_ms) {
   const double drained = transfer_engine_->drained_bytes_total() - drained_before;
   const double busy = transfer_engine_->busy_ms_total() - busy_before;
   metrics_.record_transfer_tick(drained, busy);
+  // Wire-fault accounting off the completions (attempts are 0 and failed
+  // is false on every completion when no fault hook is installed, so the
+  // fault-free path records nothing).
+  for (const TransferEngine::Completion& done : completions) {
+    if (done.attempts > 0) {
+      metrics_.record_wire_retries(done.attempts);
+    }
+    if (done.failed) {
+      metrics_.record_wire_failure();
+    }
+  }
   auto& tr = obs::tracer();
   if (tr.enabled() && busy > 0.0) {
     // One contiguous busy window per tick (the wire works front-to-back
@@ -497,6 +576,10 @@ void BatchScheduler::drain_transfer_engine(double completed_ms) {
                   {{"session", done.client},
                    {"bytes", static_cast<std::int64_t>(done.bytes)}});
       tr.end_at(name, obs::kTransferTrack, end);
+      if (done.failed) {
+        tr.instant_at("wire-failure", obs::kTransferTrack, end,
+                      {{"session", done.client}, {"attempts", done.attempts}});
+      }
     }
     tr.end_at("link-busy", obs::kTransferTrack, window_end_ms);
   }
@@ -600,6 +683,21 @@ void BatchScheduler::commit_item(AdvanceItem& item, double completed_ms) {
                                {"fetched", item.step.tokens_fetched}});
     mark_resume_if_preempted(*session);
     enforce_budget(session);
+    if (fault_injector_ != nullptr) {
+      // Degraded mode is a one-step affair: the pre-pass armed it for this
+      // step, the serial commit disarms it before the next.
+      session->set_degraded_step(false);
+      // Mid-decode abort: the client hangs up after this committed token.
+      // Only a still-decoding session with at least one token can abort —
+      // the session finishes at the tick's completion timestamp and its
+      // residency is reclaimed by the normal retirement path.
+      if (!session->finished() && session->tokens_generated() >= 1 &&
+          fault_injector_->abort_fires(session->request().id,
+                                       session->tokens_generated())) {
+        session->abort(completed_ms);
+        tr.instant("fault-abort", {{"token", session->tokens_generated()}});
+      }
+    }
   }
 }
 
@@ -614,6 +712,11 @@ bool BatchScheduler::tick() {
   if (running_.empty() && !queue_.has_arrival(now_ms_)) {
     now_ms_ = queue_.next_arrival_ms();  // idle: jump to the next arrival
     if (transfer_engine_ != nullptr) {
+      if (fault_injector_ != nullptr) {
+        // Brownouts stay on the virtual clock across the jump too.
+        transfer_engine_->set_rate_factor(
+            fault_injector_->rate_factor_at(now_ms_));
+      }
       // The wire keeps draining (and its clock monotone) across the jump.
       drain_transfer_engine(now_ms_);
     }
@@ -629,6 +732,16 @@ bool BatchScheduler::tick() {
   tr.set_virtual_now_ms(now_ms_);
   admit_arrivals();
   ++ticks_;
+
+  // Brownout sampling: one link-rate factor per tick, sampled at the tick's
+  // opening timestamp on the virtual clock. The same factor scales the
+  // contended-stall billing below and the engine's drain rate for this
+  // tick's window, so billed time and modeled wire time degrade together.
+  const double link_rate_factor =
+      fault_injector_ != nullptr ? fault_injector_->rate_factor_at(now_ms_) : 1.0;
+  if (fault_injector_ != nullptr && transfer_engine_ != nullptr) {
+    transfer_engine_->set_rate_factor(link_rate_factor);
+  }
 
   // Partition the batch: prefilling sessions each consume one prompt
   // chunk this tick, decoding sessions each run one step (round-robin so
@@ -675,10 +788,40 @@ bool BatchScheduler::tick() {
         tick_ms += b.weights_ms + b.overhead_ms;
       }
       tick_ms += b.total_ms() - b.weights_ms - b.overhead_ms;
+      // Fault pre-pass: roll this decoder's demand-fetch outcome for the
+      // step it is about to take. Retries bill their backoff into the tick;
+      // a dead fetch (retries exhausted or deadline blown) flips the
+      // session's selectors into resident-only degraded mode for exactly
+      // this step, and its demand traffic never reaches the wire.
+      FaultInjector::FetchOutcome fault;
+      if (fault_injector_ != nullptr) {
+        fault = fault_injector_->fetch_outcome(decoders[i]->request().id,
+                                               decoders[i]->tokens_generated());
+        if (fault.retries > 0 || fault.dead) {
+          tick_ms += fault.penalty_ms;
+          decoders[i]->note_fault_retries(fault.retries, fault.penalty_ms);
+          metrics_.record_fault_fetch(fault.retries, fault.penalty_ms, fault.dead);
+          const std::int64_t track = session_track(*decoders[i]);
+          if (fault.retries > 0) {
+            tr.instant_at("fault-retry", track, now_ms_,
+                          {{"attempts", fault.retries},
+                           {"penalty_us",
+                            static_cast<Index>(fault.penalty_ms * 1000.0)}});
+          }
+          if (fault.dead) {
+            decoders[i]->note_dead_fetch();
+            decoders[i]->set_degraded_step(true);
+            tr.instant_at("fault-dead-fetch", track, now_ms_,
+                          {{"token", decoders[i]->tokens_generated()}});
+          }
+        }
+      }
       if (transfer_engine_ != nullptr) {
-        demand_bytes_ahead += projected_demand_bytes(*decoders[i]);
-        const double stall_ms =
-            latency_.contended_fetch_ms(demand_bytes_ahead, transfer_link_gbps_);
+        if (!fault.dead) {
+          demand_bytes_ahead += projected_demand_bytes(*decoders[i]);
+        }
+        const double stall_ms = latency_.contended_fetch_ms(
+            demand_bytes_ahead, transfer_link_gbps_ * link_rate_factor);
         metrics_.record_demand_stall(stall_ms);
         demand_stall_tail_ms = stall_ms;
       }

@@ -34,6 +34,7 @@
 #include "metrics/serve_metrics.hpp"
 #include "serve/request_queue.hpp"
 #include "serve/session.hpp"
+#include "sim/fault_injector.hpp"
 #include "sim/latency_model.hpp"
 #include "sim/transfer_engine.hpp"
 #include "util/common.hpp"
@@ -111,6 +112,13 @@ struct BatchSchedulerConfig {
   /// in the exact serial order (see docs/SCHEDULING.md). false forces the
   /// pre-fan-out serial path (determinism A/B runs, debugging).
   bool parallel_tick = true;
+  /// Deterministic fault injection (docs/ROBUSTNESS.md). Disabled by
+  /// default: every fault branch in the scheduler is gated on the plan,
+  /// so a disabled plan reproduces the fault-free schedule byte for
+  /// byte. When enabled, requires kClusterKV with tiered_residency (the
+  /// degradation fallback is resident-only cluster selection); brownout
+  /// and wire-failure knobs additionally require use_transfer_engine.
+  FaultPlan fault_plan;
 };
 
 class BatchScheduler {
@@ -239,6 +247,10 @@ class BatchScheduler {
   /// run concurrently without changing a single observable byte.
   [[nodiscard]] std::int64_t advance_growth_bound_bytes(
       const AdvanceItem& item) const;
+  /// Sheds the blocked queue head when the fault plan's shed bound says
+  /// its wait is hopeless; returns true when a request was dropped (the
+  /// admission loop then re-examines the new head).
+  bool shed_blocked_head() CKV_REQUIRES(serial_phase_);
   /// Peak fast-tier bytes a request can pin once admitted.
   [[nodiscard]] std::int64_t projected_bytes(const ServeRequest& request) const;
   /// Irreducible bytes a session holds even after release_fast_tier
@@ -331,6 +343,10 @@ class BatchScheduler {
   /// access only — never iterated, so order cannot leak anywhere).
   std::unordered_map<Index, TransferLink> transfer_links_
       CKV_GUARDED_BY(serial_phase_);
+  /// Pure-hash fault oracle (null unless config_.fault_plan.enabled) —
+  /// every fault branch in the tick gates on this pointer, so the
+  /// fault-free path is the pre-fault code verbatim.
+  std::unique_ptr<FaultInjector> fault_injector_;
 };
 
 }  // namespace ckv

@@ -68,6 +68,28 @@ StepResult Session::decode_next(double completed_ms) {
   return result;
 }
 
+void Session::abort(double now_ms) {
+  expects(state_ == SessionState::kDecoding,
+          "Session::abort: only a decoding session can abort mid-decode");
+  expects(tokens_generated() >= 1,
+          "Session::abort: abort lands after a committed decode step");
+  state_ = SessionState::kFinished;
+  finish_ms_ = now_ms;
+  aborted_ = true;
+}
+
+void Session::set_degraded_step(bool degraded) {
+  auto& bank = engine_->selectors();
+  for (Index l = 0; l < bank.num_layers(); ++l) {
+    for (Index h = 0; h < bank.num_heads(); ++h) {
+      bank.at(l, h).set_degraded_step(degraded);
+    }
+  }
+  if (degraded) {
+    ++degraded_steps_;
+  }
+}
+
 void Session::attach_fast_tier_ledger(FastTierLedger* ledger) {
   auto& bank = engine_->selectors();
   for (Index l = 0; l < bank.num_layers(); ++l) {

@@ -86,6 +86,16 @@ class Session {
   /// once prefill completed.
   StepResult decode_next(double completed_ms);
 
+  /// Mid-decode cancellation (fault injection / client disconnect): ends
+  /// the session now (kDecoding -> kFinished) with whatever it generated.
+  /// Requires at least one generated token so finish/first-token
+  /// timestamps stay ordered; the scheduler retires the session through
+  /// the normal path (release, ledger detach, record) afterwards.
+  void abort(double now_ms);
+
+  /// True when the session ended via abort() rather than completing.
+  [[nodiscard]] bool aborted() const noexcept { return aborted_; }
+
   /// Prompt tokens fed to the engine so far (== prompt_len once decoding).
   [[nodiscard]] Index prefill_tokens_done() const noexcept {
     return engine_->prefill_tokens_done();
@@ -121,6 +131,29 @@ class Session {
 
   /// Times release_fast_tier actually moved tokens (preemption count).
   [[nodiscard]] Index preemptions() const noexcept { return preemptions_; }
+
+  // ---- fault injection (all zero / no-ops on the fault-free path) ----
+
+  /// Marks (or clears) the next decode step as degraded: every per-head
+  /// selector falls back to resident-only selection and issues no
+  /// slow-tier traffic. Setting it also counts one degraded step.
+  void set_degraded_step(bool degraded);
+
+  /// Decode steps this session served in degraded (resident-only) mode.
+  [[nodiscard]] Index degraded_steps() const noexcept { return degraded_steps_; }
+
+  /// Accumulates billed fetch-retry attempts and their backoff stall.
+  void note_fault_retries(Index retries, double penalty_ms) {
+    fault_retries_ += retries;
+    fault_retry_ms_ += penalty_ms;
+  }
+  /// Retry attempts billed against this session's demand fetches.
+  [[nodiscard]] Index fault_retries() const noexcept { return fault_retries_; }
+  /// Total backoff stall billed for those retries (virtual ms).
+  [[nodiscard]] double fault_retry_ms() const noexcept { return fault_retry_ms_; }
+  /// Counts one demand fetch declared dead (retries/deadline exhausted).
+  void note_dead_fetch() { ++dead_fetches_; }
+  [[nodiscard]] Index dead_fetches() const noexcept { return dead_fetches_; }
 
   /// Bytes of `tokens` context tokens held fast across all heads/layers —
   /// the admission projection for methods that pin the whole context.
@@ -188,6 +221,11 @@ class Session {
   double finish_ms_ = -1.0;
   double last_step_ms_ = -1.0;
   Index preemptions_ = 0;
+  bool aborted_ = false;
+  Index degraded_steps_ = 0;
+  Index fault_retries_ = 0;
+  double fault_retry_ms_ = 0.0;
+  Index dead_fetches_ = 0;
 };
 
 }  // namespace ckv

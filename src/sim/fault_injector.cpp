@@ -1,0 +1,157 @@
+#include "sim/fault_injector.hpp"
+
+#include <cmath>
+
+namespace ckv {
+
+namespace {
+
+/// splitmix64 finalizer: a full-avalanche mix of one 64-bit word. The
+/// standard constants (Steele et al.); good enough to decorrelate the
+/// per-query streams without any sequential state.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d4a33a8c9fde4bULL;
+  return x ^ (x >> 31);
+}
+
+/// In-window test for a periodic fault window: the first `duration` ms of
+/// every `period` ms. fmod keeps it exact on the virtual clock.
+bool in_window(double now_ms, double period_ms, double duration_ms) noexcept {
+  if (period_ms <= 0.0 || duration_ms <= 0.0) {
+    return false;
+  }
+  return std::fmod(now_ms, period_ms) < duration_ms;
+}
+
+void expect_rate(double rate, std::string_view name) {
+  expects(rate >= 0.0 && rate <= 1.0,
+          std::string("FaultPlan: ") + std::string(name) +
+              " must be a probability in [0, 1]");
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::chaos(std::uint64_t seed) {
+  FaultPlan plan;
+  plan.enabled = true;
+  plan.seed = seed;
+  plan.fetch_failure_rate = 0.08;
+  plan.fetch_max_retries = 3;
+  plan.retry_backoff_ms = 0.4;
+  plan.fetch_deadline_ms = 6.0;
+  plan.wire_failure_rate = 0.05;
+  plan.wire_max_retries = 2;
+  plan.brownout_period_ms = 400.0;
+  plan.brownout_duration_ms = 60.0;
+  plan.brownout_factor = 0.5;
+  plan.abort_rate = 0.004;
+  plan.burst_period_ms = 900.0;
+  plan.burst_duration_ms = 120.0;
+  plan.burst_admission_factor = 0.7;
+  plan.shed_wait_ms = 400.0;
+  plan.validate();
+  return plan;
+}
+
+void FaultPlan::validate() const {
+  expect_rate(fetch_failure_rate, "fetch_failure_rate");
+  expect_rate(wire_failure_rate, "wire_failure_rate");
+  expect_rate(abort_rate, "abort_rate");
+  expects(fetch_max_retries >= 0, "FaultPlan: fetch_max_retries must be >= 0");
+  expects(wire_max_retries >= 0, "FaultPlan: wire_max_retries must be >= 0");
+  expects(retry_backoff_ms >= 0.0, "FaultPlan: retry_backoff_ms must be >= 0");
+  expects(fetch_deadline_ms >= 0.0, "FaultPlan: fetch_deadline_ms must be >= 0");
+  expects(brownout_period_ms >= 0.0 && brownout_duration_ms >= 0.0,
+          "FaultPlan: brownout windows must be >= 0");
+  expects(brownout_period_ms == 0.0 ||
+              brownout_duration_ms <= brownout_period_ms,
+          "FaultPlan: brownout_duration_ms must fit inside the period");
+  expects(brownout_factor > 0.0 && brownout_factor <= 1.0,
+          "FaultPlan: brownout_factor must be in (0, 1]");
+  expects(burst_period_ms >= 0.0 && burst_duration_ms >= 0.0,
+          "FaultPlan: burst windows must be >= 0");
+  expects(burst_period_ms == 0.0 || burst_duration_ms <= burst_period_ms,
+          "FaultPlan: burst_duration_ms must fit inside the period");
+  expects(burst_admission_factor > 0.0 && burst_admission_factor <= 1.0,
+          "FaultPlan: burst_admission_factor must be in (0, 1]");
+  expects(shed_wait_ms >= 0.0, "FaultPlan: shed_wait_ms must be >= 0");
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan) : plan_(plan) {
+  plan_.validate();
+  expects(plan_.enabled, "FaultInjector: constructing from a disabled plan");
+}
+
+double FaultInjector::uniform(std::uint64_t stream, std::uint64_t a,
+                              std::uint64_t b) const noexcept {
+  std::uint64_t x = mix64(plan_.seed ^ mix64(stream));
+  x = mix64(x ^ mix64(a));
+  x = mix64(x ^ mix64(b));
+  // Top 53 bits -> [0, 1) double, the usual bit-exact construction.
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+FaultInjector::FetchOutcome FaultInjector::fetch_outcome(Index session_id,
+                                                         Index step) const {
+  FetchOutcome outcome;
+  if (plan_.fetch_failure_rate <= 0.0) {
+    return outcome;
+  }
+  const auto sid = static_cast<std::uint64_t>(session_id);
+  const auto stp = static_cast<std::uint64_t>(step);
+  double backoff = plan_.retry_backoff_ms;
+  for (Index attempt = 0; attempt <= plan_.fetch_max_retries; ++attempt) {
+    const std::uint64_t stream =
+        fnv1a("fault/fetch") + static_cast<std::uint64_t>(attempt);
+    if (uniform(stream, sid, stp) >= plan_.fetch_failure_rate) {
+      return outcome;  // this attempt succeeds
+    }
+    if (attempt == plan_.fetch_max_retries) {
+      outcome.dead = true;  // retries exhausted
+      return outcome;
+    }
+    outcome.retries += 1;
+    outcome.penalty_ms += backoff;
+    backoff *= 2.0;
+    if (outcome.penalty_ms > plan_.fetch_deadline_ms) {
+      outcome.dead = true;  // timeout: deadline crossed mid-backoff
+      return outcome;
+    }
+  }
+  return outcome;
+}
+
+bool FaultInjector::wire_fails(std::uint64_t request_id, Index client,
+                               Index attempt) const {
+  if (plan_.wire_failure_rate <= 0.0) {
+    return false;
+  }
+  const std::uint64_t stream =
+      fnv1a("fault/wire") + static_cast<std::uint64_t>(attempt);
+  return uniform(stream, request_id, static_cast<std::uint64_t>(client)) <
+         plan_.wire_failure_rate;
+}
+
+bool FaultInjector::abort_fires(Index session_id, Index step) const {
+  if (plan_.abort_rate <= 0.0) {
+    return false;
+  }
+  return uniform(fnv1a("fault/abort"), static_cast<std::uint64_t>(session_id),
+                 static_cast<std::uint64_t>(step)) < plan_.abort_rate;
+}
+
+double FaultInjector::rate_factor_at(double now_ms) const noexcept {
+  return in_window(now_ms, plan_.brownout_period_ms, plan_.brownout_duration_ms)
+             ? plan_.brownout_factor
+             : 1.0;
+}
+
+double FaultInjector::admission_factor_at(double now_ms) const noexcept {
+  return in_window(now_ms, plan_.burst_period_ms, plan_.burst_duration_ms)
+             ? plan_.burst_admission_factor
+             : 1.0;
+}
+
+}  // namespace ckv

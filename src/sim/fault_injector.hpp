@@ -1,0 +1,125 @@
+// Deterministic fault injection for the serving stack. A FaultPlan is a
+// seeded, replayable description of what goes wrong and when: transient
+// slow->fast fetch failures with retry/backoff and a per-fetch deadline,
+// wire-level transfer failures, link brownouts (temporary bandwidth
+// reduction windows), mid-decode session aborts, and overload bursts that
+// squeeze admission. The FaultInjector answers every question as a pure
+// hash of (seed, identity) — no mutable state, no <random> engine, no
+// query-order dependence — so the same plan produces byte-identical
+// outcomes at any CKV_THREADS and regardless of which subsystem asks
+// first (the PR 7 determinism contract, docs/ROBUSTNESS.md).
+#pragma once
+
+#include <cstdint>
+
+#include "util/common.hpp"
+
+namespace ckv {
+
+/// Everything the injector needs, value-semantic and validatable. All
+/// rates are probabilities in [0, 1]; all windows are virtual-clock
+/// milliseconds. `enabled == false` (the default) means the serving stack
+/// takes the exact fault-free path — no branch of it may perturb billing,
+/// metrics or selection when disabled.
+struct FaultPlan {
+  bool enabled = false;
+  std::uint64_t seed = 0;
+
+  /// Per (session, decode step) probability that the step's demand fetch
+  /// hits a transient fault and must retry.
+  double fetch_failure_rate = 0.0;
+  /// Retry attempts before a demand fetch is declared dead (attempt k of
+  /// a failed fetch bills retry_backoff_ms * 2^(k-1) of extra stall).
+  Index fetch_max_retries = 3;
+  double retry_backoff_ms = 0.5;
+  /// Total retry penalty budget: a fetch whose accumulated backoff would
+  /// exceed this deadline is declared dead early (timeout).
+  double fetch_deadline_ms = 8.0;
+
+  /// Per wire-request probability that a demand transfer fails on the
+  /// link after draining and must re-transfer (TransferEngine retries it
+  /// from zero up to wire_max_retries times, then reports it failed).
+  double wire_failure_rate = 0.0;
+  Index wire_max_retries = 2;
+
+  /// Link brownout: every brownout_period_ms of virtual time, the first
+  /// brownout_duration_ms run the link at brownout_factor x its rate.
+  /// period 0 disables brownouts; factor 1 makes them exact no-ops.
+  double brownout_period_ms = 0.0;
+  double brownout_duration_ms = 0.0;
+  double brownout_factor = 1.0;
+
+  /// Per (session, decode step) probability that the session aborts after
+  /// committing that step (client cancellation mid-decode).
+  double abort_rate = 0.0;
+
+  /// Overload burst: every burst_period_ms, the first burst_duration_ms
+  /// multiply the admission byte cap by burst_admission_factor (< 1
+  /// squeezes admission, modeling a demand spike elsewhere in the fleet).
+  /// period 0 disables bursts.
+  double burst_period_ms = 0.0;
+  double burst_duration_ms = 0.0;
+  double burst_admission_factor = 1.0;
+
+  /// Queue shedding: a queued arrival that admission has blocked for more
+  /// than shed_wait_ms of virtual time is dropped (counted, never
+  /// crashed). 0 disables shedding.
+  double shed_wait_ms = 0.0;
+
+  /// The committed chaos preset used by `bench_serving --faults` and the
+  /// CI chaos leg: every fault class active at rates mild enough that the
+  /// --check-faults throughput floor (>= 80% of fault-free) holds.
+  static FaultPlan chaos(std::uint64_t seed);
+
+  /// Throws std::invalid_argument when any knob is out of range.
+  void validate() const;
+};
+
+/// Pure-function oracle over a FaultPlan. Each query hashes the plan seed
+/// with a stable identity tag; nothing is sampled sequentially, so two
+/// subsystems (or two worker threads) asking in any order see the same
+/// answers.
+class FaultInjector {
+ public:
+  /// Resolved fate of one (session, step) demand fetch.
+  struct FetchOutcome {
+    Index retries = 0;        ///< extra attempts billed (0 = first try ok)
+    double penalty_ms = 0.0;  ///< summed exponential backoff stall
+    bool dead = false;        ///< retries exhausted or deadline exceeded
+  };
+
+  explicit FaultInjector(const FaultPlan& plan);
+
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+
+  /// Fate of the demand fetch issued by `session_id` at decode step
+  /// `step`. Attempt 0 fails with fetch_failure_rate; each retry re-rolls
+  /// independently. penalty_ms accumulates retry_backoff_ms * 2^(k-1)
+  /// per failed attempt k; crossing fetch_deadline_ms marks it dead.
+  [[nodiscard]] FetchOutcome fetch_outcome(Index session_id, Index step) const;
+
+  /// Whether wire transfer `request_id` (for session `client`) fails on
+  /// its `attempt`-th try (0-based). Pure: safe to call from
+  /// TransferEngine's drain loop.
+  [[nodiscard]] bool wire_fails(std::uint64_t request_id, Index client,
+                                Index attempt) const;
+
+  /// Whether `session_id` aborts after committing decode step `step`.
+  [[nodiscard]] bool abort_fires(Index session_id, Index step) const;
+
+  /// Link rate multiplier at virtual time now_ms (1.0 outside brownouts).
+  [[nodiscard]] double rate_factor_at(double now_ms) const noexcept;
+
+  /// Admission byte-cap multiplier at virtual time now_ms (1.0 outside
+  /// overload bursts).
+  [[nodiscard]] double admission_factor_at(double now_ms) const noexcept;
+
+ private:
+  /// Uniform [0, 1) from the plan seed and an identity triple; stateless.
+  [[nodiscard]] double uniform(std::uint64_t stream, std::uint64_t a,
+                               std::uint64_t b) const noexcept;
+
+  FaultPlan plan_;
+};
+
+}  // namespace ckv

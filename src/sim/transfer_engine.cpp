@@ -18,6 +18,19 @@ TransferEngine::TransferEngine(double link_gbps)
   expects(link_gbps > 0.0, "TransferEngine: link_gbps must be positive");
 }
 
+void TransferEngine::set_fault_hook(FaultHook hook, Index max_retries) {
+  expects(max_retries >= 0,
+          "TransferEngine::set_fault_hook: max_retries must be >= 0");
+  fault_hook_ = std::move(hook);
+  fault_max_retries_ = max_retries;
+}
+
+void TransferEngine::set_rate_factor(double factor) {
+  expects(factor > 0.0 && factor <= 1.0,
+          "TransferEngine::set_rate_factor: factor must be in (0, 1]");
+  rate_factor_ = factor;
+}
+
 std::uint64_t TransferEngine::enqueue(Index client, Priority priority,
                                       double bytes) {
   expects(bytes >= 0.0, "TransferEngine::enqueue: negative bytes");
@@ -89,7 +102,11 @@ std::vector<TransferEngine::Completion> TransferEngine::drain_until(
           "TransferEngine::drain_until: the virtual clock cannot run "
           "backwards");
   std::vector<Completion> completions;
-  double capacity = (now_ms - clock_ms_) * rate_bytes_per_ms_;
+  // Brownouts scale the whole window's rate: the scheduler samples the
+  // fault plan once per tick and sets the factor before draining, so the
+  // window is uniform and the arithmetic stays replayable.
+  const double rate = rate_bytes_per_ms_ * rate_factor_;
+  double capacity = (now_ms - clock_ms_) * rate;
   // The wire starts where the previous drain left off if it was busy then,
   // otherwise work begins the moment this window opens. Queued-but-idle
   // time before clock_ms_ never transfers bytes: idle capacity is lost.
@@ -105,11 +122,42 @@ std::vector<TransferEngine::Completion> TransferEngine::drain_until(
       }
       request.drained += take;
       capacity -= take;
-      cursor += take / rate_bytes_per_ms_;
+      cursor += take / rate;
       drained_bytes_total_ += take;
-      busy_ms_total_ += take / rate_bytes_per_ms_;
+      busy_ms_total_ += take / rate;
       if (request.bytes - request.drained > kByteEpsilon) {
         break;  // capacity exhausted mid-request; progress carries over
+      }
+      if (priority == Priority::kDemand && fault_hook_ &&
+          fault_hook_(request.id, request.client, request.attempts)) {
+        if (request.attempts < fault_max_retries_) {
+          // Transient wire fault: the copy is lost, progress resets, and
+          // the request re-queues behind the current demand backlog. The
+          // wasted wire time stays billed (the link really was busy).
+          Request retry = request;
+          retry.drained = 0.0;
+          retry.start_ms = -1.0;
+          ++retry.attempts;
+          ++wire_retries_total_;
+          queue.pop_front();
+          queue.push_back(retry);
+          continue;
+        }
+        // Retries exhausted: surface a typed failure, never a crash. The
+        // request leaves the queue so its reservation cannot strand.
+        ++wire_failures_total_;
+        Completion dead;
+        dead.id = request.id;
+        dead.client = request.client;
+        dead.priority = request.priority;
+        dead.bytes = request.bytes;
+        dead.start_ms = request.start_ms;
+        dead.end_ms = cursor;
+        dead.attempts = request.attempts;
+        dead.failed = true;
+        completions.push_back(dead);
+        queue.pop_front();
+        continue;
       }
       Completion done;
       done.id = request.id;
@@ -118,6 +166,7 @@ std::vector<TransferEngine::Completion> TransferEngine::drain_until(
       done.bytes = request.bytes;
       done.start_ms = request.start_ms;
       done.end_ms = cursor;
+      done.attempts = request.attempts;
       completions.push_back(done);
       if (priority == Priority::kSpeculative) {
         // A landed speculation is still unresolved: its hit/waste split
@@ -153,7 +202,7 @@ Index TransferEngine::queue_depth() const noexcept {
 }
 
 double TransferEngine::demand_backlog_ms() const noexcept {
-  return queued_bytes(Priority::kDemand) / rate_bytes_per_ms_;
+  return queued_bytes(Priority::kDemand) / (rate_bytes_per_ms_ * rate_factor_);
 }
 
 }  // namespace ckv

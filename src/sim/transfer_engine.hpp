@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <vector>
 
 #include "util/common.hpp"
@@ -39,7 +40,20 @@ class TransferEngine {
     double bytes = 0.0;
     double start_ms = 0.0;
     double end_ms = 0.0;
+    /// Wire attempts consumed beyond the first (fault-hook retries).
+    Index attempts = 0;
+    /// True when the fault hook exhausted its retries: the bytes crossed
+    /// the wire but the transfer is reported dead — a typed error the
+    /// caller degrades on, never a crash.
+    bool failed = false;
   };
+
+  /// Deterministic wire-fault oracle: returns true when demand request
+  /// `id` (for session `client`) fails its `attempt`-th transfer. Must be
+  /// a pure function of its arguments (FaultInjector::wire_fails) — the
+  /// engine calls it from the drain loop in queue order.
+  using FaultHook =
+      std::function<bool(std::uint64_t id, Index client, Index attempt)>;
 
   /// Outcome of resolving a speculative request against the selection that
   /// consumed it (see resolve_spec).
@@ -74,6 +88,19 @@ class TransferEngine {
   /// request is removed either way.
   SpecResolution resolve_spec(std::uint64_t id, double hit_bytes);
 
+  /// Installs (or clears, with nullptr) the wire-fault oracle. A demand
+  /// request whose drain completes while the hook reports failure resets
+  /// its progress and re-queues at the back of the demand class, up to
+  /// `max_retries` extra attempts; exhaustion emits a Completion with
+  /// `failed = true`. Speculative traffic never consults the hook (a lost
+  /// prefetch is already just a missed overlap).
+  void set_fault_hook(FaultHook hook, Index max_retries);
+
+  /// Scales the effective link rate (brownout modeling): capacity, busy
+  /// time and backlog estimates all see rate x factor until changed.
+  /// factor 1 restores the nominal wire exactly.
+  void set_rate_factor(double factor);
+
   /// Advances the link clock to `now_ms`, spending (now_ms - clock) x rate
   /// bytes of capacity on the queue in (priority, enqueue seq) order, and
   /// returns the requests that finished, in drain order. Idle capacity is
@@ -99,8 +126,17 @@ class TransferEngine {
   /// Virtual milliseconds the wire spent actively transferring.
   [[nodiscard]] double busy_ms_total() const noexcept { return busy_ms_total_; }
   [[nodiscard]] double clock_ms() const noexcept { return clock_ms_; }
+  /// Effective drain rate (nominal x the current brownout factor).
   [[nodiscard]] double rate_bytes_per_ms() const noexcept {
-    return rate_bytes_per_ms_;
+    return rate_bytes_per_ms_ * rate_factor_;
+  }
+  /// Wire-level retries the fault hook has triggered so far.
+  [[nodiscard]] Index wire_retries_total() const noexcept {
+    return wire_retries_total_;
+  }
+  /// Demand requests reported failed after exhausting wire retries.
+  [[nodiscard]] Index wire_failures_total() const noexcept {
+    return wire_failures_total_;
   }
 
  private:
@@ -111,6 +147,7 @@ class TransferEngine {
     double bytes = 0.0;
     double drained = 0.0;
     double start_ms = -1.0;  ///< first-drain time (-1 while untouched)
+    Index attempts = 0;      ///< wire retries consumed (fault hook)
   };
 
   [[nodiscard]] std::deque<Request>& queue_for(Priority priority) noexcept {
@@ -123,6 +160,7 @@ class TransferEngine {
   void erase(std::uint64_t id) noexcept;
 
   double rate_bytes_per_ms_;
+  double rate_factor_ = 1.0;
   double clock_ms_ = 0.0;
   std::uint64_t next_id_ = 1;
   std::deque<Request> demand_;
@@ -132,6 +170,10 @@ class TransferEngine {
   std::deque<Request> landed_spec_;
   double drained_bytes_total_ = 0.0;
   double busy_ms_total_ = 0.0;
+  FaultHook fault_hook_;
+  Index fault_max_retries_ = 0;
+  Index wire_retries_total_ = 0;
+  Index wire_failures_total_ = 0;
 };
 
 }  // namespace ckv

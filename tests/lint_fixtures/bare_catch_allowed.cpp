@@ -1,0 +1,9 @@
+// Fixture: same offense as bare_catch_violate.cpp, silenced by the
+// inline suppression-comment form on the catch line itself.
+void fixture_swallow() {
+  try {
+    fixture_might_throw();
+  } catch (...) {  // ckv-lint: allow(bare-catch) -- fixture exercising the suppression
+    // nothing: the error vanishes
+  }
+}

@@ -1,0 +1,10 @@
+// Fixture: trips [bare-catch] when attributed to a path outside tests/
+// (a catch (...) whose body neither rethrows, stores the exception, nor
+// reports it silently swallows the failure).
+void fixture_swallow() {
+  try {
+    fixture_might_throw();
+  } catch (...) {
+    // nothing: the error vanishes
+  }
+}

@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/fault_injector.hpp"
+
+namespace ckv {
+namespace {
+
+FaultPlan mild_plan(std::uint64_t seed) {
+  FaultPlan plan;
+  plan.enabled = true;
+  plan.seed = seed;
+  plan.fetch_failure_rate = 0.2;
+  plan.fetch_max_retries = 3;
+  plan.retry_backoff_ms = 0.5;
+  plan.fetch_deadline_ms = 8.0;
+  plan.wire_failure_rate = 0.1;
+  plan.abort_rate = 0.05;
+  plan.brownout_period_ms = 100.0;
+  plan.brownout_duration_ms = 10.0;
+  plan.brownout_factor = 0.5;
+  plan.burst_period_ms = 200.0;
+  plan.burst_duration_ms = 40.0;
+  plan.burst_admission_factor = 0.7;
+  return plan;
+}
+
+TEST(FaultPlan, ChaosPresetValidatesAndEnablesEveryFaultClass) {
+  const FaultPlan plan = FaultPlan::chaos(7);
+  EXPECT_TRUE(plan.enabled);
+  EXPECT_EQ(plan.seed, 7u);
+  EXPECT_GT(plan.fetch_failure_rate, 0.0);
+  EXPECT_GT(plan.wire_failure_rate, 0.0);
+  EXPECT_GT(plan.brownout_period_ms, 0.0);
+  EXPECT_GT(plan.abort_rate, 0.0);
+  EXPECT_GT(plan.burst_period_ms, 0.0);
+  EXPECT_GT(plan.shed_wait_ms, 0.0);
+  EXPECT_NO_THROW(plan.validate());
+}
+
+TEST(FaultPlan, ValidateRejectsOutOfRangeKnobs) {
+  auto broken = [](auto mutate) {
+    FaultPlan plan = FaultPlan::chaos(1);
+    mutate(plan);
+    return plan;
+  };
+  EXPECT_THROW(broken([](FaultPlan& p) { p.fetch_failure_rate = 1.5; }).validate(),
+               std::invalid_argument);
+  EXPECT_THROW(broken([](FaultPlan& p) { p.wire_failure_rate = -0.1; }).validate(),
+               std::invalid_argument);
+  EXPECT_THROW(broken([](FaultPlan& p) { p.retry_backoff_ms = -1.0; }).validate(),
+               std::invalid_argument);
+  EXPECT_THROW(
+      broken([](FaultPlan& p) { p.brownout_duration_ms = p.brownout_period_ms + 1.0; })
+          .validate(),
+      std::invalid_argument);
+  EXPECT_THROW(broken([](FaultPlan& p) { p.brownout_factor = 0.0; }).validate(),
+               std::invalid_argument);
+  EXPECT_THROW(broken([](FaultPlan& p) { p.brownout_factor = 1.5; }).validate(),
+               std::invalid_argument);
+  EXPECT_THROW(
+      broken([](FaultPlan& p) { p.burst_admission_factor = -0.5; }).validate(),
+      std::invalid_argument);
+  EXPECT_THROW(broken([](FaultPlan& p) { p.shed_wait_ms = -1.0; }).validate(),
+               std::invalid_argument);
+}
+
+TEST(FaultInjector, RejectsDisabledPlan) {
+  EXPECT_THROW(FaultInjector(FaultPlan{}), std::invalid_argument);
+}
+
+TEST(FaultInjector, OutcomesAreDeterministicAndQueryOrderIndependent) {
+  const FaultInjector forward(mild_plan(42));
+  const FaultInjector backward(mild_plan(42));
+  std::vector<FaultInjector::FetchOutcome> a;
+  std::vector<FaultInjector::FetchOutcome> b;
+  for (Index session = 0; session < 8; ++session) {
+    for (Index step = 0; step < 64; ++step) {
+      a.push_back(forward.fetch_outcome(session, step));
+    }
+  }
+  // The second injector sees the same queries in reverse: pure hashing
+  // means the traversal order cannot matter.
+  for (Index session = 7; session >= 0; --session) {
+    for (Index step = 63; step >= 0; --step) {
+      b.push_back(backward.fetch_outcome(session, step));
+    }
+  }
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto& fwd = a[i];
+    const auto& rev = b[b.size() - 1 - i];
+    EXPECT_EQ(fwd.retries, rev.retries);
+    EXPECT_DOUBLE_EQ(fwd.penalty_ms, rev.penalty_ms);
+    EXPECT_EQ(fwd.dead, rev.dead);
+  }
+  // Same plan, same identity, repeated queries: bit-identical (stateless).
+  EXPECT_EQ(forward.wire_fails(9001, 3, 1), backward.wire_fails(9001, 3, 1));
+  EXPECT_EQ(forward.abort_fires(5, 17), backward.abort_fires(5, 17));
+}
+
+TEST(FaultInjector, FetchOutcomeRespectsRetryAndPenaltyContract) {
+  FaultPlan plan = mild_plan(3);
+  plan.fetch_failure_rate = 0.6;  // high enough to see deep retry chains
+  const FaultInjector injector(plan);
+  bool saw_retry = false;
+  bool saw_dead = false;
+  for (Index session = 0; session < 16; ++session) {
+    for (Index step = 0; step < 64; ++step) {
+      const auto outcome = injector.fetch_outcome(session, step);
+      EXPECT_LE(outcome.retries, plan.fetch_max_retries);
+      if (outcome.dead) {
+        saw_dead = true;
+        // Dead by exhaustion (all retries billed) or by deadline.
+        EXPECT_TRUE(outcome.retries == plan.fetch_max_retries ||
+                    outcome.penalty_ms > plan.fetch_deadline_ms);
+      }
+      if (outcome.retries > 0) {
+        saw_retry = true;
+        // Exponential backoff: sum of b * 2^k over billed retries.
+        double expected = 0.0;
+        double backoff = plan.retry_backoff_ms;
+        for (Index k = 0; k < outcome.retries; ++k) {
+          expected += backoff;
+          backoff *= 2.0;
+        }
+        EXPECT_DOUBLE_EQ(outcome.penalty_ms, expected);
+      } else {
+        EXPECT_DOUBLE_EQ(outcome.penalty_ms, 0.0);
+      }
+    }
+  }
+  EXPECT_TRUE(saw_retry);
+  EXPECT_TRUE(saw_dead);
+}
+
+TEST(FaultInjector, DeadlineCutsRetryChainsShort) {
+  FaultPlan plan = mild_plan(11);
+  plan.fetch_failure_rate = 0.9;
+  plan.fetch_max_retries = 10;
+  plan.retry_backoff_ms = 1.0;
+  plan.fetch_deadline_ms = 4.0;  // 1 + 2 = 3 ok, +4 = 7 crosses
+  const FaultInjector injector(plan);
+  for (Index session = 0; session < 32; ++session) {
+    const auto outcome = injector.fetch_outcome(session, 0);
+    // The deadline caps the billed chain at three retries (1+2+4 = 7 > 4).
+    EXPECT_LE(outcome.retries, 3);
+    EXPECT_LE(outcome.penalty_ms, 7.0);
+    if (outcome.retries == 3) {
+      EXPECT_TRUE(outcome.dead);
+    }
+  }
+}
+
+TEST(FaultInjector, DifferentSeedsGiveDifferentSchedules) {
+  const FaultInjector a(mild_plan(1));
+  const FaultInjector b(mild_plan(2));
+  Index differing = 0;
+  for (Index session = 0; session < 8; ++session) {
+    for (Index step = 0; step < 64; ++step) {
+      const auto oa = a.fetch_outcome(session, step);
+      const auto ob = b.fetch_outcome(session, step);
+      if (oa.retries != ob.retries || oa.dead != ob.dead) {
+        ++differing;
+      }
+    }
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(FaultInjector, PeriodicWindowsGateTheFactors) {
+  const FaultInjector injector(mild_plan(5));
+  // Brownout: first 10 ms of every 100 ms at factor 0.5.
+  EXPECT_DOUBLE_EQ(injector.rate_factor_at(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(injector.rate_factor_at(9.9), 0.5);
+  EXPECT_DOUBLE_EQ(injector.rate_factor_at(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(injector.rate_factor_at(55.0), 1.0);
+  EXPECT_DOUBLE_EQ(injector.rate_factor_at(105.0), 0.5);
+  // Burst: first 40 ms of every 200 ms at factor 0.7.
+  EXPECT_DOUBLE_EQ(injector.admission_factor_at(39.0), 0.7);
+  EXPECT_DOUBLE_EQ(injector.admission_factor_at(40.0), 1.0);
+  EXPECT_DOUBLE_EQ(injector.admission_factor_at(201.0), 0.7);
+}
+
+TEST(FaultInjector, ZeroRatesMeanNoFaultsAnywhere) {
+  FaultPlan plan;
+  plan.enabled = true;
+  plan.seed = 99;
+  const FaultInjector injector(plan);
+  for (Index session = 0; session < 8; ++session) {
+    for (Index step = 0; step < 32; ++step) {
+      const auto outcome = injector.fetch_outcome(session, step);
+      EXPECT_EQ(outcome.retries, 0);
+      EXPECT_DOUBLE_EQ(outcome.penalty_ms, 0.0);
+      EXPECT_FALSE(outcome.dead);
+      EXPECT_FALSE(injector.abort_fires(session, step));
+    }
+  }
+  EXPECT_FALSE(injector.wire_fails(1, 1, 0));
+  EXPECT_DOUBLE_EQ(injector.rate_factor_at(123.0), 1.0);
+  EXPECT_DOUBLE_EQ(injector.admission_factor_at(123.0), 1.0);
+}
+
+}  // namespace
+}  // namespace ckv

@@ -295,6 +295,25 @@ TEST_P(ServingResidencyFuzz, BudgetAndSinkInvariantsHoldUnderRandomSchedules) {
     config.prefill_chunk_tokens = rng.bernoulli(0.2) ? 0 : rng.uniform_int(16, 96);
     config.admission_overcommit = rng.uniform(1.0, 2.0);
 
+    // Most schedules also run under an injected fault plan: transient
+    // demand-fetch failures (retried, sometimes exhausted into degraded
+    // resident-only steps), mid-decode aborts and occasional queue
+    // shedding, interleaved with the external preemption/cancel injection
+    // below. The invariants must hold through all of it. Wire faults and
+    // brownouts stay off — this fuzz does not model the transfer engine.
+    if (rng.bernoulli(0.7)) {
+      FaultPlan plan;
+      plan.enabled = true;
+      plan.seed = derive_seed(GetParam(), "fuzz/faults");
+      plan.fetch_failure_rate = rng.uniform(0.05, 0.5);
+      plan.fetch_max_retries = rng.uniform_int(0, 3);
+      plan.retry_backoff_ms = rng.uniform(0.1, 1.0);
+      plan.fetch_deadline_ms = rng.uniform(0.5, 8.0);
+      plan.abort_rate = rng.uniform(0.0, 0.08);
+      plan.shed_wait_ms = rng.bernoulli(0.3) ? rng.uniform(500.0, 5000.0) : 0.0;
+      config.fault_plan = plan;
+    }
+
     const Index sessions = rng.uniform_int(3, 5);
     std::vector<ServeRequest> trace;
     Index longest_context = 0;
@@ -371,7 +390,12 @@ TEST_P(ServingResidencyFuzz, BudgetAndSinkInvariantsHoldUnderRandomSchedules) {
       EXPECT_EQ(scheduler.ledger().bytes(), resident);
       EXPECT_EQ(scheduler.ledger().reserved_bytes(), reserved);
     }
-    EXPECT_EQ(scheduler.finished_count(), sessions);
+    // Conservation at end of run: every offered request retired (aborted
+    // sessions retire through the normal path) or was counted shed; the
+    // ledger fully unwinds — no stranded residency or in-flight entries.
+    EXPECT_EQ(static_cast<std::int64_t>(scheduler.finished_count()) +
+                  scheduler.metrics().shed_sessions_total(),
+              static_cast<std::int64_t>(sessions));
     EXPECT_EQ(scheduler.ledger().bytes(), 0);
     EXPECT_EQ(scheduler.ledger().reserved_bytes(), 0);
 
@@ -399,6 +423,11 @@ TEST_P(ServingResidencyFuzz, BudgetAndSinkInvariantsHoldUnderRandomSchedules) {
         EXPECT_EQ(serial_records[i].demand_fetched_tokens,
                   records[i].demand_fetched_tokens)
             << i;
+        EXPECT_EQ(serial_records[i].aborted, records[i].aborted) << i;
+        EXPECT_EQ(serial_records[i].degraded_steps, records[i].degraded_steps) << i;
+        EXPECT_EQ(serial_records[i].fault_retries, records[i].fault_retries) << i;
+        EXPECT_EQ(serial_records[i].fault_retry_ms, records[i].fault_retry_ms) << i;
+        EXPECT_EQ(serial_records[i].dead_fetches, records[i].dead_fetches) << i;
       }
     }
   }

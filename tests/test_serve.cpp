@@ -756,6 +756,19 @@ struct FleetSnapshot {
   Index preemptions = 0;
   Index max_queue = 0;
   Index repair_tick_count = 0;
+  // Fault/degradation aggregates (all zero on fault-free runs; under a
+  // fault plan they are part of the byte-identity contract like any other
+  // virtual-clock aggregate).
+  std::int64_t fault_faults = 0;
+  std::int64_t fault_recovered = 0;
+  std::int64_t fault_dead = 0;
+  std::int64_t fault_retries = 0;
+  double fault_retry_ms = 0.0;
+  std::int64_t degraded_steps = 0;
+  std::int64_t fault_aborts = 0;
+  std::int64_t shed_sessions = 0;
+  std::int64_t wire_retries = 0;
+  std::int64_t wire_failures = 0;
 };
 
 FleetSnapshot take_snapshot(const ServeMetrics& m) {
@@ -791,6 +804,16 @@ FleetSnapshot take_snapshot(const ServeMetrics& m) {
   s.preemptions = m.total_preemptions();
   s.max_queue = m.max_queue_depth();
   s.repair_tick_count = m.repair_ticks();
+  s.fault_faults = m.fault_fetch_faults_total();
+  s.fault_recovered = m.fault_retried_ok_total();
+  s.fault_dead = m.dead_fetches_total();
+  s.fault_retries = m.fault_retries_total();
+  s.fault_retry_ms = m.fault_retry_ms_total();
+  s.degraded_steps = m.degraded_steps_total();
+  s.fault_aborts = m.fault_aborts_total();
+  s.shed_sessions = m.shed_sessions_total();
+  s.wire_retries = m.wire_retries_total();
+  s.wire_failures = m.wire_failures_total();
   return s;
 }
 
@@ -826,6 +849,11 @@ void expect_snapshots_identical(const FleetSnapshot& a, const FleetSnapshot& b,
     EXPECT_EQ(ra.prefetch_canceled_release_tokens,
               rb.prefetch_canceled_release_tokens)
         << where;
+    EXPECT_EQ(ra.aborted, rb.aborted) << where;
+    EXPECT_EQ(ra.degraded_steps, rb.degraded_steps) << where;
+    EXPECT_EQ(ra.fault_retries, rb.fault_retries) << where;
+    EXPECT_EQ(ra.fault_retry_ms, rb.fault_retry_ms) << where;
+    EXPECT_EQ(ra.dead_fetches, rb.dead_fetches) << where;
   }
   EXPECT_EQ(a.tps, b.tps) << label;
   EXPECT_EQ(a.makespan, b.makespan) << label;
@@ -857,6 +885,16 @@ void expect_snapshots_identical(const FleetSnapshot& a, const FleetSnapshot& b,
   EXPECT_EQ(a.preemptions, b.preemptions) << label;
   EXPECT_EQ(a.max_queue, b.max_queue) << label;
   EXPECT_EQ(a.repair_tick_count, b.repair_tick_count) << label;
+  EXPECT_EQ(a.fault_faults, b.fault_faults) << label;
+  EXPECT_EQ(a.fault_recovered, b.fault_recovered) << label;
+  EXPECT_EQ(a.fault_dead, b.fault_dead) << label;
+  EXPECT_EQ(a.fault_retries, b.fault_retries) << label;
+  EXPECT_EQ(a.fault_retry_ms, b.fault_retry_ms) << label;
+  EXPECT_EQ(a.degraded_steps, b.degraded_steps) << label;
+  EXPECT_EQ(a.fault_aborts, b.fault_aborts) << label;
+  EXPECT_EQ(a.shed_sessions, b.shed_sessions) << label;
+  EXPECT_EQ(a.wire_retries, b.wire_retries) << label;
+  EXPECT_EQ(a.wire_failures, b.wire_failures) << label;
 }
 
 /// The tentpole contract: every quality and billing column is bit-identical
@@ -908,6 +946,14 @@ TEST(FleetDeterminism, MetricsAndRecordsIdenticalAcrossWorkerCounts) {
     engine_cfg.use_transfer_engine = true;
     engine_cfg.link_gbps = 0.5;
     variants.push_back({"engine", prefetch_ckv, engine_cfg});
+
+    // Engine config under the chaos fault plan: retry billing, wire
+    // retries, brownouts, degraded steps, aborts and shedding must all
+    // replay byte-identically — the fault schedule is part of the virtual
+    // clock, not of the host's thread interleaving.
+    BatchSchedulerConfig faulted_cfg = engine_cfg;
+    faulted_cfg.fault_plan = FaultPlan::chaos(7);
+    variants.push_back({"faulted", prefetch_ckv, faulted_cfg});
   }
 
   const auto trace = varied_trace();
@@ -931,8 +977,11 @@ TEST(FleetDeterminism, MetricsAndRecordsIdenticalAcrossWorkerCounts) {
                                  make_clusterkv_factory(variant.ckv, 7),
                                  session, test_latency(), config);
         scheduler.run();
-        ASSERT_EQ(scheduler.finished_count(),
-                  static_cast<Index>(trace.size()));
+        // A faulted run may shed queued arrivals under sustained overload;
+        // retired plus shed must still conserve the offered trace.
+        ASSERT_EQ(static_cast<std::int64_t>(scheduler.finished_count()) +
+                      scheduler.metrics().shed_sessions_total(),
+                  static_cast<std::int64_t>(trace.size()));
         const FleetSnapshot snap = take_snapshot(scheduler.metrics());
         const std::string label = variant.name +
                                   (budget > 0 ? "/capped" : "/unlimited") +

@@ -216,6 +216,113 @@ TEST(TransferEngine, InvalidArgumentsThrow) {
   EXPECT_THROW(eng.drain_until(0.5), std::invalid_argument);  // clock reversal
 }
 
+TEST(TransferEngine, RateFactorScalesDrainAndBacklog) {
+  TransferEngine eng(kGbps);
+  eng.set_rate_factor(0.5);  // brownout: half the wire
+  EXPECT_DOUBLE_EQ(eng.rate_bytes_per_ms(), 0.5 * kBytesPerMs);
+  const auto id = eng.enqueue(1, Priority::kDemand, 2.0 * kBytesPerMs);
+  EXPECT_DOUBLE_EQ(eng.demand_backlog_ms(), 4.0);  // 2 ms of bytes at half rate
+  EXPECT_TRUE(eng.drain_until(3.0).empty());
+  const auto done = eng.drain_until(4.0);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].id, id);
+  EXPECT_DOUBLE_EQ(done[0].end_ms, 4.0);
+
+  // Brownout over: the factor resets and the wire runs at full rate again.
+  eng.set_rate_factor(1.0);
+  eng.enqueue(2, Priority::kDemand, 2.0 * kBytesPerMs);
+  const auto after = eng.drain_until(6.0);
+  ASSERT_EQ(after.size(), 1u);
+  EXPECT_DOUBLE_EQ(after[0].end_ms, 6.0);
+
+  EXPECT_THROW(eng.set_rate_factor(0.0), std::invalid_argument);
+  EXPECT_THROW(eng.set_rate_factor(1.5), std::invalid_argument);
+}
+
+TEST(TransferEngine, FaultHookRetriesDemandBehindBacklog) {
+  TransferEngine eng(kGbps);
+  // First attempt of request A fails on the wire; the retry re-queues at
+  // the back of the demand class, behind B.
+  eng.set_fault_hook(
+      [](std::uint64_t, Index client, Index attempt) {
+        return client == 1 && attempt == 0;
+      },
+      /*max_retries=*/2);
+  const auto a = eng.enqueue(1, Priority::kDemand, 2.0 * kBytesPerMs);
+  const auto b = eng.enqueue(2, Priority::kDemand, 2.0 * kBytesPerMs);
+  const auto done = eng.drain_until(10.0);
+  ASSERT_EQ(done.size(), 2u);
+  // A burned [0,2) and failed; B crossed [2,4); A's retry crossed [4,6).
+  EXPECT_EQ(done[0].id, b);
+  EXPECT_DOUBLE_EQ(done[0].end_ms, 4.0);
+  EXPECT_FALSE(done[0].failed);
+  EXPECT_EQ(done[0].attempts, 0);
+  EXPECT_EQ(done[1].id, a);
+  EXPECT_DOUBLE_EQ(done[1].end_ms, 6.0);
+  EXPECT_FALSE(done[1].failed);
+  EXPECT_EQ(done[1].attempts, 1);
+  // The failed first crossing stays billed as busy wire time.
+  EXPECT_DOUBLE_EQ(eng.busy_ms_total(), 6.0);
+  EXPECT_EQ(eng.wire_retries_total(), 1);
+  EXPECT_EQ(eng.wire_failures_total(), 0);
+}
+
+TEST(TransferEngine, FaultHookExhaustionSurfacesTypedFailure) {
+  TransferEngine eng(kGbps);
+  eng.set_fault_hook([](std::uint64_t, Index, Index) { return true; },
+                     /*max_retries=*/1);
+  const auto id = eng.enqueue(3, Priority::kDemand, 1.0 * kBytesPerMs);
+  const auto done = eng.drain_until(10.0);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].id, id);
+  EXPECT_TRUE(done[0].failed);
+  EXPECT_EQ(done[0].attempts, 1);
+  EXPECT_EQ(eng.wire_retries_total(), 1);
+  EXPECT_EQ(eng.wire_failures_total(), 1);
+  EXPECT_EQ(eng.queue_depth(), 0);  // failed request leaves the wire
+
+  // Speculative traffic never consults the hook.
+  eng.enqueue(4, Priority::kSpeculative, 1.0 * kBytesPerMs);
+  const auto spec = eng.drain_until(20.0);
+  ASSERT_EQ(spec.size(), 1u);
+  EXPECT_FALSE(spec[0].failed);
+  EXPECT_EQ(eng.wire_failures_total(), 1);
+}
+
+// Pinned regression: canceling a demand fetch that already drained part of
+// its retry attempt must refund only the undrained remainder, exactly once.
+// (A retry resets drained progress to zero — the bytes its failed attempt
+// crossed are lost wire time, not deliverable progress — so the refund
+// after a partial retry drain is total minus the *current* attempt's
+// progress, never total plus the failed crossing, and a second cancel of
+// the same id refunds nothing.)
+TEST(TransferEngine, CancelDuringRetryRefundsUndrainedBytesOnce) {
+  TransferEngine eng(kGbps);
+  eng.set_fault_hook(
+      [](std::uint64_t, Index client, Index attempt) {
+        return client == 1 && attempt == 0;
+      },
+      /*max_retries=*/2);
+  const auto victim = eng.enqueue(1, Priority::kDemand, 4.0 * kBytesPerMs);
+  // Attempt 0 crosses [0,4) and fails; the retry restarts from zero and
+  // drains 2 of its 4 ms by t=6.
+  EXPECT_TRUE(eng.drain_until(6.0).empty());
+  EXPECT_DOUBLE_EQ(eng.busy_ms_total(), 6.0);
+
+  // Cancel mid-retry: refund the 2 ms of bytes the retry has not drained.
+  EXPECT_DOUBLE_EQ(eng.cancel(victim), 2.0 * kBytesPerMs);
+  EXPECT_DOUBLE_EQ(eng.cancel(victim), 0.0);  // no double refund
+  EXPECT_EQ(eng.queue_depth(), 0);
+  EXPECT_DOUBLE_EQ(eng.queued_bytes(), 0.0);
+
+  // The wire is genuinely free for the next request.
+  const auto next = eng.enqueue(2, Priority::kDemand, 1.0 * kBytesPerMs);
+  const auto done = eng.drain_until(7.0);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].id, next);
+  EXPECT_DOUBLE_EQ(done[0].end_ms, 7.0);
+}
+
 TEST(TransferEngine, ZeroByteRequestCompletesImmediately) {
   TransferEngine eng(kGbps);
   const auto id = eng.enqueue(1, Priority::kDemand, 0.0);

@@ -312,6 +312,15 @@ int run_serve(int argc, const char* const* argv) {
                   "(GB/s; 0 = the hardware model's gather rate)");
   args.add_option("max-running", "0",
                   "hard cap on concurrently running sessions (0 = unlimited)");
+  args.add_option("fault-plan", "off",
+                  "deterministic fault injection (docs/ROBUSTNESS.md): 'off' "
+                  "or 'chaos' (seeded transient fetch failures with retry/"
+                  "backoff, link brownouts, mid-decode aborts, admission "
+                  "bursts with load shedding); clusterkv + --transfer-engine "
+                  "only");
+  args.add_option("fault-seed", "7777",
+                  "seed of the --fault-plan chaos schedule (replayable: the "
+                  "same seed gives a byte-identical run at any CKV_THREADS)");
   args.add_switch("serial-tick",
                   "advance sessions one at a time on the scheduler thread "
                   "instead of fanning a tick out to the worker pool (results "
@@ -401,6 +410,19 @@ int run_serve(int argc, const char* const* argv) {
         "--transfer-engine only applies to clusterkv (it models the tiered "
         "slow->fast fetch path)");
   }
+  const std::string fault_plan = args.get_string("fault-plan");
+  if (fault_plan == "chaos") {
+    if (method != "clusterkv" || !args.get_switch("transfer-engine")) {
+      throw std::invalid_argument(
+          "--fault-plan chaos needs clusterkv with --transfer-engine (the "
+          "fault model targets the tiered fetch path and the modeled wire)");
+    }
+    scheduler_config.fault_plan = FaultPlan::chaos(
+        static_cast<std::uint64_t>(args.get_index("fault-seed")));
+  } else if (fault_plan != "off") {
+    throw std::invalid_argument("unknown --fault-plan '" + fault_plan +
+                                "' (expected off|chaos)");
+  }
   scheduler_config.use_transfer_engine = args.get_switch("transfer-engine");
   scheduler_config.link_gbps = args.get_double_in("link-gbps", 0.0, 1e6);
   scheduler_config.fast_tier_budget_bytes = static_cast<std::int64_t>(
@@ -483,6 +505,23 @@ int run_serve(int argc, const char* const* argv) {
                  format_double(m.fanout_fraction(), 2),
                  format_double(m.advance_wall_ms_total(), 0)});
   emit(table, args.get_switch("csv"));
+  if (fault_plan == "chaos") {
+    // Degradation ledger for the chaos run (separate from the main table so
+    // a fault-free run's output is byte-identical to pre-fault builds).
+    TextTable fault_table({"faulted fetches", "recovered", "dead", "degraded",
+                           "retry (ms)", "aborts", "shed", "wire retry",
+                           "wire fail"});
+    fault_table.add_row({std::to_string(m.fault_fetch_faults_total()),
+                         std::to_string(m.fault_retried_ok_total()),
+                         std::to_string(m.dead_fetches_total()),
+                         std::to_string(m.degraded_steps_total()),
+                         format_double(m.fault_retry_ms_total(), 1),
+                         std::to_string(m.fault_aborts_total()),
+                         std::to_string(m.shed_sessions_total()),
+                         std::to_string(m.wire_retries_total()),
+                         std::to_string(m.wire_failures_total())});
+    emit(fault_table, args.get_switch("csv"));
+  }
   return 0;
 }
 

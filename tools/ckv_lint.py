@@ -25,6 +25,12 @@ determinism contract (docs/PERFORMANCE.md) and the concurrency contract
                     lane contract (src/tensor/vec_ops.*): reduction order
                     is part of the numeric contract and must go through
                     the fixed-lane kernels.
+  bare-catch        No `catch (...)` that swallows the exception outside
+                    tests/: the handler must rethrow, preserve it
+                    (std::current_exception) or at least report it. The
+                    robustness contract (docs/ROBUSTNESS.md) surfaces
+                    faults as typed errors; silently eating an unknown
+                    exception hides them.
 
 Suppression is machine-readable and audited, never silent:
 
@@ -71,6 +77,7 @@ RULE_ALLOWED_PREFIXES = {
     "unordered-iter": (),
     "raw-thread": ("src/util/parallel.",),
     "float-accumulate": ("src/tensor/vec_ops.",),
+    "bare-catch": ("tests/",),
 }
 
 SIMPLE_RULES = {
@@ -100,6 +107,8 @@ RULE_MESSAGES = {
     "parallel_for/parallel_for_range",
     "float-accumulate": "std::accumulate outside the vec_ops lane contract "
     "— reduction order is part of the numeric contract",
+    "bare-catch": "catch (...) swallows the exception — rethrow, store "
+    "std::current_exception(), or report it before continuing",
 }
 
 ALL_RULES = tuple(RULE_MESSAGES)
@@ -112,6 +121,14 @@ UNORDERED_DECL_START = re.compile(
 )
 IDENT_AFTER_TEMPLATE = re.compile(r"\s*&?\s*([A-Za-z_]\w*)\s*[;,)({=\[]")
 INCLUDE_RE = re.compile(r'#\s*include\s+"([^"]+)"')
+
+BARE_CATCH_RE = re.compile(r"catch\s*\(\s*\.\.\.\s*\)")
+# A handler is fine if it rethrows, preserves the exception object, or
+# visibly reports it (stream, logger, tracer) before moving on.
+CATCH_HANDLES_RE = re.compile(
+    r"\bthrow\b|rethrow|current_exception|\bcerr\b|\bclog\b|\bcout\b"
+    r"|\blog\w*\s*\(|tracer\s*\(\s*\)"
+)
 
 
 def strip_comments_and_strings(lines):
@@ -157,6 +174,21 @@ def strip_comments_and_strings(lines):
             i += 1
         out.append("".join(result))
     return out
+
+
+def find_brace_close(text, open_idx):
+    """Index of the '}' matching the '{' at open_idx, or -1 (comments and
+    strings already stripped, so raw brace counting is exact)."""
+    depth = 0
+    for i in range(open_idx, len(text)):
+        c = text[i]
+        if c == "{":
+            depth += 1
+        elif c == "}":
+            depth -= 1
+            if depth == 0:
+                return i
+    return -1
 
 
 def find_template_close(text, open_idx):
@@ -263,6 +295,19 @@ def lint_file(rel_path, raw_lines, extra_unordered_names=()):
                         idx,
                         RULE_MESSAGES["unordered-iter"].format(var=var),
                     )
+
+    if rule_applies("bare-catch", rel_path):
+        text = "\n".join(code_lines)
+        for m in BARE_CATCH_RE.finditer(text):
+            open_idx = text.find("{", m.end())
+            if open_idx == -1:
+                continue
+            close = find_brace_close(text, open_idx)
+            body = text[open_idx + 1 : close] if close != -1 else text[open_idx + 1 :]
+            if CATCH_HANDLES_RE.search(body):
+                continue
+            line_no = text.count("\n", 0, m.start()) + 1
+            report("bare-catch", line_no, RULE_MESSAGES["bare-catch"])
     return findings
 
 
